@@ -1,0 +1,50 @@
+// Ablation (DESIGN.md SS6): Group 1 (serial terms) features alone vs the
+// full Table II feature set (Group 1 + per-thread Group 2 terms), for a
+// linear model and for XGBoost. The Group 2 terms carry the explicit
+// thread-count interaction (m*k*n/t etc.) that a linear model cannot
+// synthesise on its own; trees can approximate it from splits on n_threads
+// but benefit from the precomputed ratios too.
+#include "bench_util.h"
+#include "preprocess/features.h"
+
+using namespace adsala;
+
+namespace {
+
+void run_variant(const core::GatherData& gathered, const std::string& model,
+                 const std::vector<std::size_t>& whitelist,
+                 const char* label) {
+  core::TrainOptions opts;
+  opts.candidates = {model};
+  opts.tune = false;
+  opts.pipeline.feature_whitelist = whitelist;
+  const auto out = core::train_and_select(gathered, opts);
+  const auto& r = out.reports[0];
+  std::printf("%-20s %-18s %10.3f %10.2f %10.2f\n", label, model.c_str(),
+              r.test_rmse_norm, r.ideal_mean_speedup, r.est_mean_speedup);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation | feature groups (Table II Group 1 vs Group 1+2, Setonix)");
+
+  auto executor = bench::make_executor("setonix");
+  core::GatherConfig gcfg = bench::bench_gather_config();
+  gcfg.n_samples = std::min<std::size_t>(bench::train_samples(), 400);
+  std::fprintf(stderr, "[bench] gathering %zu shapes...\n", gcfg.n_samples);
+  const auto gathered = core::gather_timings(executor, gcfg);
+
+  std::printf("%-20s %-18s %10s %10s %10s\n", "features", "model",
+              "norm RMSE", "ideal mean", "est mean");
+  bench::print_rule();
+  const auto group1 = preprocess::group1_indices();
+  for (const std::string model : {"linear_regression", "xgboost"}) {
+    run_variant(gathered, model, group1, "group 1 only");
+    run_variant(gathered, model, {}, "group 1 + 2 (all)");
+  }
+  std::printf("\n[expectation] adding the Group 2 per-thread ratios lowers "
+              "RMSE, most dramatically for the linear model\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 11: GFLOPS vs memory footprint on Setonix (BLIS baseline).
+#include "gflops_common.h"
+
+int main() {
+  adsala::bench::run_gflops_figure("setonix", "Fig. 11", "BLIS");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 12: GFLOPS vs memory footprint on Gadi (MKL baseline).
+#include "gflops_common.h"
+
+int main() {
+  adsala::bench::run_gflops_figure("gadi", "Fig. 12", "MKL");
+  return 0;
+}

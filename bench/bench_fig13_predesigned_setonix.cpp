@@ -1,0 +1,7 @@
+// Figure 13: GFLOPS comparisons on Setonix with predesigned matrices.
+#include "predesigned_common.h"
+
+int main() {
+  adsala::bench::run_predesigned("setonix", "Fig. 13", "BLIS");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 14: GFLOPS comparisons on Gadi with predesigned matrices.
+#include "predesigned_common.h"
+
+int main() {
+  adsala::bench::run_predesigned("gadi", "Fig. 14", "MKL");
+  return 0;
+}

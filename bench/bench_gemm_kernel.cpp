@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the from-scratch BLAS substrate:
+// GFLOPS of the blocked GEMM across shapes and thread counts on the host.
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using adsala::AlignedBuffer;
+using adsala::Rng;
+
+template <typename T>
+void fill_random(AlignedBuffer<T>& buf, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+void BM_SgemmSquare(benchmark::State& state) {
+  const auto dim = static_cast<int>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  AlignedBuffer<float> a(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> c(static_cast<std::size_t>(dim) * dim);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    adsala::blas::sgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
+                        dim, dim, dim, 1.0f, a.data(), dim, b.data(), dim,
+                        0.0f, c.data(), dim, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * dim * dim * dim * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SgemmSkinny(benchmark::State& state) {
+  // The paper's motivating shape family: m small, k/n large (e.g. ResNet's
+  // 64 x 3000 operands).
+  const int m = 64;
+  const auto kn = static_cast<int>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  AlignedBuffer<float> a(static_cast<std::size_t>(m) * kn);
+  AlignedBuffer<float> b(static_cast<std::size_t>(kn) * kn);
+  AlignedBuffer<float> c(static_cast<std::size_t>(m) * kn);
+  fill_random(a, 3);
+  fill_random(b, 4);
+  for (auto _ : state) {
+    adsala::blas::sgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
+                        m, kn, kn, 1.0f, a.data(), kn, b.data(), kn, 0.0f,
+                        c.data(), kn, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * kn * kn * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_DgemmSquare(benchmark::State& state) {
+  const auto dim = static_cast<int>(state.range(0));
+  AlignedBuffer<double> a(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<double> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<double> c(static_cast<std::size_t>(dim) * dim);
+  fill_random(a, 5);
+  fill_random(b, 6);
+  for (auto _ : state) {
+    adsala::blas::dgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
+                        dim, dim, dim, 1.0, a.data(), dim, b.data(), dim, 0.0,
+                        c.data(), dim, 0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * dim * dim * dim * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SgemmSquare)
+    ->ArgsProduct({{128, 512, 1024}, {1, 4, 0 /* all */}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SgemmSkinny)
+    ->ArgsProduct({{512, 2048}, {1, 4, 0}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DgemmSquare)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Extra (not in paper): end-to-end validation on the *real* host CPU using
+// the from-scratch blocked GEMM instead of the simulator. Runs a small
+// installation campaign, then reports the achieved speedup of ML-selected
+// thread counts vs always-max-threads on fresh shapes. This demonstrates the
+// whole ADSALA pipeline against physical hardware.
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+using namespace adsala;
+
+int main() {
+  bench::print_header(
+      "Native host | ADSALA on the real CPU with the built-in BLAS");
+
+  core::NativeExecutor executor;
+  std::printf("host threads available: %d\n", executor.max_threads());
+
+  core::GatherConfig gcfg;
+  gcfg.n_samples = bench::env_size("ADSALA_BENCH_NATIVE_SAMPLES", 60);
+  gcfg.iterations = 3;
+  gcfg.domain.memory_cap_bytes = 24ull * 1024 * 1024;  // keep it laptop-fast
+  gcfg.domain.dim_max = 1600;
+  gcfg.domain.seed = 31;
+
+  std::fprintf(stderr, "[bench] timing %zu shapes on the host...\n",
+               gcfg.n_samples);
+  const auto gathered = core::gather_timings(executor, gcfg);
+
+  core::TrainOptions topts;
+  topts.candidates = {"linear_regression", "decision_tree", "xgboost",
+                      "lightgbm"};
+  topts.tune = false;  // keep the native bench quick
+  auto trained = core::train_and_select(gathered, topts);
+  std::printf("selected model: %s\n", trained.selected.c_str());
+  core::AdsalaGemm runtime(std::move(trained));
+
+  // Fresh shapes, disjoint seed.
+  sampling::DomainConfig test_domain = gcfg.domain;
+  test_domain.seed = 77;
+  sampling::GemmDomainSampler sampler(test_domain);
+  const auto shapes = sampler.sample(30);
+
+  std::vector<double> speedups;
+  for (const auto& shape : shapes) {
+    WallTimer eval_timer;
+    const int p = runtime.select_threads(shape.m, shape.k, shape.n);
+    const double t_eval = eval_timer.seconds();
+    const double t_ml = executor.measure(shape, p, 3) + t_eval;
+    const double t_max = executor.measure(shape, executor.max_threads(), 3);
+    speedups.push_back(t_max / t_ml);
+  }
+  std::printf("\nspeedup over always-max-threads on %zu fresh shapes:\n",
+              speedups.size());
+  std::printf("  mean %.2f   median %.2f   p25 %.2f   p75 %.2f   min %.2f   "
+              "max %.2f\n",
+              mean(speedups), percentile(speedups, 50),
+              percentile(speedups, 25), percentile(speedups, 75),
+              min_of(speedups), max_of(speedups));
+  std::printf("\n[expectation] mean >= 1: thread selection should not lose "
+              "to the max-thread default on small/medium GEMMs\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Table III: model performance and estimated speedups on Setonix.
+#include "model_table_common.h"
+
+int main() {
+  adsala::bench::run_model_table("setonix", "Table III");
+  return 0;
+}

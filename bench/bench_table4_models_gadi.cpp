@@ -1,0 +1,7 @@
+// Table IV: model performance and estimated speedups on Gadi.
+#include "model_table_common.h"
+
+int main() {
+  adsala::bench::run_model_table("gadi", "Table IV");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Table V: ADSALA speedup statistics with hyper-threading enabled.
+#include "speedup_table_common.h"
+
+int main() {
+  adsala::bench::run_speedup_table(true, "Table V");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Table VI: ADSALA speedup statistics with hyper-threading disabled.
+#include "speedup_table_common.h"
+
+int main() {
+  adsala::bench::run_speedup_table(false, "Table VI");
+  return 0;
+}

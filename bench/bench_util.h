@@ -1,0 +1,140 @@
+// Shared helpers for the experiment-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// simulated Setonix / Gadi platforms. Training artefacts are cached under
+// ./bench_artifacts/<platform>/ so that the first bench needing a trained
+// model pays the installation cost and the rest just load it. Scale knobs:
+//   ADSALA_BENCH_SAMPLES  training shapes per platform   (default 500)
+//   ADSALA_BENCH_TEST     independent test shapes        (default 174, paper)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adsala.h"
+#include "core/install.h"
+
+namespace adsala::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+
+inline std::size_t train_samples() {
+  return env_size("ADSALA_BENCH_SAMPLES", 500);
+}
+inline std::size_t test_samples() { return env_size("ADSALA_BENCH_TEST", 174); }
+
+inline simarch::CpuTopology topology_for(const std::string& platform) {
+  if (platform == "setonix") return simarch::setonix_topology();
+  if (platform == "gadi") return simarch::gadi_topology();
+  return simarch::tiny_topology();
+}
+
+inline core::SimulatedExecutor make_executor(const std::string& platform,
+                                             bool smt = true) {
+  simarch::ExecPolicy policy;
+  policy.allow_smt = smt;
+  return core::SimulatedExecutor(
+      simarch::MachineModel(topology_for(platform), 42), policy);
+}
+
+/// 500 MB SGEMM domain (paper training domain); seed differs from the
+/// independent test-set seed below.
+inline sampling::DomainConfig train_domain() {
+  sampling::DomainConfig d;
+  d.memory_cap_bytes = 500ull * 1024 * 1024;
+  d.dim_max = 74000;
+  d.seed = 1234;
+  return d;
+}
+
+/// Independent low-discrepancy test set (paper SS VI-C: 174 fresh samples).
+inline std::vector<simarch::GemmShape> independent_test_shapes(
+    std::size_t count, std::size_t cap_mb = 500) {
+  sampling::DomainConfig d = train_domain();
+  d.memory_cap_bytes = cap_mb * 1024ull * 1024;
+  d.seed = 98765;  // disjoint scrambling from the training campaign
+  sampling::GemmDomainSampler sampler(d);
+  return sampler.sample(count);
+}
+
+inline core::GatherConfig bench_gather_config() {
+  core::GatherConfig cfg;
+  cfg.n_samples = train_samples();
+  cfg.iterations = 10;
+  cfg.domain = train_domain();
+  return cfg;
+}
+
+/// Loads the cached trained runtime for a platform, installing (gather +
+/// tune + select) on first use. smt=false trains a separate artefact set.
+inline core::AdsalaGemm trained_runtime(const std::string& platform,
+                                        bool smt = true) {
+  const std::string dir = "bench_artifacts/" + platform + (smt ? "" : "-noht");
+  const std::string model_path = dir + "/model.json";
+  const std::string config_path = dir + "/config.json";
+  if (std::filesystem::exists(model_path) &&
+      std::filesystem::exists(config_path)) {
+    return core::AdsalaGemm(model_path, config_path);
+  }
+  std::filesystem::create_directories(dir);
+  std::fprintf(stderr,
+               "[bench] no cached model for %s%s: running installation "
+               "(%zu shapes)...\n",
+               platform.c_str(), smt ? "" : " (no HT)", train_samples());
+  auto executor = make_executor(platform, smt);
+  core::InstallOptions opts;
+  opts.gather = bench_gather_config();
+  opts.output_dir = dir;
+  const auto report = core::install(executor, opts);
+  std::fprintf(stderr,
+               "[bench] installed %s: selected=%s gather=%.1fs train=%.1fs\n",
+               platform.c_str(), report.trained.selected.c_str(),
+               report.gather_seconds, report.train_seconds);
+  return core::AdsalaGemm(model_path, config_path);
+}
+
+/// The paper's speedup reference: "the runtime with the number of threads
+/// set equal to the number of cores" (SS VI-C) — physical cores, not the SMT
+/// thread maximum.
+inline int baseline_threads(const core::SimulatedExecutor& executor) {
+  return executor.model().topology().total_cores();
+}
+
+// ------------------------------------------------------------ formatting --
+
+inline void print_rule(std::size_t width = 78) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// ASCII histogram: one line per bin with a proportional bar.
+inline void print_histogram(const std::vector<std::size_t>& counts, double lo,
+                            double hi, const std::string& axis_label) {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts) max_count = std::max(max_count, c);
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  std::printf("%18s | count\n", axis_label.c_str());
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const int bar =
+        static_cast<int>(50.0 * static_cast<double>(counts[b]) /
+                         static_cast<double>(max_count));
+    std::printf("%8.0f -%8.0f | %5zu %.*s\n", lo + b * width,
+                lo + (b + 1) * width, counts[b], bar,
+                "##################################################");
+  }
+}
+
+}  // namespace adsala::bench

@@ -1,0 +1,217 @@
+#include "blas/gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "blas/microkernel.h"
+#include "blas/pack.h"
+#include "common/aligned_buffer.h"
+#include "common/barrier.h"
+#include "common/thread_pool.h"
+
+namespace adsala::blas {
+
+namespace {
+
+void validate(Trans trans_a, Trans trans_b, int m, int n, int k, int lda,
+              int ldb, int ldc) {
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("gemm: negative dimension");
+  }
+  const int a_cols = trans_a == Trans::kNo ? k : m;
+  const int b_cols = trans_b == Trans::kNo ? n : k;
+  if (lda < std::max(1, a_cols) || ldb < std::max(1, b_cols) ||
+      ldc < std::max(1, n)) {
+    throw std::invalid_argument("gemm: leading dimension too small");
+  }
+}
+
+template <typename T>
+void scale_rows(T* c, int ldc, int row_begin, int row_end, int n, T beta) {
+  if (beta == T(1)) return;
+  for (int i = row_begin; i < row_end; ++i) {
+    T* row = c + i * static_cast<long>(ldc);
+    if (beta == T(0)) {
+      std::fill(row, row + n, T(0));
+    } else {
+      for (int j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+/// Inner macro-kernel: multiplies one packed A block (mc x kc) by the packed
+/// B block (kc x nc_eff) into C.
+template <typename T>
+void macro_kernel(int mc, int nc_eff, int kc, T alpha, const T* a_pack,
+                  const T* b_pack, T* c, int ldc) {
+  for (int jr = 0; jr < nc_eff; jr += kNr) {
+    const int cols = std::min(kNr, nc_eff - jr);
+    const T* b_panel = b_pack + static_cast<long>(jr / kNr) * kc * kNr;
+    for (int ir = 0; ir < mc; ir += kMr) {
+      const int rows = std::min(kMr, mc - ir);
+      const T* a_panel = a_pack + static_cast<long>(ir / kMr) * kc * kMr;
+      T* c_tile = c + static_cast<long>(ir) * ldc + jr;
+      if (rows == kMr && cols == kNr) {
+        detail::microkernel_full<T, kMr, kNr>(kc, alpha, a_panel, b_panel,
+                                              c_tile, ldc);
+      } else {
+        detail::microkernel_edge<T, kMr, kNr>(kc, alpha, a_panel, b_panel,
+                                              c_tile, ldc, rows, cols);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc,
+          int nthreads, const GemmTuning& tuning) {
+  validate(trans_a, trans_b, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+
+  // Degenerate products reduce to the beta pass.
+  if (k == 0 || alpha == T(0)) {
+    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+      const int chunk = static_cast<int>((m + nt - 1) / nt);
+      const int lo = static_cast<int>(tid) * chunk;
+      const int hi = std::min(m, lo + chunk);
+      scale_rows(c, ldc, lo, hi, n, beta);
+    });
+    return;
+  }
+
+  const int mc = std::max(kMr, tuning.mc - tuning.mc % kMr);
+  const int kc = std::max(1, tuning.kc);
+  const int nc = std::max(kNr, tuning.nc - tuning.nc % kNr);
+
+  // Static row partition: contiguous runs of MR-row micro-panels per thread.
+  const int row_panels = (m + kMr - 1) / kMr;
+  const int panels_per_thread =
+      (row_panels + static_cast<int>(p) - 1) / static_cast<int>(p);
+
+  // Shared packed-B block; every thread reads it, so it is packed
+  // cooperatively and guarded by barriers (this shared copy + barrier is the
+  // data-copy / sync cost the paper's Table VII profiles).
+  const int nc_panels_max = (std::min(nc, n) + kNr - 1) / kNr;
+  AlignedBuffer<T> b_pack(static_cast<std::size_t>(nc_panels_max) * kc * kNr);
+  const int a_pack_elems = ((mc + kMr - 1) / kMr) * kMr * kc;
+  std::vector<AlignedBuffer<T>> a_packs;
+  a_packs.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    a_packs.emplace_back(static_cast<std::size_t>(a_pack_elems));
+  }
+
+  SpinBarrier barrier(p);
+
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    const int t = static_cast<int>(tid);
+    const int row_lo = std::min(m, t * panels_per_thread * kMr);
+    const int row_hi = std::min(m, (t + 1) * panels_per_thread * kMr);
+
+    scale_rows(c, ldc, row_lo, row_hi, n, beta);
+    if (nt > 1) barrier.arrive_and_wait();
+
+    T* a_pack = a_packs[tid].data();
+
+    for (int jc = 0; jc < n; jc += nc) {
+      const int nc_eff = std::min(nc, n - jc);
+      const int nc_panels = (nc_eff + kNr - 1) / kNr;
+      for (int pc = 0; pc < k; pc += kc) {
+        const int kc_eff = std::min(kc, k - pc);
+
+        // Cooperative B packing: NR-column panels split across threads.
+        const int panels_chunk =
+            (nc_panels + static_cast<int>(nt) - 1) / static_cast<int>(nt);
+        const int bp_lo = std::min(nc_panels, t * panels_chunk);
+        const int bp_hi = std::min(nc_panels, bp_lo + panels_chunk);
+        for (int q = bp_lo; q < bp_hi; ++q) {
+          const int j0 = jc + q * kNr;
+          const int cols = std::min(kNr, n - j0);
+          T* dst = b_pack.data() + static_cast<long>(q) * kc_eff * kNr;
+          if (trans_b == Trans::kNo) {
+            detail::pack_b<T, kNr>(b + static_cast<long>(pc) * ldb + j0, ldb,
+                                   kc_eff, cols, dst);
+          } else {
+            detail::pack_b_trans<T, kNr>(
+                b + static_cast<long>(j0) * ldb + pc, ldb, kc_eff, cols, dst);
+          }
+        }
+        if (nt > 1) barrier.arrive_and_wait();
+
+        for (int ic = row_lo; ic < row_hi; ic += mc) {
+          const int mc_eff = std::min(mc, row_hi - ic);
+          if (trans_a == Trans::kNo) {
+            detail::pack_a<T, kMr>(a + static_cast<long>(ic) * lda + pc, lda,
+                                   mc_eff, kc_eff, a_pack);
+          } else {
+            detail::pack_a_trans<T, kMr>(
+                a + static_cast<long>(pc) * lda + ic, lda, mc_eff, kc_eff,
+                a_pack);
+          }
+          macro_kernel<T>(mc_eff, nc_eff, kc_eff, alpha, a_pack,
+                          b_pack.data(), c + static_cast<long>(ic) * ldc + jc,
+                          ldc);
+        }
+        // B block is re-packed next iteration; writers must not race readers.
+        if (nt > 1) barrier.arrive_and_wait();
+      }
+    }
+  });
+}
+
+void sgemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc, int nthreads) {
+  gemm<float>(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+              nthreads);
+}
+
+void dgemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc, int nthreads) {
+  gemm<double>(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+               nthreads);
+}
+
+template <typename T>
+void reference_gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
+                    const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                    int ldc) {
+  validate(trans_a, trans_b, m, n, k, lda, ldb, ldc);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      T acc = T(0);
+      for (int p = 0; p < k; ++p) {
+        const T av = trans_a == Trans::kNo ? a[i * static_cast<long>(lda) + p]
+                                           : a[p * static_cast<long>(lda) + i];
+        const T bv = trans_b == Trans::kNo ? b[p * static_cast<long>(ldb) + j]
+                                           : b[j * static_cast<long>(ldb) + p];
+        acc += av * bv;
+      }
+      T& out = c[i * static_cast<long>(ldc) + j];
+      out = alpha * acc + (beta == T(0) ? T(0) : beta * out);
+    }
+  }
+}
+
+template void gemm<float>(Trans, Trans, int, int, int, float, const float*,
+                          int, const float*, int, float, float*, int, int,
+                          const GemmTuning&);
+template void gemm<double>(Trans, Trans, int, int, int, double, const double*,
+                           int, const double*, int, double, double*, int, int,
+                           const GemmTuning&);
+template void reference_gemm<float>(Trans, Trans, int, int, int, float,
+                                    const float*, int, const float*, int,
+                                    float, float*, int);
+template void reference_gemm<double>(Trans, Trans, int, int, int, double,
+                                     const double*, int, const double*, int,
+                                     double, double*, int);
+
+}  // namespace adsala::blas

@@ -1,0 +1,75 @@
+// Operand packing for the blocked GEMM.
+//
+// Packing copies a cache-block of A (mc x kc) or B (kc x nc) into contiguous
+// micro-panels so the micro-kernel streams with unit stride. Short panels are
+// zero-padded to the full MR/NR width, which lets the micro-kernel stay
+// branch-free; the write-back path masks the padding out. The transpose
+// variants fold op(A)/op(B) into the copy so the kernel never sees a stride.
+#pragma once
+
+namespace adsala::blas::detail {
+
+/// Packs rows [0,mc) x cols [0,kc) of `a` (row stride lda) into MR-row
+/// micro-panels: panel p holds rows [p*MR, p*MR+MR), stored column-by-column
+/// (kc columns of MR contiguous elements). Rows beyond mc are zero-padded.
+template <typename T, int MR>
+void pack_a(const T* a, int lda, int mc, int kc, T* dst) {
+  for (int i0 = 0; i0 < mc; i0 += MR) {
+    const int rows = (mc - i0) < MR ? (mc - i0) : MR;
+    for (int p = 0; p < kc; ++p) {
+      int i = 0;
+      for (; i < rows; ++i) dst[i] = a[(i0 + i) * static_cast<long>(lda) + p];
+      for (; i < MR; ++i) dst[i] = T(0);
+      dst += MR;
+    }
+  }
+}
+
+/// Same as pack_a but reading A transposed: logical element (i, p) comes
+/// from a[p * lda + i].
+template <typename T, int MR>
+void pack_a_trans(const T* a, int lda, int mc, int kc, T* dst) {
+  for (int i0 = 0; i0 < mc; i0 += MR) {
+    const int rows = (mc - i0) < MR ? (mc - i0) : MR;
+    for (int p = 0; p < kc; ++p) {
+      int i = 0;
+      for (; i < rows; ++i) dst[i] = a[p * static_cast<long>(lda) + (i0 + i)];
+      for (; i < MR; ++i) dst[i] = T(0);
+      dst += MR;
+    }
+  }
+}
+
+/// Packs rows [0,kc) x cols [0,nc) of `b` (row stride ldb) into NR-column
+/// micro-panels: panel q holds columns [q*NR, q*NR+NR), stored row-by-row
+/// (kc rows of NR contiguous elements). Columns beyond nc are zero-padded.
+template <typename T, int NR>
+void pack_b(const T* b, int ldb, int kc, int nc, T* dst) {
+  for (int j0 = 0; j0 < nc; j0 += NR) {
+    const int cols = (nc - j0) < NR ? (nc - j0) : NR;
+    for (int p = 0; p < kc; ++p) {
+      const T* src = b + p * static_cast<long>(ldb) + j0;
+      int j = 0;
+      for (; j < cols; ++j) dst[j] = src[j];
+      for (; j < NR; ++j) dst[j] = T(0);
+      dst += NR;
+    }
+  }
+}
+
+/// Same as pack_b but reading B transposed: logical element (p, j) comes
+/// from b[j * ldb + p].
+template <typename T, int NR>
+void pack_b_trans(const T* b, int ldb, int kc, int nc, T* dst) {
+  for (int j0 = 0; j0 < nc; j0 += NR) {
+    const int cols = (nc - j0) < NR ? (nc - j0) : NR;
+    for (int p = 0; p < kc; ++p) {
+      int j = 0;
+      for (; j < cols; ++j) dst[j] = b[(j0 + j) * static_cast<long>(ldb) + p];
+      for (; j < NR; ++j) dst[j] = T(0);
+      dst += NR;
+    }
+  }
+}
+
+}  // namespace adsala::blas::detail

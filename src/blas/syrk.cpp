@@ -1,0 +1,145 @@
+#include "blas/syrk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace adsala::blas {
+
+namespace {
+
+/// Logical element of op(A): row i, depth p.
+template <typename T>
+inline T op_a(const T* a, long lda, Trans trans, int i, int p) {
+  return trans == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
+}
+
+/// Computes rows [row_lo, row_hi) of the requested triangle of C.
+/// The inner j loop runs over the triangle columns for that row; the k loop
+/// is blocked for locality and vectorises.
+template <typename T>
+void syrk_rows(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a,
+               int lda, T beta, T* c, int ldc, int row_lo, int row_hi) {
+  constexpr int kBlock = 256;
+  for (int i = row_lo; i < row_hi; ++i) {
+    const int j_lo = uplo == Uplo::kLower ? 0 : i;
+    const int j_hi = uplo == Uplo::kLower ? i + 1 : n;
+    T* crow = c + static_cast<long>(i) * ldc;
+    for (int j = j_lo; j < j_hi; ++j) {
+      crow[j] = beta == T(0) ? T(0) : beta * crow[j];
+    }
+    for (int p0 = 0; p0 < k; p0 += kBlock) {
+      const int p1 = std::min(k, p0 + kBlock);
+      for (int j = j_lo; j < j_hi; ++j) {
+        T acc = T(0);
+        if (trans == Trans::kNo) {
+          const T* ai = a + static_cast<long>(i) * lda;
+          const T* aj = a + static_cast<long>(j) * lda;
+          for (int p = p0; p < p1; ++p) acc += ai[p] * aj[p];
+        } else {
+          for (int p = p0; p < p1; ++p) {
+            acc += op_a(a, lda, trans, i, p) * op_a(a, lda, trans, j, p);
+          }
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+/// Balanced row partition of a triangle: thread t's range carries ~1/p of
+/// the triangle's area, not of the rows (row i of a lower triangle costs
+/// i+1 column updates).
+int triangle_split(Uplo uplo, int n, std::size_t t, std::size_t p) {
+  const double frac = static_cast<double>(t) / static_cast<double>(p);
+  if (uplo == Uplo::kLower) {
+    // rows [0, r) hold fraction (r/n)^2 of the area.
+    return static_cast<int>(std::floor(n * std::sqrt(frac)));
+  }
+  // upper triangle: rows [0, r) hold 1 - ((n-r)/n)^2 of the area.
+  return static_cast<int>(std::floor(n * (1.0 - std::sqrt(1.0 - frac))));
+}
+
+}  // namespace
+
+template <typename T>
+void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
+          T beta, T* c, int ldc, int nthreads) {
+  if (n < 0 || k < 0) throw std::invalid_argument("syrk: negative dimension");
+  const int a_cols = trans == Trans::kNo ? k : n;
+  if (lda < std::max(1, a_cols) || ldc < std::max(1, n)) {
+    throw std::invalid_argument("syrk: leading dimension too small");
+  }
+  if (n == 0) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+
+  if (k == 0 || alpha == T(0)) {
+    // Pure beta pass over the triangle.
+    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+      const int lo = triangle_split(uplo, n, tid, nt);
+      const int hi = triangle_split(uplo, n, tid + 1, nt);
+      for (int i = lo; i < hi; ++i) {
+        const int j_lo = uplo == Uplo::kLower ? 0 : i;
+        const int j_hi = uplo == Uplo::kLower ? i + 1 : n;
+        T* crow = c + static_cast<long>(i) * ldc;
+        for (int j = j_lo; j < j_hi; ++j) {
+          crow[j] = beta == T(0) ? T(0) : beta * crow[j];
+        }
+      }
+    });
+    return;
+  }
+
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    const int lo = triangle_split(uplo, n, tid, nt);
+    const int hi = triangle_split(uplo, n, tid + 1, nt);
+    syrk_rows(uplo, trans, n, k, alpha, a, lda, beta, c, ldc, lo, hi);
+  });
+}
+
+void ssyrk(Uplo uplo, Trans trans, int n, int k, float alpha, const float* a,
+           int lda, float beta, float* c, int ldc, int nthreads) {
+  syrk<float>(uplo, trans, n, k, alpha, a, lda, beta, c, ldc, nthreads);
+}
+
+void dsyrk(Uplo uplo, Trans trans, int n, int k, double alpha,
+           const double* a, int lda, double beta, double* c, int ldc,
+           int nthreads) {
+  syrk<double>(uplo, trans, n, k, alpha, a, lda, beta, c, ldc, nthreads);
+}
+
+template <typename T>
+void reference_syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a,
+                    int lda, T beta, T* c, int ldc) {
+  for (int i = 0; i < n; ++i) {
+    const int j_lo = uplo == Uplo::kLower ? 0 : i;
+    const int j_hi = uplo == Uplo::kLower ? i + 1 : n;
+    for (int j = j_lo; j < j_hi; ++j) {
+      T acc = T(0);
+      for (int p = 0; p < k; ++p) {
+        acc += op_a(a, lda, trans, i, p) * op_a(a, lda, trans, j, p);
+      }
+      T& out = c[static_cast<long>(i) * ldc + j];
+      out = alpha * acc + (beta == T(0) ? T(0) : beta * out);
+    }
+  }
+}
+
+template void syrk<float>(Uplo, Trans, int, int, float, const float*, int,
+                          float, float*, int, int);
+template void syrk<double>(Uplo, Trans, int, int, double, const double*, int,
+                           double, double*, int, int);
+template void reference_syrk<float>(Uplo, Trans, int, int, float,
+                                    const float*, int, float, float*, int);
+template void reference_syrk<double>(Uplo, Trans, int, int, double,
+                                     const double*, int, double, double*,
+                                     int);
+
+}  // namespace adsala::blas

@@ -1,0 +1,37 @@
+// Symmetric rank-k update — the paper's "extend to other BLAS operations"
+// future work, implemented as a second level-3 routine behind the same
+// thread-count selection machinery.
+//
+//   C <- alpha * A * A^T + beta * C        (trans == kNo,  A is n x k)
+//   C <- alpha * A^T * A + beta * C        (trans == kYes, A is k x n)
+//
+// Row-major; only the `uplo` triangle of C (including the diagonal) is
+// referenced and updated. Threading partitions the row blocks of the
+// triangle with a balanced assignment (lower rows carry more work).
+#pragma once
+
+#include "blas/gemm.h"
+
+namespace adsala::blas {
+
+enum class Uplo { kLower, kUpper };
+
+template <typename T>
+void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
+          T beta, T* c, int ldc, int nthreads = 0);
+
+void ssyrk(Uplo uplo, Trans trans, int n, int k, float alpha, const float* a,
+           int lda, float beta, float* c, int ldc, int nthreads = 0);
+void dsyrk(Uplo uplo, Trans trans, int n, int k, double alpha,
+           const double* a, int lda, double beta, double* c, int ldc,
+           int nthreads = 0);
+
+/// Naive reference used as the correctness oracle in tests.
+template <typename T>
+void reference_syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a,
+                    int lda, T beta, T* c, int ldc);
+
+/// FLOP count: n*(n+1)*k multiply-adds over the triangle.
+inline double syrk_flops(double n, double k) { return n * (n + 1.0) * k; }
+
+}  // namespace adsala::blas

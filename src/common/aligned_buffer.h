@@ -1,0 +1,116 @@
+// Aligned memory buffer and simple dense matrix container.
+//
+// GEMM kernels require 64-byte alignment for full-width vector loads and to
+// avoid cache-line splits (the paper aligns operands with memalign to 64 B,
+// §V-B.3). AlignedBuffer is the RAII owner used by all matrix storage here.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace adsala {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// RAII owner of a 64-byte-aligned array of T. Non-copyable, movable.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { reset(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void reset() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Row-major dense matrix backed by an AlignedBuffer.
+///
+/// The leading dimension equals the column count; BLAS-style sub-matrix views
+/// are expressed with raw pointer + ld in the kernel layer instead.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), buf_(rows * cols) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+
+  T* data() noexcept { return buf_.data(); }
+  const T* data() const noexcept { return buf_.data(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    return buf_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return buf_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) noexcept {
+    return {buf_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const noexcept {
+    return {buf_.data() + r * cols_, cols_};
+  }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size(); ++i) buf_[i] = value;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+}  // namespace adsala

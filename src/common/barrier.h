@@ -1,0 +1,38 @@
+// Sense-reversing spin barrier for short, latency-critical joins inside GEMM
+// parallel regions (a std::condition_variable would dominate small-matrix
+// runtimes; the paper's Table VII shows thread sync as a first-class cost).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace adsala {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants)
+      : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const std::size_t gen = generation_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        // busy-wait; regions are short enough that yielding costs more
+      }
+    }
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> generation_{0};
+};
+
+}  // namespace adsala

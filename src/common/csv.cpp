@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adsala {
+
+std::size_t CsvTable::col_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = col_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row.at(idx));
+  return out;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out.precision(17);
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) return table;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      row.push_back(std::stod(cell));
+    }
+    if (row.size() != table.header.size()) {
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace adsala

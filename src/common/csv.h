@@ -1,0 +1,23 @@
+// Minimal CSV reader/writer for dataset persistence.
+//
+// The installation workflow stores gathered timings as CSV (one row per
+// (m, k, n, n_threads) sample); numbers only, no quoting needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adsala {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t col_index(const std::string& name) const;  ///< throws if absent
+  std::vector<double> column(const std::string& name) const;
+};
+
+void write_csv(const std::string& path, const CsvTable& table);
+CsvTable read_csv(const std::string& path);  ///< throws on malformed input
+
+}  // namespace adsala

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (timing noise, bagging, train/test splits) draw
+// from this xoshiro256** generator so experiments are reproducible from a
+// single seed. std::mt19937_64 is avoided on hot paths: xoshiro is ~3x faster
+// and has a trivially copyable 32-byte state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adsala {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation
+/// re-expressed); passes BigCrush, period 2^256-1.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // modulo bias for n << 2^64 is negligible for simulation purposes, but we
+    // still use the widening multiply to avoid the expensive %.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * __builtin_sin(theta);
+    have_cached_ = true;
+    return r * __builtin_cos(theta);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal multiplicative noise factor with the given sigma (of log).
+  double lognormal_factor(double sigma) {
+    return __builtin_exp(sigma * normal());
+  }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles accept Rng.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace adsala

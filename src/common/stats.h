@@ -1,0 +1,30 @@
+// Descriptive statistics helpers shared by benchmarks and the ML library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adsala {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< population variance
+double stddev(std::span<const double> xs);    ///< population stddev
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Sample skewness (Fisher-Pearson, biased). 0 for n < 2 or zero variance.
+double skewness(std::span<const double> xs);
+
+}  // namespace adsala

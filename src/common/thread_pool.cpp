@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace adsala {
+
+namespace {
+// Set while a thread is executing inside a parallel region; nested region
+// requests from pool workers (e.g. a model's parallel fit inside a parallel
+// grid search) degrade to serial execution instead of deadlocking.
+thread_local bool t_in_region = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Worker i participates as tid i+1 (the caller is tid 0).
+  const std::size_t tid = worker_index + 1;
+  std::size_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    std::size_t nthreads = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      if (tid >= job_threads_) {
+        // Not a participant this region; it is already accounted for in
+        // remaining_, so just skip.
+        continue;
+      }
+      job = job_;
+      nthreads = job_threads_;
+    }
+    t_in_region = true;
+    (*job)(tid, nthreads);
+    t_in_region = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_region(
+    std::size_t nthreads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  nthreads = std::clamp<std::size_t>(nthreads, 1, max_threads());
+  if (nthreads == 1 || t_in_region) {
+    fn(0, 1);
+    return;
+  }
+  t_in_region = true;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    job_threads_ = nthreads;
+    remaining_ = nthreads - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0, nthreads);
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+  t_in_region = false;
+}
+
+void ThreadPool::parallel_for(std::size_t nthreads, std::size_t begin,
+                              std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  nthreads = std::clamp<std::size_t>(nthreads, 1, max_threads());
+  nthreads = std::min(nthreads, count);
+  parallel_region(nthreads, [&](std::size_t tid, std::size_t p) {
+    const std::size_t chunk = (count + p - 1) / p;
+    const std::size_t lo = begin + tid * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) -
+                         1);
+  return pool;
+}
+
+}  // namespace adsala

@@ -1,0 +1,59 @@
+// Persistent worker pool with OpenMP-like fork/join regions.
+//
+// Multi-threaded BLAS libraries keep a warm thread pool and activate a subset
+// of workers per call; ADSALA's thread-count selection relies on being able
+// to run each GEMM on an exact number of threads without re-spawning (the
+// paper separates per-thread-count runs to avoid respawn noise, §III-B). This
+// pool mirrors that: workers are created once, and parallel_region(p, fn)
+// runs fn(tid, p) on p participants (caller = tid 0) with a join barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adsala {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` background threads (typically hardware_concurrency-1;
+  /// the caller participates as thread 0, so max parallelism = workers + 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum usable parallelism (background workers + the calling thread).
+  std::size_t max_threads() const { return threads_.size() + 1; }
+
+  /// Runs fn(tid, nthreads) on `nthreads` participants and joins. nthreads is
+  /// clamped to [1, max_threads()]. Not reentrant; one region at a time.
+  void parallel_region(std::size_t nthreads,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Statically-chunked parallel loop over [begin, end) on nthreads threads.
+  void parallel_for(std::size_t nthreads, std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to hardware concurrency; lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_threads_ = 0;   // participants in the current region
+  std::size_t generation_ = 0;    // bumped per region so workers see new jobs
+  std::size_t remaining_ = 0;     // workers yet to finish the current region
+  bool stop_ = false;
+};
+
+}  // namespace adsala

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer used for all native timing measurements.
+#pragma once
+
+#include <chrono>
+
+namespace adsala {
+
+/// Steady-clock stopwatch. Construction starts it; seconds()/micros() read
+/// elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adsala

@@ -1,0 +1,84 @@
+#include "core/adsala.h"
+
+#include "common/json.h"
+
+namespace adsala::core {
+
+AdsalaGemm::AdsalaGemm(TrainOutput trained)
+    : model_(std::move(trained.model)),
+      pipeline_(std::move(trained.pipeline)),
+      thread_grid_(std::move(trained.thread_grid)),
+      max_threads_(trained.max_threads),
+      platform_(std::move(trained.platform)),
+      model_name_(std::move(trained.selected)) {}
+
+AdsalaGemm::AdsalaGemm(const std::string& model_path,
+                       const std::string& config_path) {
+  const Json model_blob = read_json_file(model_path);
+  model_ = ml::load_model(model_blob);
+  model_name_ = model_blob.at("model").as_string();
+
+  const Json config = read_json_file(config_path);
+  pipeline_.load(config.at("pipeline"));
+  platform_ = config.at("platform").as_string();
+  max_threads_ = config.at("max_threads").as_int();
+  thread_grid_.clear();
+  for (const auto& v : config.at("thread_grid").as_array()) {
+    thread_grid_.push_back(v.as_int());
+  }
+}
+
+void AdsalaGemm::save(const std::string& model_path,
+                      const std::string& config_path) const {
+  write_json_file(model_path, model_->save());
+  Json config;
+  config["platform"] = Json(platform_);
+  config["max_threads"] = Json(max_threads_);
+  JsonArray grid;
+  for (int p : thread_grid_) grid.emplace_back(p);
+  config["thread_grid"] = Json(std::move(grid));
+  config["pipeline"] = pipeline_.save();
+  config["model_name"] = Json(model_name_);
+  write_json_file(config_path, config);
+}
+
+int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
+  if (m == last_m_ && k == last_k_ && n == last_n_ &&
+      elem_bytes == last_elem_) {
+    return last_threads_;  // repeated-shape fast path
+  }
+  simarch::GemmShape shape{m, k, n, elem_bytes};
+  const std::size_t best =
+      predict_best_grid_index(*model_, pipeline_, shape, thread_grid_);
+  last_m_ = m;
+  last_k_ = k;
+  last_n_ = n;
+  last_elem_ = elem_bytes;
+  last_threads_ = thread_grid_[best];
+  return last_threads_;
+}
+
+void AdsalaGemm::sgemm(int m, int n, int k, float alpha, const float* a,
+                       int lda, const float* b, int ldb, float beta, float* c,
+                       int ldc) {
+  const int p = select_threads(m, k, n, 4);
+  blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
+              ldb, beta, c, ldc, p);
+}
+
+void AdsalaGemm::dgemm(int m, int n, int k, double alpha, const double* a,
+                       int lda, const double* b, int ldb, double beta,
+                       double* c, int ldc) {
+  const int p = select_threads(m, k, n, 8);
+  blas::dgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
+              ldb, beta, c, ldc, p);
+}
+
+void AdsalaGemm::ssyrk(blas::Uplo uplo, int n, int k, float alpha,
+                       const float* a, int lda, float beta, float* c,
+                       int ldc) {
+  const int p = select_threads(n, k, n, 4);
+  blas::ssyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+}
+
+}  // namespace adsala::core

@@ -1,0 +1,75 @@
+// ADSALA runtime library (paper Fig. 3).
+//
+// AdsalaGemm wraps the installation-produced artefacts — trained model +
+// preprocessing/config — in a C++ class. At each GEMM call it evaluates the
+// model for every candidate thread count, picks the argmin, and runs the
+// GEMM with that many threads. The last (m, k, n) -> threads decision is
+// memoised, so loops over a fixed GEMM shape pay the model cost once
+// (SS III-C: "the software will read and apply the predictions from the
+// responsible class attributes without re-evaluation").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blas/gemm.h"
+#include "blas/syrk.h"
+#include "core/trainer.h"
+
+namespace adsala::core {
+
+class AdsalaGemm {
+ public:
+  /// Builds directly from a finished training run.
+  explicit AdsalaGemm(TrainOutput trained);
+
+  /// Loads the two installation artefacts (paper Fig. 2 outputs).
+  AdsalaGemm(const std::string& model_path, const std::string& config_path);
+
+  AdsalaGemm(AdsalaGemm&&) = default;
+  AdsalaGemm& operator=(AdsalaGemm&&) = default;
+
+  /// Predicted-optimal thread count for a shape (memoises the last query).
+  int select_threads(long m, long k, long n, int elem_bytes = 4);
+
+  /// Thread selection + the from-scratch BLAS, i.e. the paper's drop-in
+  /// sgemm replacement for native runs. Row-major, C = alpha*A*B + beta*C.
+  void sgemm(int m, int n, int k, float alpha, const float* a, int lda,
+             const float* b, int ldb, float beta, float* c, int ldc);
+  void dgemm(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double beta, double* c, int ldc);
+
+  /// Thread-selected symmetric rank-k update (paper future work: "extend
+  /// ... to other BLAS operations"). The model trained on GEMM timings is
+  /// queried with the equivalent-work shape (n, k, n); SYRK does half the
+  /// FLOPs of that GEMM with the same parallel structure, so the argmin
+  /// transfers.
+  void ssyrk(blas::Uplo uplo, int n, int k, float alpha, const float* a,
+             int lda, float beta, float* c, int ldc);
+
+  const std::string& platform() const { return platform_; }
+  int max_threads() const { return max_threads_; }
+  const std::vector<int>& thread_grid() const { return thread_grid_; }
+  const ml::Regressor& model() const { return *model_; }
+  const preprocess::Pipeline& pipeline() const { return pipeline_; }
+  const std::string& model_name() const { return model_name_; }
+
+  /// Saves the two artefacts (model file + config file).
+  void save(const std::string& model_path,
+            const std::string& config_path) const;
+
+ private:
+  std::unique_ptr<ml::Regressor> model_;
+  preprocess::Pipeline pipeline_;
+  std::vector<int> thread_grid_;
+  int max_threads_ = 0;
+  std::string platform_;
+  std::string model_name_;
+
+  // Memoised last decision (paper SS III-C).
+  long last_m_ = -1, last_k_ = -1, last_n_ = -1;
+  int last_elem_ = 0;
+  int last_threads_ = 0;
+};
+
+}  // namespace adsala::core

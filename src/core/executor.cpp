@@ -1,0 +1,74 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+#include "blas/gemm.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace adsala::core {
+
+NativeExecutor::NativeExecutor(int max_threads)
+    : max_threads_(max_threads > 0
+                       ? max_threads
+                       : static_cast<int>(ThreadPool::global().max_threads())) {}
+
+namespace {
+
+template <typename T>
+double measure_typed(const simarch::GemmShape& shape, int nthreads,
+                     int iterations) {
+  const auto m = static_cast<int>(shape.m);
+  const auto k = static_cast<int>(shape.k);
+  const auto n = static_cast<int>(shape.n);
+  AlignedBuffer<T> a(static_cast<std::size_t>(m) * k);
+  AlignedBuffer<T> b(static_cast<std::size_t>(k) * n);
+  AlignedBuffer<T> c(static_cast<std::size_t>(m) * n);
+  Rng rng(0x5eedu + static_cast<std::uint64_t>(m * 131 + k * 17 + n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = T(0);
+
+  // Warm-up: pulls operands into cache state comparable across runs and
+  // wakes the pool threads.
+  blas::gemm<T>(blas::Trans::kNo, blas::Trans::kNo, m, n, k, T(1), a.data(),
+                k, b.data(), n, T(0), c.data(), n, nthreads);
+
+  WallTimer timer;
+  for (int it = 0; it < iterations; ++it) {
+    blas::gemm<T>(blas::Trans::kNo, blas::Trans::kNo, m, n, k, T(1), a.data(),
+                  k, b.data(), n, T(0), c.data(), n, nthreads);
+  }
+  return timer.seconds() / std::max(iterations, 1);
+}
+
+}  // namespace
+
+double NativeExecutor::measure(const simarch::GemmShape& shape, int nthreads,
+                               int iterations) {
+  nthreads = std::clamp(nthreads, 1, max_threads_);
+  if (shape.elem_bytes == 8) {
+    return measure_typed<double>(shape, nthreads, iterations);
+  }
+  return measure_typed<float>(shape, nthreads, iterations);
+}
+
+std::vector<int> default_thread_grid(int max_threads) {
+  static constexpr int kLadder[] = {1,  2,  3,  4,   6,   8,   12,  16,
+                                    20, 24, 32, 40,  48,  64,  80,  96,
+                                    128, 160, 192, 224, 256};
+  std::vector<int> grid;
+  for (int p : kLadder) {
+    if (p < max_threads) grid.push_back(p);
+  }
+  grid.push_back(max_threads);
+  return grid;
+}
+
+}  // namespace adsala::core

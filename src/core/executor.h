@@ -1,0 +1,78 @@
+// GEMM execution backends for the installation-time timing harness.
+//
+// The whole ADSALA pipeline is written against this interface so the same
+// installation + runtime workflow runs on (a) the real host CPU with the
+// from-scratch BLAS substrate, or (b) the simulated Setonix/Gadi paper
+// platforms. measure() returns the mean wall time of `iterations` runs of
+// one GEMM at a fixed thread count — the paper's timing protocol (SS V-B.3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simarch/machine_model.h"
+
+namespace adsala::core {
+
+class GemmExecutor {
+ public:
+  virtual ~GemmExecutor() = default;
+
+  virtual std::string name() const = 0;
+  virtual int max_threads() const = 0;
+
+  /// Mean seconds per GEMM call over `iterations` timed runs.
+  virtual double measure(const simarch::GemmShape& shape, int nthreads,
+                         int iterations = 10) = 0;
+};
+
+/// Backend over the analytical machine model (paper-scale platforms).
+class SimulatedExecutor : public GemmExecutor {
+ public:
+  SimulatedExecutor(simarch::MachineModel model,
+                    simarch::ExecPolicy base_policy = {})
+      : model_(std::move(model)), base_policy_(base_policy) {}
+
+  std::string name() const override {
+    return model_.topology().name + (base_policy_.allow_smt ? "" : "-noht");
+  }
+  int max_threads() const override {
+    return model_.topology().max_threads(base_policy_.allow_smt);
+  }
+  double measure(const simarch::GemmShape& shape, int nthreads,
+                 int iterations = 10) override {
+    simarch::ExecPolicy policy = base_policy_;
+    policy.nthreads = nthreads;
+    return model_.measure_gemm(shape, policy, iterations);
+  }
+
+  const simarch::MachineModel& model() const { return model_; }
+  const simarch::ExecPolicy& base_policy() const { return base_policy_; }
+
+ private:
+  simarch::MachineModel model_;
+  simarch::ExecPolicy base_policy_;
+};
+
+/// Backend running the from-scratch blocked GEMM on the host CPU.
+/// Operands are 64-byte aligned and filled with pseudo-random values; one
+/// warm-up call precedes the timed iterations (paper SS V-B.3).
+class NativeExecutor : public GemmExecutor {
+ public:
+  explicit NativeExecutor(int max_threads = 0);
+
+  std::string name() const override { return "native"; }
+  int max_threads() const override { return max_threads_; }
+  double measure(const simarch::GemmShape& shape, int nthreads,
+                 int iterations = 10) override;
+
+ private:
+  int max_threads_;
+};
+
+/// Thread counts worth probing on a platform: dense at the bottom (where
+/// small-GEMM optima live), geometric above, always including max.
+std::vector<int> default_thread_grid(int max_threads);
+
+}  // namespace adsala::core

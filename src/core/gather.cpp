@@ -1,0 +1,126 @@
+#include "core/gather.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "ml/splits.h"
+#include "preprocess/features.h"
+
+namespace adsala::core {
+
+int GatherRecord::optimal_threads() const {
+  const auto it = std::min_element(runtime.begin(), runtime.end());
+  return threads[static_cast<std::size_t>(it - runtime.begin())];
+}
+
+double GatherRecord::optimal_runtime() const {
+  return *std::min_element(runtime.begin(), runtime.end());
+}
+
+double GatherRecord::max_thread_runtime() const { return runtime.back(); }
+
+ml::Dataset GatherData::to_dataset() const {
+  ml::Dataset data(preprocess::feature_names());
+  for (const auto& rec : records) {
+    for (std::size_t t = 0; t < rec.threads.size(); ++t) {
+      const auto feats = preprocess::make_features(
+          static_cast<double>(rec.shape.m), static_cast<double>(rec.shape.k),
+          static_cast<double>(rec.shape.n),
+          static_cast<double>(rec.threads[t]));
+      data.add_row(feats, rec.runtime[t]);
+    }
+  }
+  return data;
+}
+
+void GatherData::split(double test_fraction, std::uint64_t seed,
+                       GatherData* train, GatherData* test) const {
+  std::vector<double> strata_key;
+  strata_key.reserve(records.size());
+  for (const auto& rec : records) {
+    strata_key.push_back(std::log(std::max(rec.optimal_runtime(), 1e-300)));
+  }
+  const auto idx = ml::train_test_split(strata_key, test_fraction, seed);
+  *train = GatherData{platform, max_threads, thread_grid, {}};
+  *test = GatherData{platform, max_threads, thread_grid, {}};
+  for (std::size_t i : idx.train) train->records.push_back(records[i]);
+  for (std::size_t i : idx.test) test->records.push_back(records[i]);
+}
+
+void GatherData::save_csv(const std::string& path) const {
+  CsvTable table;
+  table.header = {"m", "k", "n", "elem_bytes", "threads", "runtime"};
+  for (const auto& rec : records) {
+    for (std::size_t t = 0; t < rec.threads.size(); ++t) {
+      table.rows.push_back({static_cast<double>(rec.shape.m),
+                            static_cast<double>(rec.shape.k),
+                            static_cast<double>(rec.shape.n),
+                            static_cast<double>(rec.shape.elem_bytes),
+                            static_cast<double>(rec.threads[t]),
+                            rec.runtime[t]});
+    }
+  }
+  write_csv(path, table);
+}
+
+GatherData GatherData::load_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  GatherData out;
+  GatherRecord current;
+  bool have_current = false;
+  for (const auto& row : table.rows) {
+    simarch::GemmShape shape{static_cast<long>(row[0]),
+                             static_cast<long>(row[1]),
+                             static_cast<long>(row[2]),
+                             static_cast<int>(row[3])};
+    if (!have_current || shape.m != current.shape.m ||
+        shape.k != current.shape.k || shape.n != current.shape.n) {
+      if (have_current) out.records.push_back(std::move(current));
+      current = GatherRecord{};
+      current.shape = shape;
+      have_current = true;
+    }
+    current.threads.push_back(static_cast<int>(row[4]));
+    current.runtime.push_back(row[5]);
+  }
+  if (have_current) out.records.push_back(std::move(current));
+  if (!out.records.empty()) {
+    out.thread_grid = out.records.front().threads;
+    out.max_threads = out.thread_grid.back();
+  }
+  return out;
+}
+
+GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config) {
+  GatherData out;
+  out.platform = executor.name();
+  out.max_threads = executor.max_threads();
+  out.thread_grid = config.thread_grid.empty()
+                        ? default_thread_grid(out.max_threads)
+                        : config.thread_grid;
+  if (out.thread_grid.empty()) {
+    throw std::invalid_argument("gather_timings: empty thread grid");
+  }
+
+  sampling::GemmDomainSampler sampler(config.domain);
+  const auto shapes = sampler.sample(config.n_samples);
+
+  out.records.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    GatherRecord rec;
+    rec.shape = shape;
+    rec.threads = out.thread_grid;
+    rec.runtime.reserve(rec.threads.size());
+    // One program execution per thread count, exactly as the paper isolates
+    // them to avoid thread-pool resize interference (SS III-B).
+    for (int p : rec.threads) {
+      rec.runtime.push_back(executor.measure(shape, p, config.iterations));
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace adsala::core

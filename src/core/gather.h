@@ -1,0 +1,60 @@
+// Installation-time data gathering (paper Fig. 2, "Data gathering part").
+//
+// Samples GEMM shapes from the memory-capped domain with a scrambled Halton
+// sequence, times each shape at every thread count of a probe grid, and
+// keeps the full per-shape runtime curves. The curves serve two purposes:
+// rows (shape x thread-count -> runtime) become the ML training set, and the
+// per-shape argmin/max-thread runtimes are the ground truth for speedup
+// estimation and for the optimal-thread-count histogram/heatmap figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "ml/dataset.h"
+#include "sampling/domain.h"
+
+namespace adsala::core {
+
+/// Full runtime curve of one GEMM shape over the probe thread grid.
+struct GatherRecord {
+  simarch::GemmShape shape;
+  std::vector<int> threads;
+  std::vector<double> runtime;  ///< seconds, same order as `threads`
+
+  int optimal_threads() const;    ///< grid thread count with min runtime
+  double optimal_runtime() const;
+  double max_thread_runtime() const;  ///< runtime at the last (max) grid entry
+};
+
+struct GatherConfig {
+  std::size_t n_samples = 400;
+  int iterations = 10;
+  std::vector<int> thread_grid;  ///< empty -> default_thread_grid(max)
+  sampling::DomainConfig domain;
+};
+
+struct GatherData {
+  std::string platform;
+  int max_threads = 0;
+  std::vector<int> thread_grid;
+  std::vector<GatherRecord> records;
+
+  /// Flattens to the Table-II feature dataset: one row per (shape, threads).
+  ml::Dataset to_dataset() const;
+
+  /// Train/test split *by shape* (no leakage of a shape's curve across the
+  /// split), stratified on log optimal runtime.
+  void split(double test_fraction, std::uint64_t seed, GatherData* train,
+             GatherData* test) const;
+
+  void save_csv(const std::string& path) const;
+  static GatherData load_csv(const std::string& path);
+};
+
+/// Runs the gathering campaign on the given executor.
+GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config);
+
+}  // namespace adsala::core

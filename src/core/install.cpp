@@ -1,0 +1,41 @@
+#include "core/install.h"
+
+#include "common/timer.h"
+#include "core/adsala.h"
+
+namespace adsala::core {
+
+InstallReport install(GemmExecutor& executor, const InstallOptions& options) {
+  InstallReport report;
+
+  WallTimer gather_timer;
+  report.gathered = gather_timings(executor, options.gather);
+  report.gather_seconds = gather_timer.seconds();
+
+  WallTimer train_timer;
+  report.trained = train_and_select(report.gathered, options.train);
+  report.train_seconds = train_timer.seconds();
+
+  report.model_path = options.output_dir + "/model.json";
+  report.config_path = options.output_dir + "/config.json";
+  if (options.save_raw_csv) {
+    report.gathered.save_csv(options.output_dir + "/timings.csv");
+  }
+
+  // Persist via a temporary runtime object so save format and load format
+  // cannot drift apart.
+  TrainOutput copy;
+  copy.selected = report.trained.selected;
+  copy.thread_grid = report.trained.thread_grid;
+  copy.max_threads = report.trained.max_threads;
+  copy.platform = report.trained.platform;
+  copy.pipeline = report.trained.pipeline;
+  // Reconstruct the fitted model through its own serialisation round-trip.
+  copy.model = ml::load_model(report.trained.model->save());
+  AdsalaGemm runtime(std::move(copy));
+  runtime.save(report.model_path, report.config_path);
+
+  return report;
+}
+
+}  // namespace adsala::core

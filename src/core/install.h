@@ -1,0 +1,33 @@
+// One-call installation workflow (paper Fig. 2, end to end).
+//
+// install() runs: domain sampling -> timing gathering -> preprocessing ->
+// per-model tuning -> speedup-based selection, then writes the two runtime
+// artefacts (model file + config file) into a directory and returns the full
+// report. This is the function a downstream user calls once per machine.
+#pragma once
+
+#include <string>
+
+#include "core/trainer.h"
+
+namespace adsala::core {
+
+struct InstallOptions {
+  GatherConfig gather;
+  TrainOptions train;
+  std::string output_dir = ".";  ///< receives model.json + config.json
+  bool save_raw_csv = true;      ///< also dump gathered timings (timings.csv)
+};
+
+struct InstallReport {
+  TrainOutput trained;
+  GatherData gathered;
+  std::string model_path;
+  std::string config_path;
+  double gather_seconds = 0.0;  ///< wall time of the gathering phase
+  double train_seconds = 0.0;   ///< wall time of tuning + selection
+};
+
+InstallReport install(GemmExecutor& executor, const InstallOptions& options);
+
+}  // namespace adsala::core

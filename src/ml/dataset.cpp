@@ -1,0 +1,53 @@
+#include "ml/dataset.h"
+
+#include <stdexcept>
+
+namespace adsala::ml {
+
+void Dataset::add_row(std::span<const double> x, double y) {
+  if (x.size() != n_features()) {
+    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  }
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_.push_back(y);
+}
+
+std::vector<double> Dataset::column(std::size_t j) const {
+  if (j >= n_features()) {
+    throw std::out_of_range("Dataset::column: index out of range");
+  }
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(row(i)[j]);
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_);
+  for (std::size_t idx : indices) {
+    if (idx >= size()) throw std::out_of_range("Dataset::subset: bad index");
+    out.add_row(row(idx), y_[idx]);
+  }
+  return out;
+}
+
+Dataset Dataset::select_features(std::span<const std::size_t> keep) const {
+  std::vector<std::string> names;
+  names.reserve(keep.size());
+  for (std::size_t j : keep) {
+    if (j >= n_features()) {
+      throw std::out_of_range("Dataset::select_features: bad index");
+    }
+    names.push_back(feature_names_[j]);
+  }
+  Dataset out(std::move(names));
+  std::vector<double> buf(keep.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    for (std::size_t jj = 0; jj < keep.size(); ++jj) buf[jj] = r[keep[jj]];
+    out.add_row(buf, y_[i]);
+  }
+  return out;
+}
+
+}  // namespace adsala::ml

@@ -1,0 +1,79 @@
+#include "ml/grid_search.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "ml/metrics.h"
+#include "ml/splits.h"
+
+namespace adsala::ml {
+
+std::vector<Params> expand_grid(const ParamGrid& grid) {
+  std::vector<Params> combos = {Params{}};
+  for (const auto& [key, values] : grid) {
+    std::vector<Params> next;
+    next.reserve(combos.size() * values.size());
+    for (const auto& base : combos) {
+      for (double v : values) {
+        Params p = base;
+        p[key] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    combos = std::move(next);
+  }
+  return combos;
+}
+
+GridSearchResult grid_search_cv(const Regressor& prototype,
+                                const Dataset& data, const ParamGrid& grid,
+                                std::size_t n_folds, std::uint64_t seed) {
+  GridSearchResult result;
+  result.all_params = expand_grid(grid);
+  result.all_rmse.assign(result.all_params.size(), 0.0);
+
+  const auto folds = kfold(data.labels(), n_folds, seed);
+
+  // Pre-materialise fold datasets once; they are shared read-only.
+  std::vector<Dataset> fold_train, fold_test;
+  fold_train.reserve(folds.size());
+  fold_test.reserve(folds.size());
+  for (const auto& f : folds) {
+    fold_train.push_back(data.subset(f.train));
+    fold_test.push_back(data.subset(f.test));
+  }
+
+  // One (combo, fold) task per cell; each clones its own model.
+  const std::size_t n_cells = result.all_params.size() * folds.size();
+  std::vector<double> cell_rmse(n_cells, 0.0);
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(pool.max_threads(), 0, n_cells, [&](std::size_t cell) {
+    const std::size_t combo = cell / folds.size();
+    const std::size_t fold = cell % folds.size();
+    auto model = prototype.clone();
+    model->set_params(result.all_params[combo]);
+    model->fit(fold_train[fold]);
+    const auto pred = model->predict(fold_test[fold]);
+    cell_rmse[cell] = rmse(fold_test[fold].labels(), pred);
+  });
+
+  std::size_t best = 0;
+  for (std::size_t combo = 0; combo < result.all_params.size(); ++combo) {
+    double sum = 0.0;
+    for (std::size_t fold = 0; fold < folds.size(); ++fold) {
+      sum += cell_rmse[combo * folds.size() + fold];
+    }
+    result.all_rmse[combo] = sum / static_cast<double>(folds.size());
+    if (result.all_rmse[combo] < result.all_rmse[best]) best = combo;
+  }
+
+  result.best_params = result.all_params[best];
+  result.best_rmse = result.all_rmse[best];
+  result.best_model = prototype.clone();
+  result.best_model->set_params(result.best_params);
+  result.best_model->fit(data);
+  return result;
+}
+
+}  // namespace adsala::ml

@@ -1,0 +1,36 @@
+// Hyper-parameter tuning: exhaustive grid search with k-fold CV.
+//
+// The paper tunes every candidate's hyper-parameters with cross-validation
+// folds (not leave-one-out, for cost; SS IV-C) before the speedup-based model
+// selection. Grids are {param -> candidate values}; the cartesian product is
+// evaluated and the combination with the lowest mean validation RMSE wins.
+#pragma once
+
+#include <map>
+
+#include "ml/model.h"
+
+namespace adsala::ml {
+
+using ParamGrid = std::map<std::string, std::vector<double>>;
+
+struct GridSearchResult {
+  Params best_params;
+  double best_rmse = 0.0;                 ///< mean CV RMSE of the winner
+  std::vector<Params> all_params;         ///< every combination evaluated
+  std::vector<double> all_rmse;           ///< its mean CV RMSE
+  std::unique_ptr<Regressor> best_model;  ///< refit on the full dataset
+};
+
+/// Enumerate the cartesian product of a grid (empty grid -> one empty Params).
+std::vector<Params> expand_grid(const ParamGrid& grid);
+
+/// Runs the full grid with `n_folds` stratified CV folds; the winning
+/// parameters are refit on all of `data`. Folds are trained in parallel on
+/// the process thread pool.
+GridSearchResult grid_search_cv(const Regressor& prototype,
+                                const Dataset& data, const ParamGrid& grid,
+                                std::size_t n_folds = 5,
+                                std::uint64_t seed = 99);
+
+}  // namespace adsala::ml

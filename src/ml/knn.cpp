@@ -1,0 +1,72 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adsala::ml {
+
+void KnnRegressor::fit(const Dataset& data) {
+  check_fit_input(data);
+  d_ = data.n_features();
+  x_ = data.flat();
+  y_ = data.labels();
+}
+
+double KnnRegressor::predict_one(std::span<const double> x) const {
+  if (y_.empty()) return 0.0;
+  const std::size_t n = y_.size();
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(k_), n);
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    const double* row = &x_[i * d_];
+    for (std::size_t j = 0; j < d_ && j < x.size(); ++j) {
+      const double diff = row[j] - x[j];
+      s += diff * diff;
+    }
+    dist[i] = {s, i};
+  }
+  std::nth_element(dist.begin(),
+                   dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  if (!distance_weighted_) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += y_[dist[i].second];
+    return sum / static_cast<double>(k);
+  }
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-12);
+    num += w * y_[dist[i].second];
+    den += w;
+  }
+  return num / den;
+}
+
+Json KnnRegressor::save() const {
+  Json out;
+  out["model"] = Json(name());
+  JsonObject pj;
+  for (const auto& [k, v] : get_params()) pj[k] = Json(v);
+  out["params"] = Json(std::move(pj));
+  out["d"] = Json(d_);
+  out["x"] = Json::from_doubles(x_);
+  out["y"] = Json::from_doubles(y_);
+  return out;
+}
+
+void KnnRegressor::load(const Json& blob) {
+  Params p;
+  for (const auto& [k, v] : blob.at("params").as_object()) {
+    p[k] = v.as_number();
+  }
+  set_params(p);
+  d_ = static_cast<std::size_t>(blob.at("d").as_number());
+  x_ = blob.at("x").to_doubles();
+  y_ = blob.at("y").to_doubles();
+}
+
+}  // namespace adsala::ml

@@ -1,0 +1,69 @@
+// Small dense linear-algebra helpers for the linear model family.
+//
+// Feature counts here are 10-20 (Table II), so simple O(n^3) Cholesky on a
+// flat row-major array is the right tool; no BLAS dependency is wanted in
+// the ML layer (the BLAS substrate is the system under test, not a tool).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace adsala::ml {
+
+/// In-place Cholesky factorisation A = L L^T of a row-major n x n SPD
+/// matrix; lower triangle receives L. Returns false if A is not positive
+/// definite (caller may add jitter and retry).
+inline bool cholesky_factor(std::vector<double>& a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t p = 0; p < j; ++p) diag -= a[j * n + p] * a[j * n + p];
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t p = 0; p < j; ++p) v -= a[i * n + p] * a[j * n + p];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the factor from cholesky_factor; b is replaced
+/// by the solution.
+inline void cholesky_solve_inplace(const std::vector<double>& l,
+                                   std::size_t n, std::vector<double>& b) {
+  for (std::size_t i = 0; i < n; ++i) {  // forward: L y = b
+    double v = b[i];
+    for (std::size_t p = 0; p < i; ++p) v -= l[i * n + p] * b[p];
+    b[i] = v / l[i * n + i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {  // backward: L^T x = y
+    double v = b[ii];
+    for (std::size_t p = ii + 1; p < n; ++p) v -= l[p * n + ii] * b[p];
+    b[ii] = v / l[ii * n + ii];
+  }
+}
+
+/// Solves the SPD system A x = b, adding exponentially growing diagonal
+/// jitter if the factorisation fails. Throws after repeated failure.
+inline std::vector<double> solve_spd(std::vector<double> a, std::size_t n,
+                                     std::vector<double> b) {
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<double> f = a;
+    if (jitter > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) f[i * n + i] += jitter;
+    }
+    if (cholesky_factor(f, n)) {
+      cholesky_solve_inplace(f, n, b);
+      return b;
+    }
+    jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
+  }
+  throw std::runtime_error("solve_spd: matrix is numerically indefinite");
+}
+
+}  // namespace adsala::ml

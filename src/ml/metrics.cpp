@@ -1,0 +1,56 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace adsala::ml {
+
+namespace {
+void check(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+}  // namespace
+
+double mse(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  return std::sqrt(mse(truth, pred));
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    s += std::fabs(truth[i] - pred[i]);
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double r2_score(std::span<const double> truth, std::span<const double> pred) {
+  check(truth, pred);
+  const double var = adsala::variance(truth);
+  if (var == 0.0) return 0.0;
+  return 1.0 - mse(truth, pred) / var;
+}
+
+double normalized_rmse(std::span<const double> truth,
+                       std::span<const double> pred) {
+  check(truth, pred);
+  const double sd = adsala::stddev(truth);
+  if (sd == 0.0) return 0.0;
+  return rmse(truth, pred) / sd;
+}
+
+}  // namespace adsala::ml

@@ -1,0 +1,20 @@
+// Regression quality metrics.
+#pragma once
+
+#include <span>
+
+namespace adsala::ml {
+
+double mse(std::span<const double> truth, std::span<const double> pred);
+double rmse(std::span<const double> truth, std::span<const double> pred);
+double mae(std::span<const double> truth, std::span<const double> pred);
+
+/// Coefficient of determination; 1 = perfect, 0 = predicting the mean.
+double r2_score(std::span<const double> truth, std::span<const double> pred);
+
+/// RMSE divided by the truth's standard deviation — the paper's
+/// "Normalised Test RMSE" column (1.0 ~ no better than the label mean).
+double normalized_rmse(std::span<const double> truth,
+                       std::span<const double> pred);
+
+}  // namespace adsala::ml

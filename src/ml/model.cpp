@@ -1,0 +1,28 @@
+#include "ml/model.h"
+
+#include <stdexcept>
+
+namespace adsala::ml {
+
+std::vector<double> Regressor::predict(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict_one(data.row(i)));
+  }
+  return out;
+}
+
+void Regressor::check_fit_input(const Dataset& data) {
+  if (data.empty() || data.n_features() == 0) {
+    throw std::invalid_argument("Regressor::fit: empty dataset");
+  }
+}
+
+double Regressor::param_or(const Params& p, const std::string& key,
+                           double fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : it->second;
+}
+
+}  // namespace adsala::ml

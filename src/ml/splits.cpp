@@ -1,0 +1,94 @@
+#include "ml/splits.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace adsala::ml {
+
+std::vector<std::size_t> quantile_strata(std::span<const double> labels,
+                                         std::size_t n_bins) {
+  const std::size_t n = labels.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return labels[a] < labels[b]; });
+  std::vector<std::size_t> strata(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    strata[order[rank]] = std::min(n_bins - 1, rank * n_bins / std::max<std::size_t>(n, 1));
+  }
+  return strata;
+}
+
+namespace {
+
+/// Groups indices by stratum (single group when stratify is off), each group
+/// shuffled with its own deterministic stream.
+std::vector<std::vector<std::size_t>> make_groups(
+    std::span<const double> labels, bool stratify, std::size_t n_bins,
+    std::uint64_t seed) {
+  const std::size_t n = labels.size();
+  std::vector<std::vector<std::size_t>> groups;
+  if (stratify && n >= 2 * n_bins) {
+    const auto strata = quantile_strata(labels, n_bins);
+    groups.assign(n_bins, {});
+    for (std::size_t i = 0; i < n; ++i) groups[strata[i]].push_back(i);
+  } else {
+    groups.assign(1, std::vector<std::size_t>(n));
+    std::iota(groups[0].begin(), groups[0].end(), std::size_t{0});
+  }
+  Rng rng(seed);
+  for (auto& g : groups) std::shuffle(g.begin(), g.end(), rng);
+  return groups;
+}
+
+}  // namespace
+
+SplitIndices train_test_split(std::span<const double> labels,
+                              double test_fraction, std::uint64_t seed,
+                              bool stratify, std::size_t n_bins) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+  }
+  SplitIndices out;
+  for (const auto& group : make_groups(labels, stratify, n_bins, seed)) {
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(group.size()) * test_fraction + 0.5);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      (i < n_test ? out.test : out.train).push_back(group[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+std::vector<SplitIndices> kfold(std::span<const double> labels,
+                                std::size_t n_folds, std::uint64_t seed,
+                                bool stratify, std::size_t n_bins) {
+  if (n_folds < 2 || n_folds > labels.size()) {
+    throw std::invalid_argument("kfold: need 2 <= n_folds <= n");
+  }
+  std::vector<std::vector<std::size_t>> fold_members(n_folds);
+  for (const auto& group : make_groups(labels, stratify, n_bins, seed)) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      fold_members[i % n_folds].push_back(group[i]);
+    }
+  }
+  std::vector<SplitIndices> out(n_folds);
+  for (std::size_t f = 0; f < n_folds; ++f) {
+    out[f].test = fold_members[f];
+    for (std::size_t g = 0; g < n_folds; ++g) {
+      if (g == f) continue;
+      out[f].train.insert(out[f].train.end(), fold_members[g].begin(),
+                          fold_members[g].end());
+    }
+    std::sort(out[f].train.begin(), out[f].train.end());
+    std::sort(out[f].test.begin(), out[f].test.end());
+  }
+  return out;
+}
+
+}  // namespace adsala::ml

@@ -1,0 +1,35 @@
+// Train/test and cross-validation index splitting.
+//
+// The paper uses stratified sampling for both the train-test split and the
+// CV folds (SS IV-C): for regression this means binning the label into
+// quantile strata and sampling each stratum proportionally, which keeps the
+// heavily-skewed runtime distribution similar across subsets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adsala::ml {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random (optionally stratified) train/test split. test_fraction in (0,1).
+SplitIndices train_test_split(std::span<const double> labels,
+                              double test_fraction, std::uint64_t seed,
+                              bool stratify = true, std::size_t n_bins = 10);
+
+/// k-fold cross validation; fold f is {train indices, validation indices}.
+/// With stratify, folds are drawn per label-quantile stratum.
+std::vector<SplitIndices> kfold(std::span<const double> labels,
+                                std::size_t n_folds, std::uint64_t seed,
+                                bool stratify = true, std::size_t n_bins = 10);
+
+/// Assigns each label a stratum id in [0, n_bins) by label quantile.
+std::vector<std::size_t> quantile_strata(std::span<const double> labels,
+                                         std::size_t n_bins);
+
+}  // namespace adsala::ml

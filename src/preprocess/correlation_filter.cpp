@@ -1,0 +1,68 @@
+#include "preprocess/correlation_filter.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace adsala::preprocess {
+
+std::vector<double> correlation_matrix(const ml::Dataset& data) {
+  const std::size_t d = data.n_features();
+  std::vector<std::vector<double>> cols(d);
+  for (std::size_t j = 0; j < d; ++j) cols[j] = data.column(j);
+  std::vector<double> corr(d * d, 1.0);
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a + 1; b < d; ++b) {
+      const double r = adsala::pearson(cols[a], cols[b]);
+      corr[a * d + b] = r;
+      corr[b * d + a] = r;
+    }
+  }
+  return corr;
+}
+
+std::vector<std::size_t> correlation_filter(const ml::Dataset& data,
+                                            double threshold) {
+  const std::size_t d = data.n_features();
+  const auto corr = correlation_matrix(data);
+
+  std::vector<bool> dropped(d, false);
+  // Total absolute correlation of each feature against all others.
+  auto total_corr = [&](std::size_t j) {
+    double s = 0.0;
+    for (std::size_t o = 0; o < d; ++o) {
+      if (o != j && !dropped[o]) s += std::fabs(corr[j * d + o]);
+    }
+    return s;
+  };
+
+  // Greedy: repeatedly find the worst surviving correlated pair and drop the
+  // member with the larger total correlation, until no pair exceeds the
+  // threshold.
+  while (true) {
+    std::size_t best_a = d, best_b = d;
+    double best_r = threshold;
+    for (std::size_t a = 0; a < d; ++a) {
+      if (dropped[a]) continue;
+      for (std::size_t b = a + 1; b < d; ++b) {
+        if (dropped[b]) continue;
+        const double r = std::fabs(corr[a * d + b]);
+        if (r > best_r) {
+          best_r = r;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == d) break;
+    dropped[total_corr(best_a) >= total_corr(best_b) ? best_a : best_b] = true;
+  }
+
+  std::vector<std::size_t> keep;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (!dropped[j]) keep.push_back(j);
+  }
+  return keep;
+}
+
+}  // namespace adsala::preprocess

@@ -1,0 +1,22 @@
+// Correlated-feature removal.
+//
+// For every feature pair with |Pearson r| above the threshold (paper: 0.80),
+// the member with the larger total absolute correlation against all other
+// features is dropped (paper SS IV-C). Returns the indices of the surviving
+// features, preserving order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace adsala::preprocess {
+
+std::vector<std::size_t> correlation_filter(const ml::Dataset& data,
+                                            double threshold = 0.80);
+
+/// Full symmetric correlation matrix (d x d, row-major), for diagnostics.
+std::vector<double> correlation_matrix(const ml::Dataset& data);
+
+}  // namespace adsala::preprocess

@@ -1,0 +1,32 @@
+#include "preprocess/features.h"
+
+namespace adsala::preprocess {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      // Group 1: serial-runtime terms.
+      "m", "k", "n", "n_threads", "m*k", "m*n", "k*n", "m*k*n",
+      "m*k+k*n+m*n",
+      // Group 2: parallel-runtime terms.
+      "m/t", "k/t", "n/t", "m*k/t", "m*n/t", "k*n/t", "m*k*n/t",
+      "(m*k+k*n+m*n)/t"};
+  return names;
+}
+
+std::vector<std::size_t> group1_indices() {
+  return {0, 1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+std::array<double, kNumFeatures> make_features(double m, double k, double n,
+                                               double t) {
+  const double mk = m * k;
+  const double mn = m * n;
+  const double kn = k * n;
+  const double mkn = m * k * n;
+  const double total = mk + kn + mn;
+  return {m,      k,      n,      t,      mk,     mn,      kn,     mkn,
+          total,  m / t,  k / t,  n / t,  mk / t, mn / t,  kn / t, mkn / t,
+          total / t};
+}
+
+}  // namespace adsala::preprocess

@@ -1,0 +1,27 @@
+// Table II feature engineering.
+//
+// Maps a raw (m, k, n, n_threads) GEMM configuration to the paper's 17
+// candidate features: Group 1 carries the serial-runtime terms (matrix
+// areas, FLOP volume), Group 2 the per-thread parallel terms. The order here
+// is the canonical feature order for every dataset in the project.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace adsala::preprocess {
+
+inline constexpr std::size_t kNumFeatures = 17;
+
+/// Canonical feature names, Group 1 then Group 2 (paper Table II).
+const std::vector<std::string>& feature_names();
+
+/// Index set of the Group 1 (serial) features, for the feature ablation.
+std::vector<std::size_t> group1_indices();
+
+/// Computes the 17 features for one configuration.
+std::array<double, kNumFeatures> make_features(double m, double k, double n,
+                                               double n_threads);
+
+}  // namespace adsala::preprocess

@@ -1,0 +1,26 @@
+// Local Outlier Factor (Breunig et al. 2000).
+//
+// Density-based outlier scoring: a point whose local reachability density is
+// much lower than its neighbours' gets LOF >> 1. The paper applies LOF after
+// standardisation (it needs comparable scales) to drop both global and local
+// outliers from the gathered timing data (SS II-C, SS IV-C).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adsala::preprocess {
+
+/// LOF score per row. `rows` is row-major n x d. k is the neighbourhood
+/// size (MinPts). Brute-force O(n^2 d) — fine for the ~10^3-row datasets.
+std::vector<double> lof_scores(std::span<const double> rows, std::size_t n,
+                               std::size_t d, std::size_t k = 20);
+
+/// Indices of rows whose LOF score is <= threshold (the inliers).
+std::vector<std::size_t> lof_inliers(std::span<const double> rows,
+                                     std::size_t n, std::size_t d,
+                                     std::size_t k = 20,
+                                     double threshold = 1.5);
+
+}  // namespace adsala::preprocess

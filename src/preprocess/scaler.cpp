@@ -1,0 +1,21 @@
+#include "preprocess/scaler.h"
+
+#include "common/stats.h"
+
+namespace adsala::preprocess {
+
+void StandardScaler::fit(std::span<const double> xs) {
+  mean_ = adsala::mean(xs);
+  const double sd = adsala::stddev(xs);
+  stddev_ = sd <= 0.0 ? 1.0 : sd;
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(transform(x));
+  return out;
+}
+
+}  // namespace adsala::preprocess

@@ -1,0 +1,34 @@
+// Per-feature standardisation (zero mean, unit variance).
+//
+// Applied after Yeo-Johnson so every feature lands on a comparable scale —
+// a precondition for both LOF (density in Euclidean space) and the distance-
+// based models (paper SS IV-C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace adsala::preprocess {
+
+class StandardScaler {
+ public:
+  void fit(std::span<const double> xs);
+
+  void set_moments(double mean, double stddev) {
+    mean_ = mean;
+    stddev_ = stddev <= 0.0 ? 1.0 : stddev;
+  }
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  double transform(double x) const { return (x - mean_) / stddev_; }
+  double inverse(double z) const { return z * stddev_ + mean_; }
+
+  std::vector<double> transform(std::span<const double> xs) const;
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace adsala::preprocess

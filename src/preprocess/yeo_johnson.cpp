@@ -1,0 +1,83 @@
+#include "preprocess/yeo_johnson.h"
+
+#include <cmath>
+#include <limits>
+
+namespace adsala::preprocess {
+
+double yeo_johnson(double x, double lambda) {
+  if (x >= 0.0) {
+    if (std::fabs(lambda) < 1e-12) return std::log1p(x);
+    return (std::pow(x + 1.0, lambda) - 1.0) / lambda;
+  }
+  const double two_minus = 2.0 - lambda;
+  if (std::fabs(two_minus) < 1e-12) return -std::log1p(-x);
+  return -(std::pow(1.0 - x, two_minus) - 1.0) / two_minus;
+}
+
+double yeo_johnson_inverse(double y, double lambda) {
+  if (y >= 0.0) {
+    if (std::fabs(lambda) < 1e-12) return std::expm1(y);
+    return std::pow(lambda * y + 1.0, 1.0 / lambda) - 1.0;
+  }
+  const double two_minus = 2.0 - lambda;
+  if (std::fabs(two_minus) < 1e-12) return -std::expm1(-y);
+  return 1.0 - std::pow(1.0 - two_minus * y, 1.0 / two_minus);
+}
+
+double yeo_johnson_log_likelihood(std::span<const double> xs, double lambda) {
+  const auto n = static_cast<double>(xs.size());
+  if (xs.empty()) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += yeo_johnson(x, lambda);
+  mean /= n;
+  double var = 0.0;
+  double jacobian = 0.0;
+  for (double x : xs) {
+    const double t = yeo_johnson(x, lambda) - mean;
+    var += t * t;
+    // d/dx YJ(x; lambda) has log |.| = (lambda-1) * sign-adjusted log1p|x|.
+    jacobian += (lambda - 1.0) * std::copysign(std::log1p(std::fabs(x)), x);
+  }
+  var /= n;
+  if (var <= 0.0) var = std::numeric_limits<double>::min();
+  return -0.5 * n * std::log(var) + jacobian;
+}
+
+double estimate_lambda(std::span<const double> xs, double lo, double hi,
+                       double tol) {
+  if (xs.empty()) return 1.0;
+  // Golden-section maximisation of the profile log-likelihood.
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = yeo_johnson_log_likelihood(xs, c);
+  double fd = yeo_johnson_log_likelihood(xs, d);
+  while (b - a > tol) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = yeo_johnson_log_likelihood(xs, c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = yeo_johnson_log_likelihood(xs, d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+std::vector<double> YeoJohnsonTransformer::transform(
+    std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(transform(x));
+  return out;
+}
+
+}  // namespace adsala::preprocess

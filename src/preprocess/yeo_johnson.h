@@ -1,0 +1,47 @@
+// Yeo-Johnson power transformation with MLE lambda estimation.
+//
+// Remaps a skewed feature distribution to near-Gaussian (paper SS II-C /
+// Fig. 4). Unlike Box-Cox it accepts non-positive inputs. The per-feature
+// lambda maximising the Gaussian log-likelihood of the transformed values is
+// found by golden-section search (the likelihood in lambda is unimodal in
+// practice on [-5, 5]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace adsala::preprocess {
+
+/// Yeo-Johnson transform of a single value with parameter lambda.
+double yeo_johnson(double x, double lambda);
+
+/// Inverse transform (exact analytic inverse of yeo_johnson).
+double yeo_johnson_inverse(double y, double lambda);
+
+/// Gaussian log-likelihood of the transformed sample (the MLE objective),
+/// including the Jacobian term.
+double yeo_johnson_log_likelihood(std::span<const double> xs, double lambda);
+
+/// MLE estimate of lambda by golden-section search on [lo, hi].
+double estimate_lambda(std::span<const double> xs, double lo = -5.0,
+                       double hi = 5.0, double tol = 1e-4);
+
+/// Per-feature transformer for a whole column.
+class YeoJohnsonTransformer {
+ public:
+  /// Estimates lambda from the sample.
+  void fit(std::span<const double> xs) { lambda_ = estimate_lambda(xs); }
+
+  void set_lambda(double lambda) { lambda_ = lambda; }
+  double lambda() const { return lambda_; }
+
+  double transform(double x) const { return yeo_johnson(x, lambda_); }
+  double inverse(double y) const { return yeo_johnson_inverse(y, lambda_); }
+
+  std::vector<double> transform(std::span<const double> xs) const;
+
+ private:
+  double lambda_ = 1.0;  // identity
+};
+
+}  // namespace adsala::preprocess

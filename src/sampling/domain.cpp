@@ -1,0 +1,75 @@
+#include "sampling/domain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace adsala::sampling {
+
+GemmDomainSampler::GemmDomainSampler(DomainConfig config)
+    : config_(std::move(config)),
+      sequence_(config_.bases, config_.seed) {
+  if (config_.bases.size() != 3) {
+    throw std::invalid_argument("GemmDomainSampler: need exactly 3 bases");
+  }
+  if (config_.dim_min < 1 || config_.dim_max < config_.dim_min) {
+    throw std::invalid_argument("GemmDomainSampler: bad dimension bounds");
+  }
+  Rng rng(config_.seed ^ 0x0c5a9d21ull);
+  rotation_.resize(config_.bases.size());
+  for (auto& r : rotation_) r = rng.uniform();
+}
+
+simarch::GemmShape GemmDomainSampler::map_point(
+    const std::vector<double>& u) const {
+  auto scale = [&](double x) {
+    // sqrt-scale: uniform in sqrt(dim) space => denser coverage of the small
+    // dimensions the paper's motivation targets.
+    const double lo = std::sqrt(static_cast<double>(config_.dim_min));
+    const double hi = std::sqrt(static_cast<double>(config_.dim_max));
+    const double s = lo + x * (hi - lo);
+    return static_cast<long>(std::llround(s * s));
+  };
+  simarch::GemmShape shape;
+  shape.m = std::max(config_.dim_min, scale(u[0]));
+  shape.k = std::max(config_.dim_min, scale(u[1]));
+  shape.n = std::max(config_.dim_min, scale(u[2]));
+  shape.elem_bytes = config_.elem_bytes;
+  return shape;
+}
+
+bool GemmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
+  return shape.bytes() <= static_cast<double>(config_.memory_cap_bytes) &&
+         shape.m >= config_.dim_min && shape.m <= config_.dim_max &&
+         shape.k >= config_.dim_min && shape.k <= config_.dim_max &&
+         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
+}
+
+std::vector<simarch::GemmShape> GemmDomainSampler::sample(std::size_t count) {
+  std::vector<simarch::GemmShape> out;
+  out.reserve(count);
+  // Rejection sampling: the sqrt-scaled cube contains many over-cap points
+  // (large m AND large n AND large k); guard against a degenerate config
+  // where nothing fits by capping the attempts.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 10000 + 100000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    std::vector<double> u = sequence_.next();
+    for (std::size_t d = 0; d < u.size(); ++d) {
+      u[d] += rotation_[d];
+      if (u[d] >= 1.0) u[d] -= 1.0;  // torus wrap (Cranley-Patterson)
+    }
+    const simarch::GemmShape shape = map_point(u);
+    if (in_domain(shape)) out.push_back(shape);
+  }
+  if (out.size() < count) {
+    throw std::runtime_error(
+        "GemmDomainSampler: rejection sampling failed to fill the request; "
+        "memory cap too tight for dim_max");
+  }
+  return out;
+}
+
+}  // namespace adsala::sampling

@@ -1,0 +1,55 @@
+// Memory-capped GEMM shape domain sampler.
+//
+// Maps scrambled-Halton points in [0,1)^3 to (m, k, n) triples whose
+// aggregate operand footprint elem_bytes*(mk + kn + mn) stays under a cap
+// (the paper's 100 MB / 500 MB domains). Coordinates use a square-root scale
+// -- u^2 stretched over [1, dim_max] -- matching the paper's sqrt-scaled
+// heatmap axes, so slim/skinny shapes are as well represented as square
+// ones; points over the cap are rejected and the sequence advanced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/halton.h"
+#include "simarch/machine_model.h"
+
+namespace adsala::sampling {
+
+struct DomainConfig {
+  std::size_t memory_cap_bytes = 500ull * 1024 * 1024;
+  int elem_bytes = 4;
+  long dim_max = 74000;  ///< per-dimension upper bound (paper heatmap extent)
+  long dim_min = 1;
+  std::vector<unsigned> bases = {2, 3, 4};  ///< paper SS IV-B choice for m,k,n
+  std::uint64_t seed = 1234;
+};
+
+class GemmDomainSampler {
+ public:
+  explicit GemmDomainSampler(DomainConfig config);
+
+  /// Draws `count` in-domain shapes (rejection sampling over the sequence).
+  /// A per-dimension Cranley-Patterson rotation (seeded from the config) is
+  /// applied on top of the scrambled sequence: digit scrambling with
+  /// pi(0) = 0 cannot break the simultaneous-near-zero alignment of bases
+  /// 2 and 4 at power-of-four indices, and without the rotation the sampler
+  /// emits degenerate sliver shapes (m = n = 2) the paper's data does not
+  /// contain.
+  std::vector<simarch::GemmShape> sample(std::size_t count);
+
+  /// Maps one [0,1)^3 point to a (possibly out-of-cap) shape; exposed for
+  /// tests of the scale mapping.
+  simarch::GemmShape map_point(const std::vector<double>& u) const;
+
+  bool in_domain(const simarch::GemmShape& shape) const;
+
+  const DomainConfig& config() const { return config_; }
+
+ private:
+  DomainConfig config_;
+  ScrambledHalton sequence_;
+  std::vector<double> rotation_;  ///< Cranley-Patterson shift per dimension
+};
+
+}  // namespace adsala::sampling

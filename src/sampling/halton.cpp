@@ -1,0 +1,78 @@
+#include "sampling/halton.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace adsala::sampling {
+
+double radical_inverse(std::uint64_t index, unsigned base) {
+  if (base < 2) throw std::invalid_argument("radical_inverse: base < 2");
+  double result = 0.0;
+  double inv_base_pow = 1.0 / base;
+  while (index > 0) {
+    result += static_cast<double>(index % base) * inv_base_pow;
+    index /= base;
+    inv_base_pow /= base;
+  }
+  return result;
+}
+
+HaltonSequence::HaltonSequence(std::vector<unsigned> bases)
+    : bases_(std::move(bases)) {
+  for (unsigned b : bases_) {
+    if (b < 2) throw std::invalid_argument("HaltonSequence: base < 2");
+  }
+}
+
+std::vector<double> HaltonSequence::point(std::uint64_t index) const {
+  std::vector<double> out(bases_.size());
+  for (std::size_t d = 0; d < bases_.size(); ++d) {
+    out[d] = radical_inverse(index, bases_[d]);
+  }
+  return out;
+}
+
+std::vector<double> HaltonSequence::next() { return point(cursor_++); }
+
+ScrambledHalton::ScrambledHalton(std::vector<unsigned> bases,
+                                 std::uint64_t seed)
+    : bases_(std::move(bases)) {
+  Rng rng(seed);
+  perms_.reserve(bases_.size());
+  for (unsigned b : bases_) {
+    if (b < 2) throw std::invalid_argument("ScrambledHalton: base < 2");
+    std::vector<unsigned> perm(b);
+    for (unsigned d = 0; d < b; ++d) perm[d] = d;
+    // Fisher-Yates over digits 1..b-1; pi(0) must stay 0 so that the
+    // implicit infinite tail of zero digits contributes nothing.
+    for (unsigned i = b - 1; i >= 2; --i) {
+      const auto j = static_cast<unsigned>(rng.range(1, i));
+      std::swap(perm[i], perm[j]);
+    }
+    perms_.push_back(std::move(perm));
+  }
+}
+
+std::vector<double> ScrambledHalton::point(std::uint64_t index) const {
+  std::vector<double> out(bases_.size());
+  for (std::size_t d = 0; d < bases_.size(); ++d) {
+    const unsigned base = bases_[d];
+    const auto& perm = perms_[d];
+    std::uint64_t i = index;
+    double result = 0.0;
+    double inv_base_pow = 1.0 / base;
+    while (i > 0) {
+      result += static_cast<double>(perm[i % base]) * inv_base_pow;
+      i /= base;
+      inv_base_pow /= base;
+    }
+    out[d] = result;
+  }
+  return out;
+}
+
+std::vector<double> ScrambledHalton::next() { return point(cursor_++); }
+
+}  // namespace adsala::sampling

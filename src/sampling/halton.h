@@ -1,0 +1,58 @@
+// Halton and scrambled-Halton low-discrepancy sequences.
+//
+// The paper samples GEMM input shapes with a *scrambled* Halton sequence in
+// bases 2, 3, 4 for (m, k, n) (SS IV-B): scrambling breaks the correlation
+// between coordinates that plain Halton exhibits in higher/composite bases.
+// Scrambling here is digit-permutation scrambling with pi(0) = 0 (so finite
+// digit expansions stay finite), the classic Braaten-Weller construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adsala::sampling {
+
+/// Radical inverse of `index` in the given base: the core of Halton.
+double radical_inverse(std::uint64_t index, unsigned base);
+
+/// Plain multi-dimensional Halton sequence (deterministic, no scrambling).
+class HaltonSequence {
+ public:
+  explicit HaltonSequence(std::vector<unsigned> bases);
+
+  std::size_t dimensions() const { return bases_.size(); }
+
+  /// i-th point of the sequence (0-based); each coordinate in [0, 1).
+  std::vector<double> point(std::uint64_t index) const;
+
+  /// Next point of the stream, starting at index 1 (index 0 is all-zeros,
+  /// conventionally skipped).
+  std::vector<double> next();
+
+ private:
+  std::vector<unsigned> bases_;
+  std::uint64_t cursor_ = 1;
+};
+
+/// Digit-permutation scrambled Halton sequence. Each base gets an independent
+/// random permutation of its digit alphabet with pi(0) = 0.
+class ScrambledHalton {
+ public:
+  ScrambledHalton(std::vector<unsigned> bases, std::uint64_t seed);
+
+  std::size_t dimensions() const { return bases_.size(); }
+  std::vector<double> point(std::uint64_t index) const;
+  std::vector<double> next();
+
+  /// Exposed for tests: the permutation used for dimension d.
+  const std::vector<unsigned>& permutation(std::size_t d) const {
+    return perms_[d];
+  }
+
+ private:
+  std::vector<unsigned> bases_;
+  std::vector<std::vector<unsigned>> perms_;
+  std::uint64_t cursor_ = 1;
+};
+
+}  // namespace adsala::sampling

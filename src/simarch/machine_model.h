@@ -1,0 +1,94 @@
+// Analytical GEMM runtime model over a CpuTopology.
+//
+// Substitutes for running MKL/BLIS on the paper's Setonix and Gadi nodes.
+// The model decomposes a multi-threaded GEMM call into the same three
+// components the paper's VTune profiling isolates (Table VII) --
+// synchronisation, data copy (packing), kernel FLOPs -- plus thread spawn,
+// and reproduces the mechanisms that make the optimal thread count vary:
+//   - parallel FLOP rate with SMT marginal gain and SIMD-tile efficiency
+//     loss on skinny dimensions,
+//   - roofline memory bound with socket bandwidth saturation and NUMA
+//     interleave efficiency,
+//   - ceil-division load imbalance over micro-tiles,
+//   - log2(p) barriers per cache-block iteration (worse across sockets),
+//   - per-thread workspace setup and a p^2 copy-contention term that bites
+//     only on small footprints (the paper's 64x2048x64 pathology),
+//   - single-thread fast path with no packing or sync (Table VII, p=1 row).
+// measure_gemm applies deterministic log-normal noise seeded from the inputs
+// so repeated experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "simarch/topology.h"
+
+namespace adsala::simarch {
+
+/// GEMM problem shape; elem_bytes = 4 (SGEMM) or 8 (DGEMM).
+struct GemmShape {
+  long m = 0;
+  long k = 0;
+  long n = 0;
+  int elem_bytes = 4;
+
+  double flops() const { return 2.0 * double(m) * double(k) * double(n); }
+  double bytes() const {
+    return double(elem_bytes) *
+           (double(m) * k + double(k) * n + double(m) * n);
+  }
+};
+
+/// OpenMP-style placement policy (paper SS V-B.4: OMP_PLACES=cores|threads).
+enum class Affinity { kCores, kThreads };
+
+struct ExecPolicy {
+  int nthreads = 0;  ///< <=0 means the platform maximum
+  Affinity affinity = Affinity::kCores;
+  bool allow_smt = true;        ///< hyper-threading enabled (Tables V vs VI)
+  bool numa_interleave = true;  ///< paper's benchmark NUMA memory policy
+};
+
+/// Per-component wall-time in seconds (Table VII columns).
+struct TimingBreakdown {
+  double spawn_s = 0.0;
+  double sync_s = 0.0;
+  double copy_s = 0.0;
+  double kernel_s = 0.0;
+
+  double total() const { return spawn_s + sync_s + copy_s + kernel_s; }
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(CpuTopology topo, std::uint64_t noise_seed = 42,
+                        double noise_sigma = 0.08);
+
+  const CpuTopology& topology() const { return topo_; }
+
+  /// Threads actually used for a request (clamped to the platform maximum).
+  int resolve_threads(const ExecPolicy& policy) const;
+
+  /// Noise-free analytical breakdown of one GEMM call.
+  TimingBreakdown time_gemm(const GemmShape& shape,
+                            const ExecPolicy& policy) const;
+
+  /// Mean of `iterations` noisy total-time draws (the paper times 10
+  /// iterations per configuration, SS V-B.3). Deterministic in (inputs, seed).
+  double measure_gemm(const GemmShape& shape, const ExecPolicy& policy,
+                      int iterations = 10) const;
+
+  /// Exhaustive argmin of measure_gemm over 1..max_threads. Returns the
+  /// optimal thread count; if best_time is non-null stores its runtime.
+  int optimal_threads(const GemmShape& shape, ExecPolicy policy,
+                      double* best_time = nullptr) const;
+
+ private:
+  double effective_bandwidth(int cores_used, int sockets_used,
+                             bool interleave) const;
+
+  CpuTopology topo_;
+  std::uint64_t noise_seed_;
+  double noise_sigma_;
+};
+
+}  // namespace adsala::simarch

@@ -1,0 +1,83 @@
+// CPU node topology and cost-model constants for the machine simulator.
+//
+// The paper's experiments ran on two supercomputer nodes we do not have:
+//   - Setonix: 2x AMD EPYC "Milan" 64-core Zen 3, SMT2, 8 NUMA domains,
+//     32 MB L3 per 8-core CCX, 8 DDR4 channels/socket (paper SS V-A.1)
+//   - Gadi: 2x Intel Xeon Platinum 8274 24-core Cascade Lake, SMT2,
+//     4 NUMA domains, 6 DDR4 channels/socket (paper SS V-A.2)
+// CpuTopology captures both the hardware shape and the calibration constants
+// of the analytical runtime model in machine_model.h. Constants are chosen so
+// the simulated t(m,k,n,p) surface reproduces the qualitative phenomena the
+// paper measures (see DESIGN.md substitution table); they are deliberately
+// public so ablation benches can perturb them.
+#pragma once
+
+#include <string>
+
+namespace adsala::simarch {
+
+struct CpuTopology {
+  std::string name;
+
+  // Hardware shape.
+  int sockets = 2;
+  int cores_per_socket = 24;
+  int smt_per_core = 2;
+  int numa_per_socket = 2;
+
+  // Compute throughput.
+  double freq_ghz = 2.8;             ///< sustained clock under vector load
+  double fp32_flops_per_cycle = 32;  ///< per core (FMA width x 2 x issue)
+  double peak_frac = 0.85;           ///< fraction of peak a tuned kernel hits
+  double smt_marginal = 0.30;        ///< extra throughput of a 2nd HW thread
+
+  // Memory system.
+  double socket_bw_gbs = 131.0;     ///< STREAM-like per-socket bandwidth
+  double core_bw_gbs = 13.0;        ///< single-core bandwidth ceiling
+  double interleave_factor = 0.85;  ///< NUMA-interleave efficiency
+  double remote_bw_frac = 0.6;      ///< usable fraction of a remote socket's bw
+
+  // Parallel-runtime overheads (microseconds unless noted).
+  double barrier_base_us = 1.2;        ///< per log2(p) barrier step
+  double cross_socket_sync_mult = 2.0; ///< barrier penalty across sockets
+  double spawn_us_per_thread = 0.35;   ///< waking a pool thread
+  double workspace_us_per_thread = 22.0;  ///< per-thread packing workspace touch
+  double contend_us = 4.0;  ///< p^2 copy-contention coefficient (small GEMM)
+  /// Per-thread FLOP volume (in MFLOP) below which copy contention bites;
+  /// the gate falls off cubically above it, so only genuinely small work
+  /// slices thrash (the paper's 64x2048x64 pathology).
+  double contend_ref_mflops = 1.0;
+  /// Rows of C per thread below which the m-partition degenerates and
+  /// threads false-share C/packing lines (second contention gate). Shapes
+  /// with a large m escape contention entirely: each thread owns whole rows.
+  double contend_row_ref = 2.0;
+  /// The library's internal dynamic threading heuristic (MKL_DYNAMIC-like):
+  /// the effective team size is capped at flops / (this many MFLOP). The cap
+  /// is flop-based, so large-k shapes (lots of FLOPs, tiny parallelisable C)
+  /// slip through it — the blind spot the paper exploits.
+  double dynamic_mflops_per_thread = 0.25;
+  double call_overhead_us = 2.5;  ///< fixed dispatch cost per GEMM call
+
+  // Cost-model kernel geometry (the simulated library's internal blocking).
+  int model_mr = 8;
+  int model_nr = 8;
+  int model_kc = 384;
+  int model_nc = 4096;
+  double kernel_rampup_k = 16.0;  ///< k-loop software-pipelining ramp length
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int max_threads(bool allow_smt = true) const {
+    return total_cores() * (allow_smt ? smt_per_core : 1);
+  }
+};
+
+/// Setonix compute node: 2x EPYC 7763 "Milan" (Zen 3), 128 cores / 256 threads.
+CpuTopology setonix_topology();
+
+/// Gadi "Cascade Lake" node: 2x Xeon Platinum 8274, 48 cores / 96 threads.
+CpuTopology gadi_topology();
+
+/// A small single-socket machine for fast unit/integration tests.
+CpuTopology tiny_topology();
+
+}  // namespace adsala::simarch

@@ -1,0 +1,278 @@
+// Integration tests of the ADSALA core: executors, gathering, training,
+// model selection, the runtime class, and the full install() workflow.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/adsala.h"
+#include "core/executor.h"
+#include "core/gather.h"
+#include "core/install.h"
+#include "core/trainer.h"
+
+namespace adsala::core {
+namespace {
+
+/// Small, fast simulated platform for test runs.
+SimulatedExecutor tiny_executor() {
+  return SimulatedExecutor(
+      simarch::MachineModel(simarch::tiny_topology(), 42));
+}
+
+GatherConfig tiny_gather_config(std::size_t n_samples = 60) {
+  GatherConfig cfg;
+  cfg.n_samples = n_samples;
+  cfg.iterations = 3;
+  cfg.domain.memory_cap_bytes = 64ull * 1024 * 1024;
+  cfg.domain.dim_max = 8000;
+  cfg.domain.seed = 7;
+  return cfg;
+}
+
+// --------------------------------------------------------------- Executors
+
+TEST(Executor, DefaultThreadGridProperties) {
+  for (int max : {4, 16, 48, 96, 256}) {
+    const auto grid = default_thread_grid(max);
+    EXPECT_EQ(grid.front(), 1);
+    EXPECT_EQ(grid.back(), max);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      EXPECT_LT(grid[i - 1], grid[i]) << "grid must be strictly increasing";
+    }
+  }
+}
+
+TEST(Executor, SimulatedReportsPlatform) {
+  auto ex = tiny_executor();
+  EXPECT_EQ(ex.name(), "tiny");
+  EXPECT_EQ(ex.max_threads(), 16);
+  SimulatedExecutor noht(simarch::MachineModel(simarch::tiny_topology()),
+                         simarch::ExecPolicy{.allow_smt = false});
+  EXPECT_EQ(noht.name(), "tiny-noht");
+  EXPECT_EQ(noht.max_threads(), 8);
+}
+
+TEST(Executor, SimulatedMeasureIsDeterministic) {
+  auto a = tiny_executor();
+  auto b = tiny_executor();
+  const simarch::GemmShape s{200, 300, 400, 4};
+  EXPECT_DOUBLE_EQ(a.measure(s, 4), b.measure(s, 4));
+}
+
+TEST(Executor, NativeMeasuresPositiveTime) {
+  NativeExecutor ex(4);
+  const simarch::GemmShape s{64, 64, 64, 4};
+  const double t = ex.measure(s, 2, 2);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0) << "a 64^3 SGEMM cannot take a second";
+}
+
+// ------------------------------------------------------------------ Gather
+
+TEST(Gather, RecordsFullCurves) {
+  auto ex = tiny_executor();
+  const auto data = gather_timings(ex, tiny_gather_config(30));
+  EXPECT_EQ(data.records.size(), 30u);
+  EXPECT_EQ(data.max_threads, 16);
+  for (const auto& rec : data.records) {
+    ASSERT_EQ(rec.threads.size(), data.thread_grid.size());
+    ASSERT_EQ(rec.runtime.size(), rec.threads.size());
+    for (double t : rec.runtime) EXPECT_GT(t, 0.0);
+    EXPECT_LE(rec.optimal_runtime(), rec.max_thread_runtime());
+    EXPECT_GE(rec.optimal_threads(), 1);
+    EXPECT_LE(rec.optimal_threads(), 16);
+  }
+}
+
+TEST(Gather, DatasetHasRowPerShapeThreadPair) {
+  auto ex = tiny_executor();
+  const auto data = gather_timings(ex, tiny_gather_config(20));
+  const auto ds = data.to_dataset();
+  EXPECT_EQ(ds.size(), 20u * data.thread_grid.size());
+  EXPECT_EQ(ds.n_features(), 17u);
+}
+
+TEST(Gather, SplitPartitionsByShape) {
+  auto ex = tiny_executor();
+  const auto data = gather_timings(ex, tiny_gather_config(40));
+  GatherData train, test;
+  data.split(0.25, 1, &train, &test);
+  EXPECT_EQ(train.records.size() + test.records.size(), 40u);
+  EXPECT_NEAR(static_cast<double>(test.records.size()), 10.0, 3.0);
+}
+
+TEST(Gather, CsvRoundTrip) {
+  auto ex = tiny_executor();
+  const auto data = gather_timings(ex, tiny_gather_config(15));
+  const std::string path = "/tmp/adsala_test_gather.csv";
+  data.save_csv(path);
+  const auto back = GatherData::load_csv(path);
+  ASSERT_EQ(back.records.size(), data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].shape.m, data.records[i].shape.m);
+    EXPECT_EQ(back.records[i].threads, data.records[i].threads);
+    for (std::size_t t = 0; t < data.records[i].runtime.size(); ++t) {
+      EXPECT_DOUBLE_EQ(back.records[i].runtime[t],
+                       data.records[i].runtime[t]);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- Trainer
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto ex = tiny_executor();
+    data_ = new GatherData(gather_timings(ex, tiny_gather_config(80)));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static GatherData* data_;
+};
+
+GatherData* TrainerTest::data_ = nullptr;
+
+TEST_F(TrainerTest, TrainsAndSelectsBestModel) {
+  TrainOptions opts;
+  opts.candidates = {"linear_regression", "xgboost"};
+  opts.tune = false;
+  const auto out = train_and_select(*data_, opts);
+  ASSERT_EQ(out.reports.size(), 2u);
+  EXPECT_FALSE(out.selected.empty());
+  ASSERT_NE(out.model, nullptr);
+  const auto& lin = out.reports[0];
+  const auto& xgb = out.reports[1];
+  EXPECT_GT(lin.test_rmse_norm, 0.0);
+  EXPECT_GT(xgb.test_rmse_norm, 0.0);
+  // The selection follows the estimated aggregate speedup, which folds in
+  // the evaluation overhead (SS IV-D) — on the tiny platform with us-scale
+  // GEMMs either model may legitimately win. The winner must be the argmax.
+  const auto& winner = out.selected_report();
+  EXPECT_GE(winner.est_agg_speedup, lin.est_agg_speedup);
+  EXPECT_GE(winner.est_agg_speedup, xgb.est_agg_speedup);
+  EXPECT_GT(winner.est_mean_speedup, 1.0)
+      << "thread selection must beat max-threads on the tiny platform";
+  EXPECT_GT(xgb.eval_time_us, 0.0);
+}
+
+TEST_F(TrainerTest, ReportsContainSpeedupOrdering) {
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  const auto out = train_and_select(*data_, opts);
+  const auto& r = out.selected_report();
+  // Estimated speedup includes the eval overhead, so it cannot exceed ideal.
+  EXPECT_LE(r.est_mean_speedup, r.ideal_mean_speedup + 1e-9);
+  EXPECT_LE(r.est_agg_speedup, r.ideal_agg_speedup + 1e-9);
+}
+
+TEST_F(TrainerTest, PredictBestGridIndexInRange) {
+  TrainOptions opts;
+  opts.candidates = {"decision_tree"};
+  opts.tune = false;
+  const auto out = train_and_select(*data_, opts);
+  for (const auto& rec : data_->records) {
+    const auto idx = predict_best_grid_index(*out.model, out.pipeline,
+                                             rec.shape, rec.threads);
+    EXPECT_LT(idx, rec.threads.size());
+  }
+}
+
+TEST(Trainer, TooFewShapesThrows) {
+  GatherData empty;
+  EXPECT_THROW(train_and_select(empty, {}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- AdsalaGemm
+
+TEST(AdsalaGemm, SelectThreadsMemoisesLastQuery) {
+  auto ex = tiny_executor();
+  auto data = gather_timings(ex, tiny_gather_config(60));
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  AdsalaGemm adsala(train_and_select(data, opts));
+  const int p1 = adsala.select_threads(100, 200, 300);
+  const int p2 = adsala.select_threads(100, 200, 300);
+  EXPECT_EQ(p1, p2);
+  EXPECT_GE(p1, 1);
+  EXPECT_LE(p1, 16);
+}
+
+TEST(AdsalaGemm, SaveLoadRoundTrip) {
+  auto ex = tiny_executor();
+  auto data = gather_timings(ex, tiny_gather_config(60));
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  AdsalaGemm original(train_and_select(data, opts));
+  const std::string model_path = "/tmp/adsala_test_model.json";
+  const std::string config_path = "/tmp/adsala_test_config.json";
+  original.save(model_path, config_path);
+
+  AdsalaGemm restored(model_path, config_path);
+  EXPECT_EQ(restored.platform(), original.platform());
+  EXPECT_EQ(restored.max_threads(), original.max_threads());
+  EXPECT_EQ(restored.model_name(), original.model_name());
+  for (long m : {64L, 500L, 2000L}) {
+    EXPECT_EQ(restored.select_threads(m, m, m),
+              original.select_threads(m, m, m));
+  }
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(config_path);
+}
+
+TEST(AdsalaGemm, SgemmComputesCorrectProduct) {
+  auto ex = tiny_executor();
+  auto data = gather_timings(ex, tiny_gather_config(60));
+  TrainOptions opts;
+  opts.candidates = {"decision_tree"};
+  opts.tune = false;
+  AdsalaGemm adsala(train_and_select(data, opts));
+
+  const int m = 17, n = 13, k = 11;
+  std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f), c_ref(m * n, 0.0f);
+  for (int i = 0; i < m * k; ++i) a[i] = static_cast<float>(i % 7) - 3.0f;
+  for (int i = 0; i < k * n; ++i) b[i] = static_cast<float>(i % 5) - 2.0f;
+  adsala.sgemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  blas::reference_gemm<float>(blas::Trans::kNo, blas::Trans::kNo, m, n, k,
+                              1.0f, a.data(), k, b.data(), n, 0.0f,
+                              c_ref.data(), n);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-3);
+}
+
+// ----------------------------------------------------------------- Install
+
+TEST(Install, WritesArtefactsAndReportsSpeedup) {
+  auto ex = tiny_executor();
+  InstallOptions opts;
+  opts.gather = tiny_gather_config(70);
+  opts.train.candidates = {"linear_regression", "xgboost"};
+  opts.train.tune = false;
+  opts.output_dir = "/tmp/adsala_test_install";
+  std::filesystem::create_directories(opts.output_dir);
+
+  const auto report = install(ex, opts);
+  EXPECT_TRUE(std::filesystem::exists(report.model_path));
+  EXPECT_TRUE(std::filesystem::exists(report.config_path));
+  EXPECT_TRUE(
+      std::filesystem::exists(opts.output_dir + "/timings.csv"));
+  EXPECT_GT(report.gather_seconds, 0.0);
+  EXPECT_GT(report.train_seconds, 0.0);
+
+  // The artefacts must load into a working runtime.
+  AdsalaGemm runtime(report.model_path, report.config_path);
+  EXPECT_EQ(runtime.platform(), "tiny");
+  const int p = runtime.select_threads(128, 128, 128);
+  EXPECT_GE(p, 1);
+  EXPECT_LE(p, 16);
+
+  std::filesystem::remove_all(opts.output_dir);
+}
+
+}  // namespace
+}  // namespace adsala::core

@@ -1,0 +1,363 @@
+// Tests for the preprocessing stack: Yeo-Johnson, scaler, LOF, correlation
+// filter, Table-II features, and the full pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "preprocess/correlation_filter.h"
+#include "preprocess/features.h"
+#include "preprocess/lof.h"
+#include "preprocess/pipeline.h"
+#include "preprocess/scaler.h"
+#include "preprocess/yeo_johnson.h"
+
+namespace adsala::preprocess {
+namespace {
+
+// -------------------------------------------------------------- YeoJohnson
+
+TEST(YeoJohnson, LambdaOneIsIdentityForPositive) {
+  for (double x : {0.0, 0.5, 3.0, 100.0}) {
+    EXPECT_NEAR(yeo_johnson(x, 1.0), x, 1e-12);
+  }
+}
+
+TEST(YeoJohnson, LambdaZeroIsLogForPositive) {
+  for (double x : {0.1, 1.0, 9.0}) {
+    EXPECT_NEAR(yeo_johnson(x, 0.0), std::log1p(x), 1e-12);
+  }
+}
+
+TEST(YeoJohnson, NegativeBranchLambdaTwo) {
+  // lambda = 2 makes the negative branch logarithmic: -log1p(-x).
+  EXPECT_NEAR(yeo_johnson(-3.0, 2.0), -std::log1p(3.0), 1e-12);
+}
+
+TEST(YeoJohnson, ContinuousAtZero) {
+  for (double lambda : {-2.0, 0.0, 0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(yeo_johnson(1e-12, lambda), yeo_johnson(-1e-12, lambda),
+                1e-10);
+  }
+}
+
+TEST(YeoJohnson, MonotoneIncreasing) {
+  for (double lambda : {-1.0, 0.0, 0.7, 1.0, 2.5}) {
+    double prev = yeo_johnson(-10.0, lambda);
+    for (double x = -9.5; x <= 10.0; x += 0.5) {
+      const double y = yeo_johnson(x, lambda);
+      EXPECT_GT(y, prev) << "x=" << x << " lambda=" << lambda;
+      prev = y;
+    }
+  }
+}
+
+// Property: inverse(transform(x)) == x across lambdas and signs.
+class YeoJohnsonRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(YeoJohnsonRoundTrip, InverseRecoversInput) {
+  const double lambda = GetParam();
+  for (double x : {-50.0, -3.1, -0.7, 0.0, 0.4, 2.0, 77.0}) {
+    const double y = yeo_johnson(x, lambda);
+    EXPECT_NEAR(yeo_johnson_inverse(y, lambda), x,
+                1e-8 * std::max(1.0, std::fabs(x)))
+        << "lambda=" << lambda << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, YeoJohnsonRoundTrip,
+                         ::testing::Values(-2.0, -1.0, -0.5, 0.0, 0.5, 1.0,
+                                           1.5, 2.0, 3.0));
+
+TEST(YeoJohnson, MleReducesSkewness) {
+  // Log-normal sample: heavily right-skewed; the MLE transform must bring
+  // skewness close to zero.
+  adsala::Rng rng(1);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = std::exp(rng.normal(0.0, 1.0));
+  const double before = adsala::skewness(xs);
+  YeoJohnsonTransformer yj;
+  yj.fit(xs);
+  const auto ys = yj.transform(xs);
+  const double after = adsala::skewness(ys);
+  EXPECT_GT(before, 2.0);
+  EXPECT_LT(std::fabs(after), 0.3);
+  EXPECT_LT(yj.lambda(), 0.5) << "log-like lambda expected for exp data";
+}
+
+TEST(YeoJohnson, MleOnSymmetricDataNearIdentity) {
+  adsala::Rng rng(2);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(5.0, 1.0);
+  EXPECT_NEAR(estimate_lambda(xs), 1.0, 0.4);
+}
+
+// ------------------------------------------------------------------ Scaler
+
+TEST(Scaler, TransformsToZeroMeanUnitVar) {
+  const std::vector<double> xs = {2, 4, 6, 8};
+  StandardScaler sc;
+  sc.fit(xs);
+  const auto ys = sc.transform(xs);
+  EXPECT_NEAR(adsala::mean(ys), 0.0, 1e-12);
+  EXPECT_NEAR(adsala::stddev(ys), 1.0, 1e-12);
+}
+
+TEST(Scaler, InverseRoundTrip) {
+  const std::vector<double> xs = {1.5, -2.0, 7.25};
+  StandardScaler sc;
+  sc.fit(xs);
+  for (double x : xs) {
+    EXPECT_NEAR(sc.inverse(sc.transform(x)), x, 1e-12);
+  }
+}
+
+TEST(Scaler, ConstantColumnIsSafe) {
+  const std::vector<double> xs = {3, 3, 3};
+  StandardScaler sc;
+  sc.fit(xs);
+  EXPECT_DOUBLE_EQ(sc.transform(3.0), 0.0);  // no divide-by-zero
+}
+
+// --------------------------------------------------------------------- LOF
+
+TEST(Lof, FlagsPlantedOutlier) {
+  // Dense unit cluster + one far point.
+  adsala::Rng rng(3);
+  const std::size_t n = 101, d = 2;
+  std::vector<double> rows(n * d);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rows[i * d] = rng.normal(0.0, 1.0);
+    rows[i * d + 1] = rng.normal(0.0, 1.0);
+  }
+  rows[(n - 1) * d] = 50.0;
+  rows[(n - 1) * d + 1] = 50.0;
+  const auto scores = lof_scores(rows, n, d, 10);
+  EXPECT_GT(scores[n - 1], 3.0) << "outlier must get a large LOF";
+  const auto inliers = lof_inliers(rows, n, d, 10, 1.5);
+  EXPECT_EQ(std::count(inliers.begin(), inliers.end(), n - 1), 0);
+  EXPECT_GT(inliers.size(), 90u) << "cluster members must survive";
+}
+
+TEST(Lof, FlagsLocalOutlierBetweenClusters) {
+  // Two tight clusters + a point floating between them: statistically not a
+  // global outlier, but locally isolated — the case LOF exists for.
+  adsala::Rng rng(4);
+  const std::size_t per = 60, n = 2 * per + 1, d = 2;
+  std::vector<double> rows(n * d);
+  for (std::size_t i = 0; i < per; ++i) {
+    rows[i * d] = rng.normal(0.0, 0.1);
+    rows[i * d + 1] = rng.normal(0.0, 0.1);
+    rows[(per + i) * d] = rng.normal(10.0, 0.1);
+    rows[(per + i) * d + 1] = rng.normal(0.0, 0.1);
+  }
+  rows[(n - 1) * d] = 5.0;
+  rows[(n - 1) * d + 1] = 0.0;
+  const auto scores = lof_scores(rows, n, d, 10);
+  EXPECT_GT(scores[n - 1], 2.0);
+}
+
+TEST(Lof, UniformDataScoresNearOne) {
+  adsala::Rng rng(5);
+  const std::size_t n = 200, d = 3;
+  std::vector<double> rows(n * d);
+  for (auto& v : rows) v = rng.uniform();
+  const auto scores = lof_scores(rows, n, d, 15);
+  for (double s : scores) {
+    EXPECT_GT(s, 0.5);
+    EXPECT_LT(s, 2.0);
+  }
+}
+
+TEST(Lof, DuplicatePointsAreSafe) {
+  const std::size_t n = 30, d = 1;
+  std::vector<double> rows(n, 1.0);  // all identical
+  EXPECT_NO_THROW({
+    const auto scores = lof_scores(rows, n, d, 5);
+    for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+  });
+}
+
+TEST(Lof, SizeMismatchThrows) {
+  std::vector<double> rows(10);
+  EXPECT_THROW(lof_scores(rows, 4, 3, 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------- CorrelationFilter
+
+TEST(CorrFilter, DropsDuplicateColumn) {
+  ml::Dataset data({"x", "x_dup", "indep"});
+  adsala::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double z = rng.uniform(-1, 1);
+    data.add_row(std::vector<double>{x, x, z}, 0.0);
+  }
+  const auto keep = correlation_filter(data, 0.8);
+  EXPECT_EQ(keep.size(), 2u);
+  // Exactly one of {0, 1} survives, and 2 always survives.
+  EXPECT_TRUE(std::count(keep.begin(), keep.end(), 2u) == 1);
+}
+
+TEST(CorrFilter, KeepsIndependentColumns) {
+  ml::Dataset data({"a", "b", "c"});
+  adsala::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    data.add_row(std::vector<double>{rng.uniform(), rng.uniform(),
+                                     rng.uniform()},
+                 0.0);
+  }
+  EXPECT_EQ(correlation_filter(data, 0.8).size(), 3u);
+}
+
+TEST(CorrFilter, DropsTheMoreConnectedMember) {
+  // hub correlates with both spoke1 and spoke2; spokes are uncorrelated with
+  // each other. Dropping the hub resolves both pairs at once.
+  ml::Dataset data({"spoke1", "hub", "spoke2"});
+  adsala::Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    const double s1 = rng.normal();
+    const double s2 = rng.normal();
+    const double hub = s1 + s2;  // strongly correlated with both
+    data.add_row(std::vector<double>{s1, hub, s2}, 0.0);
+  }
+  const auto keep = correlation_filter(data, 0.6);
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(CorrFilter, MatrixIsSymmetricWithUnitDiagonal) {
+  ml::Dataset data({"a", "b"});
+  adsala::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    data.add_row(std::vector<double>{rng.uniform(), rng.uniform()}, 0.0);
+  }
+  const auto corr = correlation_matrix(data);
+  EXPECT_DOUBLE_EQ(corr[0], 1.0);
+  EXPECT_DOUBLE_EQ(corr[3], 1.0);
+  EXPECT_DOUBLE_EQ(corr[1], corr[2]);
+}
+
+// ---------------------------------------------------------------- Features
+
+TEST(Features, TableTwoValues) {
+  const auto f = make_features(2, 3, 4, 8);
+  const auto& names = feature_names();
+  ASSERT_EQ(f.size(), names.size());
+  EXPECT_DOUBLE_EQ(f[0], 2);        // m
+  EXPECT_DOUBLE_EQ(f[3], 8);        // n_threads
+  EXPECT_DOUBLE_EQ(f[4], 6);        // m*k
+  EXPECT_DOUBLE_EQ(f[5], 8);        // m*n
+  EXPECT_DOUBLE_EQ(f[6], 12);       // k*n
+  EXPECT_DOUBLE_EQ(f[7], 24);       // m*k*n
+  EXPECT_DOUBLE_EQ(f[8], 26);       // sum of areas
+  EXPECT_DOUBLE_EQ(f[9], 0.25);     // m/t
+  EXPECT_DOUBLE_EQ(f[15], 3.0);     // m*k*n/t
+  EXPECT_DOUBLE_EQ(f[16], 3.25);    // total/t
+}
+
+TEST(Features, GroupOneIndicesMatchNames) {
+  for (std::size_t j : group1_indices()) {
+    EXPECT_EQ(feature_names()[j].find("/t"), std::string::npos)
+        << "group 1 must not contain per-thread terms";
+  }
+}
+
+// ---------------------------------------------------------------- Pipeline
+
+ml::Dataset skewed_dataset(std::size_t n, std::uint64_t seed) {
+  ml::Dataset data({"f0", "f1", "f1_dup"});
+  adsala::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f0 = std::exp(rng.normal(0.0, 1.5));  // right-skewed
+    const double f1 = rng.normal(0.0, 2.0);
+    data.add_row(std::vector<double>{f0, f1, f1 * 2.0 + 0.1},
+                 std::exp(rng.normal(0.0, 1.0)));
+  }
+  return data;
+}
+
+TEST(Pipeline, FitTransformShapesAndScales) {
+  Pipeline pipe;
+  const auto out = pipe.fit_transform(skewed_dataset(400, 10));
+  EXPECT_EQ(out.n_features(), 2u) << "duplicate column must be filtered";
+  EXPECT_LE(out.size(), 400u);
+  // Transformed surviving columns are near zero-mean.
+  for (std::size_t j = 0; j < out.n_features(); ++j) {
+    EXPECT_NEAR(adsala::mean(out.column(j)), 0.0, 0.3);
+  }
+}
+
+TEST(Pipeline, TransformRowMatchesFitTransformForInliers) {
+  const auto raw = skewed_dataset(300, 11);
+  Pipeline pipe(PipelineConfig{.lof = false});  // keep every row
+  const auto out = pipe.fit_transform(raw);
+  ASSERT_EQ(out.size(), raw.size());
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto row = pipe.transform_row(raw.row(i));
+    ASSERT_EQ(row.size(), out.n_features());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_NEAR(row[j], out.row(i)[j], 1e-10);
+    }
+  }
+}
+
+TEST(Pipeline, LogLabelRoundTrip) {
+  Pipeline pipe;
+  EXPECT_NEAR(pipe.inverse_label(pipe.transform_label(0.037)), 0.037, 1e-12);
+  Pipeline raw_label(PipelineConfig{.log_label = false});
+  EXPECT_DOUBLE_EQ(raw_label.transform_label(5.0), 5.0);
+}
+
+TEST(Pipeline, LofRemovesPlantedOutlierRow) {
+  auto raw = skewed_dataset(200, 12);
+  raw.add_row(std::vector<double>{1e9, 1e9, 1e9}, 1.0);  // absurd row
+  Pipeline pipe;
+  const auto out = pipe.fit_transform(raw);
+  EXPECT_GE(pipe.rows_removed(), 1u);
+  EXPECT_LT(out.size(), raw.size());
+}
+
+TEST(Pipeline, DisabledStagesAreIdentity) {
+  PipelineConfig cfg;
+  cfg.yeo_johnson = false;
+  cfg.standardize = false;
+  cfg.lof = false;
+  cfg.corr_filter = false;
+  cfg.log_label = false;
+  Pipeline pipe(cfg);
+  const auto raw = skewed_dataset(100, 13);
+  const auto out = pipe.fit_transform(raw);
+  ASSERT_EQ(out.size(), raw.size());
+  ASSERT_EQ(out.n_features(), raw.n_features());
+  for (std::size_t j = 0; j < raw.n_features(); ++j) {
+    EXPECT_DOUBLE_EQ(out.row(5)[j], raw.row(5)[j]);
+  }
+  EXPECT_DOUBLE_EQ(out.label(5), raw.label(5));
+}
+
+TEST(Pipeline, SaveLoadRoundTrip) {
+  Pipeline pipe;
+  const auto raw = skewed_dataset(300, 14);
+  pipe.fit_transform(raw);
+  Pipeline restored;
+  restored.load(pipe.save());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto a = pipe.transform_row(raw.row(i));
+    const auto b = restored.transform_row(raw.row(i));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[j], b[j]);
+    }
+  }
+  EXPECT_EQ(restored.kept_features(), pipe.kept_features());
+}
+
+TEST(Pipeline, EmptyDatasetThrows) {
+  Pipeline pipe;
+  ml::Dataset empty({"x"});
+  EXPECT_THROW(pipe.fit_transform(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsala::preprocess

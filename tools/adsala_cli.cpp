@@ -1,0 +1,218 @@
+// adsala — command-line interface to the ADSALA workflow.
+//
+//   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
+//                    [--out DIR] [--cap-mb MB] [--no-tune]
+//   adsala predict   --dir DIR --shape MxKxN [--shape ...]
+//   adsala inspect   --dir DIR
+//   adsala time      --platform <...> --shape MxKxN [--threads P]
+//
+// `install` runs the full installation workflow and writes model.json /
+// config.json / timings.csv. `predict` loads those artefacts and prints the
+// selected thread count per shape. `inspect` summarises the artefacts.
+// `time` measures one GEMM on the chosen backend at a given thread count
+// (or sweeps the default grid when --threads is omitted).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adsala.h"
+#include "core/install.h"
+
+using namespace adsala;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string platform = "native";
+  std::string dir = "adsala_artifacts";
+  std::size_t samples = 150;
+  std::size_t cap_mb = 100;
+  bool tune = true;
+  int threads = 0;
+  std::vector<simarch::GemmShape> shapes;
+};
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  adsala install --platform <native|setonix|gadi|tiny> "
+               "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune]\n"
+               "  adsala predict --dir DIR --shape MxKxN [--shape ...]\n"
+               "  adsala inspect --dir DIR\n"
+               "  adsala time    --platform <...> --shape MxKxN "
+               "[--threads P]\n");
+  std::exit(2);
+}
+
+simarch::GemmShape parse_shape(const std::string& text) {
+  simarch::GemmShape shape;
+  shape.elem_bytes = 4;
+  if (std::sscanf(text.c_str(), "%ldx%ldx%ld", &shape.m, &shape.k,
+                  &shape.n) != 3 ||
+      shape.m < 1 || shape.k < 1 || shape.n < 1) {
+    usage("--shape expects MxKxN with positive integers");
+  }
+  return shape;
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--platform") {
+      args.platform = value();
+    } else if (flag == "--dir" || flag == "--out") {
+      args.dir = value();
+    } else if (flag == "--samples") {
+      args.samples = std::stoul(value());
+    } else if (flag == "--cap-mb") {
+      args.cap_mb = std::stoul(value());
+    } else if (flag == "--no-tune") {
+      args.tune = false;
+    } else if (flag == "--threads") {
+      args.threads = std::stoi(value());
+    } else if (flag == "--shape") {
+      args.shapes.push_back(parse_shape(value()));
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<core::GemmExecutor> make_backend(const std::string& name) {
+  if (name == "native") return std::make_unique<core::NativeExecutor>();
+  simarch::CpuTopology topo;
+  if (name == "setonix") {
+    topo = simarch::setonix_topology();
+  } else if (name == "gadi") {
+    topo = simarch::gadi_topology();
+  } else if (name == "tiny") {
+    topo = simarch::tiny_topology();
+  } else {
+    usage("unknown platform");
+  }
+  return std::make_unique<core::SimulatedExecutor>(
+      simarch::MachineModel(topo, 42));
+}
+
+int cmd_install(const Args& args) {
+  auto executor = make_backend(args.platform);
+  core::InstallOptions options;
+  options.gather.n_samples = args.samples;
+  options.gather.domain.memory_cap_bytes = args.cap_mb * 1024ull * 1024;
+  if (args.platform == "native") {
+    options.gather.iterations = 3;
+    options.gather.domain.dim_max =
+        std::min<long>(options.gather.domain.dim_max, 2000);
+  }
+  options.train.tune = args.tune;
+  options.output_dir = args.dir;
+  std::filesystem::create_directories(args.dir);
+
+  std::printf("installing on '%s' (%zu shapes, cap %zu MB, tune=%s)...\n",
+              args.platform.c_str(), args.samples, args.cap_mb,
+              args.tune ? "yes" : "no");
+  const auto report = core::install(*executor, options);
+  std::printf("gather %.1fs, train %.1fs\n", report.gather_seconds,
+              report.train_seconds);
+  std::printf("%-18s %10s %10s %10s %10s\n", "model", "norm RMSE",
+              "eval (us)", "est mean", "est agg");
+  for (const auto& r : report.trained.reports) {
+    std::printf("%-18s %10.3f %10.1f %10.2f %10.2f\n", r.model_name.c_str(),
+                r.test_rmse_norm, r.eval_time_us, r.est_mean_speedup,
+                r.est_agg_speedup);
+  }
+  std::printf("selected: %s\nartefacts: %s, %s\n",
+              report.trained.selected.c_str(), report.model_path.c_str(),
+              report.config_path.c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  if (args.shapes.empty()) usage("predict needs at least one --shape");
+  core::AdsalaGemm runtime(args.dir + "/model.json",
+                           args.dir + "/config.json");
+  std::printf("platform %s, model %s, max threads %d\n",
+              runtime.platform().c_str(), runtime.model_name().c_str(),
+              runtime.max_threads());
+  for (const auto& s : args.shapes) {
+    std::printf("%ldx%ldx%ld -> %d threads\n", s.m, s.k, s.n,
+                runtime.select_threads(s.m, s.k, s.n));
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const Json config = read_json_file(args.dir + "/config.json");
+  const Json model = read_json_file(args.dir + "/model.json");
+  std::printf("platform    : %s\n", config.at("platform").as_string().c_str());
+  std::printf("max threads : %d\n", config.at("max_threads").as_int());
+  std::printf("model       : %s\n", model.at("model").as_string().c_str());
+  std::printf("thread grid :");
+  for (const auto& v : config.at("thread_grid").as_array()) {
+    std::printf(" %d", v.as_int());
+  }
+  std::printf("\n");
+  const Json& pipe = config.at("pipeline");
+  std::printf("pipeline    : yeo_johnson=%s standardize=%s lof=%s "
+              "corr_filter=%s log_label=%s\n",
+              pipe.at("yeo_johnson").as_bool() ? "on" : "off",
+              pipe.at("standardize").as_bool() ? "on" : "off",
+              pipe.at("lof").as_bool() ? "on" : "off",
+              pipe.at("corr_filter").as_bool() ? "on" : "off",
+              pipe.at("log_label").as_bool() ? "on" : "off");
+  std::printf("features    : %zu kept of %zu\n",
+              pipe.at("keep").as_array().size(),
+              pipe.at("feature_names").as_array().size());
+  return 0;
+}
+
+int cmd_time(const Args& args) {
+  if (args.shapes.empty()) usage("time needs --shape");
+  auto executor = make_backend(args.platform);
+  for (const auto& shape : args.shapes) {
+    if (args.threads > 0) {
+      const double t = executor->measure(shape, args.threads);
+      std::printf("%ldx%ldx%ld @ %d threads: %.1f us (%.1f GFLOPS)\n",
+                  shape.m, shape.k, shape.n, args.threads, 1e6 * t,
+                  shape.flops() / t / 1e9);
+    } else {
+      std::printf("%ldx%ldx%ld thread sweep on %s:\n", shape.m, shape.k,
+                  shape.n, args.platform.c_str());
+      for (int p : core::default_thread_grid(executor->max_threads())) {
+        const double t = executor->measure(shape, p);
+        std::printf("  p=%3d  %12.1f us  %8.1f GFLOPS\n", p, 1e6 * t,
+                    shape.flops() / t / 1e9);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "install") return cmd_install(args);
+    if (args.command == "predict") return cmd_predict(args);
+    if (args.command == "inspect") return cmd_inspect(args);
+    if (args.command == "time") return cmd_time(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage("unknown command");
+}
