@@ -1,8 +1,21 @@
 // google-benchmark microbenchmarks of the from-scratch BLAS substrate:
-// GFLOPS of the blocked GEMM across shapes and thread counts on the host.
+// GFLOPS of the blocked GEMM across shapes, thread counts, and dispatched
+// micro-kernel variants (generic vs avx2 where the host supports it), so a
+// single run A/Bs the KernelSet implementations. Before timing anything,
+// every variant is verified element-wise against reference_gemm; a mismatch
+// fails the binary. Results are additionally written to
+// BENCH_gemm_kernel.json via google-benchmark's JSON reporter.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "blas/gemm.h"
+#include "blas/kernels/dispatch.h"
 #include "common/aligned_buffer.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -11,6 +24,8 @@ namespace {
 
 using adsala::AlignedBuffer;
 using adsala::Rng;
+namespace blas = adsala::blas;
+namespace kernels = adsala::blas::kernels;
 
 template <typename T>
 void fill_random(AlignedBuffer<T>& buf, std::uint64_t seed) {
@@ -20,7 +35,13 @@ void fill_random(AlignedBuffer<T>& buf, std::uint64_t seed) {
   }
 }
 
-void BM_SgemmSquare(benchmark::State& state) {
+blas::GemmTuning tuning_for(kernels::Variant v) {
+  blas::GemmTuning tuning;
+  tuning.variant = v;
+  return tuning;
+}
+
+void BM_SgemmSquare(benchmark::State& state, kernels::Variant variant) {
   const auto dim = static_cast<int>(state.range(0));
   const auto threads = static_cast<int>(state.range(1));
   AlignedBuffer<float> a(static_cast<std::size_t>(dim) * dim);
@@ -28,10 +49,11 @@ void BM_SgemmSquare(benchmark::State& state) {
   AlignedBuffer<float> c(static_cast<std::size_t>(dim) * dim);
   fill_random(a, 1);
   fill_random(b, 2);
+  const auto tuning = tuning_for(variant);
   for (auto _ : state) {
-    adsala::blas::sgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
-                        dim, dim, dim, 1.0f, a.data(), dim, b.data(), dim,
-                        0.0f, c.data(), dim, threads);
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim, 1.0f,
+                      a.data(), dim, b.data(), dim, 0.0f, c.data(), dim,
+                      threads, tuning);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOPS"] = benchmark::Counter(
@@ -39,7 +61,7 @@ void BM_SgemmSquare(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
-void BM_SgemmSkinny(benchmark::State& state) {
+void BM_SgemmSkinny(benchmark::State& state, kernels::Variant variant) {
   // The paper's motivating shape family: m small, k/n large (e.g. ResNet's
   // 64 x 3000 operands).
   const int m = 64;
@@ -50,10 +72,11 @@ void BM_SgemmSkinny(benchmark::State& state) {
   AlignedBuffer<float> c(static_cast<std::size_t>(m) * kn);
   fill_random(a, 3);
   fill_random(b, 4);
+  const auto tuning = tuning_for(variant);
   for (auto _ : state) {
-    adsala::blas::sgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
-                        m, kn, kn, 1.0f, a.data(), kn, b.data(), kn, 0.0f,
-                        c.data(), kn, threads);
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, m, kn, kn, 1.0f,
+                      a.data(), kn, b.data(), kn, 0.0f, c.data(), kn, threads,
+                      tuning);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOPS"] = benchmark::Counter(
@@ -61,17 +84,18 @@ void BM_SgemmSkinny(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
-void BM_DgemmSquare(benchmark::State& state) {
+void BM_DgemmSquare(benchmark::State& state, kernels::Variant variant) {
   const auto dim = static_cast<int>(state.range(0));
   AlignedBuffer<double> a(static_cast<std::size_t>(dim) * dim);
   AlignedBuffer<double> b(static_cast<std::size_t>(dim) * dim);
   AlignedBuffer<double> c(static_cast<std::size_t>(dim) * dim);
   fill_random(a, 5);
   fill_random(b, 6);
+  const auto tuning = tuning_for(variant);
   for (auto _ : state) {
-    adsala::blas::dgemm(adsala::blas::Trans::kNo, adsala::blas::Trans::kNo,
-                        dim, dim, dim, 1.0, a.data(), dim, b.data(), dim, 0.0,
-                        c.data(), dim, 0);
+    blas::gemm<double>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim, 1.0,
+                       a.data(), dim, b.data(), dim, 0.0, c.data(), dim, 0,
+                       tuning);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOPS"] = benchmark::Counter(
@@ -79,14 +103,90 @@ void BM_DgemmSquare(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
+/// Element-wise check of one variant against the naive reference at a size
+/// where plain 1e-4 / 1e-10 absolute tolerances are meaningful for the
+/// accumulation length (k = 256).
+template <typename T>
+bool verify_variant(kernels::Variant variant, double tol) {
+  const int dim = 256;
+  AlignedBuffer<T> a(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<T> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<T> c(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<T> c_ref(static_cast<std::size_t>(dim) * dim);
+  fill_random(a, 11);
+  fill_random(b, 12);
+  blas::gemm<T>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim, T(1),
+                a.data(), dim, b.data(), dim, T(0), c.data(), dim, 0,
+                tuning_for(variant));
+  blas::reference_gemm<T>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim,
+                          T(1), a.data(), dim, b.data(), dim, T(0),
+                          c_ref.data(), dim);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double err = std::abs(static_cast<double>(c[i]) -
+                                static_cast<double>(c_ref[i]));
+    if (err > max_err) max_err = err;
+  }
+  const bool ok = max_err <= tol;
+  std::fprintf(stderr, "[verify] %-7s %s  m=n=k=%d  max|err|=%.3e  (tol %g) %s\n",
+               kernels::variant_name(variant),
+               sizeof(T) == 4 ? "fp32" : "fp64", dim, max_err, tol,
+               ok ? "OK" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK(BM_SgemmSquare)
-    ->ArgsProduct({{128, 512, 1024}, {1, 4, 0 /* all */}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_SgemmSkinny)
-    ->ArgsProduct({{512, 2048}, {1, 4, 0}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_DgemmSquare)->Arg(512)->Unit(benchmark::kMicrosecond);
+int main(int argc, char** argv) {
+  bool ok = true;
+  for (const auto variant : kernels::supported_variants()) {
+    ok &= verify_variant<float>(variant, 1e-4);
+    ok &= verify_variant<double>(variant, 1e-10);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "[verify] kernel variant mismatch; not benching\n");
+    return 1;
+  }
 
-BENCHMARK_MAIN();
+  for (const auto variant : kernels::supported_variants()) {
+    const std::string suffix = kernels::variant_name(variant);
+    benchmark::RegisterBenchmark(("BM_SgemmSquare/" + suffix).c_str(),
+                                 BM_SgemmSquare, variant)
+        ->ArgsProduct({{128, 512, 1024}, {1, 4, 0 /* all */}})
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("BM_SgemmSkinny/" + suffix).c_str(),
+                                 BM_SgemmSkinny, variant)
+        ->ArgsProduct({{512, 2048}, {1, 4, 0}})
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("BM_DgemmSquare/" + suffix).c_str(),
+                                 BM_DgemmSquare, variant)
+        ->Arg(512)
+        ->Unit(benchmark::kMicrosecond);
+  }
+
+  // Console output for humans plus BENCH_gemm_kernel.json for the perf
+  // trajectory (same convention as the BenchJson figure benches). An
+  // explicit --benchmark_out on the command line wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    std::string json_dir = ".";
+    if (const char* env = std::getenv("ADSALA_BENCH_JSON_DIR")) json_dir = env;
+    out_flag = "--benchmark_out=" + json_dir + "/BENCH_gemm_kernel.json";
+    args.push_back(out_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,13 +8,18 @@
 //   ADSALA_BENCH_TEST     independent test shapes        (default 174, paper)
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "blas/kernels/dispatch.h"
+#include "common/json.h"
 #include "core/adsala.h"
 #include "core/install.h"
 
@@ -106,6 +111,71 @@ inline core::AdsalaGemm trained_runtime(const std::string& platform,
 inline int baseline_threads(const core::SimulatedExecutor& executor) {
   return executor.model().topology().total_cores();
 }
+
+// ----------------------------------------------------------- JSON output --
+
+/// Machine-readable result sink: every bench drops one BENCH_<name>.json
+/// next to its stdout report so the perf trajectory across PRs can be
+/// diffed/plotted without scraping tables. Rows are flat JSON objects; the
+/// envelope records the bench name and the active kernel variant (the knob
+/// this file's benches A/B). Written on destruction; set ADSALA_BENCH_JSON_DIR
+/// to redirect, or ADSALA_BENCH_JSON=0 to disable.
+/// "Fig. 11" -> "fig_11": filename-safe slug of a bench/figure title.
+inline std::string json_slug(std::string_view title) {
+  std::string out;
+  for (const char ch : title) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(json_slug(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Extra envelope metadata (platform, sample counts, ...).
+  void meta(const std::string& key, Json value) {
+    meta_[key] = std::move(value);
+  }
+
+  /// Appends one result row.
+  void add(JsonObject row) { rows_.emplace_back(std::move(row)); }
+
+  ~BenchJson() {
+    if (const char* flag = std::getenv("ADSALA_BENCH_JSON")) {
+      if (std::string_view(flag) == "0") return;
+    }
+    try {
+      Json doc;
+      doc["bench"] = Json(name_);
+      doc["kernel_variant"] =
+          Json(blas::kernels::variant_name(blas::kernels::active_variant()));
+      for (auto& [k, v] : meta_) doc[k] = std::move(v);
+      JsonArray rows;
+      for (auto& r : rows_) rows.emplace_back(std::move(r));
+      doc["rows"] = Json(std::move(rows));
+      std::string dir = ".";
+      if (const char* env = std::getenv("ADSALA_BENCH_JSON_DIR")) dir = env;
+      write_json_file(dir + "/BENCH_" + name_ + ".json", doc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench] BENCH_%s.json not written: %s\n",
+                   name_.c_str(), e.what());
+    }
+  }
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<Json> rows_;
+};
 
 // ------------------------------------------------------------ formatting --
 

@@ -18,6 +18,11 @@ inline void run_gflops_figure(const std::string& platform,
   const auto shapes = independent_test_shapes(test_samples());
   const int reference_threads = baseline_threads(executor);
 
+  BenchJson json(fig_name);
+  json.meta("platform", Json(platform));
+  json.meta("baseline", Json(baseline_name));
+  json.meta("samples", Json(shapes.size()));
+
   constexpr int kBucketMb = 100;
   struct Bucket {
     double flops_base = 0.0, time_base = 0.0;
@@ -50,6 +55,14 @@ inline void run_gflops_figure(const std::string& platform,
     std::printf("%4zu-%-7zu %8d %17.1f GF %17.1f GF %8.2f\n", b * kBucketMb,
                 (b + 1) * kBucketMb, buckets[b].n, g_base, g_ml,
                 g_ml / g_base);
+    JsonObject row;
+    row["bucket_mb_lo"] = Json(b * kBucketMb);
+    row["bucket_mb_hi"] = Json((b + 1) * kBucketMb);
+    row["samples"] = Json(buckets[b].n);
+    row["gflops_baseline"] = Json(g_base);
+    row["gflops_ml"] = Json(g_ml);
+    row["ratio"] = Json(g_ml / g_base);
+    json.add(std::move(row));
   }
   std::printf("\n[paper] ML-selected threads lift GFLOPS in every bucket; "
               "largest relative gain in the 0-100 MB range\n");

@@ -22,6 +22,10 @@ inline void run_model_table(const std::string& platform,
   std::fprintf(stderr, "[bench] tuning 8 candidate models...\n");
   const auto out = core::train_and_select(gathered, topts);
 
+  BenchJson json(table_name);
+  json.meta("platform", Json(platform));
+  json.meta("selected", Json(out.selected));
+
   std::printf("%-18s %10s %10s %9s %10s %10s %9s\n", "model", "norm RMSE",
               "ideal mean", "ideal agg", "eval (us)", "est mean", "est agg");
   print_rule();
@@ -30,6 +34,15 @@ inline void run_model_table(const std::string& platform,
                 r.model_name.c_str(), r.test_rmse_norm, r.ideal_mean_speedup,
                 r.ideal_agg_speedup, r.eval_time_us, r.est_mean_speedup,
                 r.est_agg_speedup);
+    JsonObject row;
+    row["model"] = Json(r.model_name);
+    row["test_rmse_norm"] = Json(r.test_rmse_norm);
+    row["ideal_mean_speedup"] = Json(r.ideal_mean_speedup);
+    row["ideal_agg_speedup"] = Json(r.ideal_agg_speedup);
+    row["eval_time_us"] = Json(r.eval_time_us);
+    row["est_mean_speedup"] = Json(r.est_mean_speedup);
+    row["est_agg_speedup"] = Json(r.est_agg_speedup);
+    json.add(std::move(row));
   }
   std::printf("\nselected model: %s\n", out.selected.c_str());
   std::printf("[paper] tree boosters get the lowest RMSE; XGBoost combines "

@@ -44,6 +44,10 @@ inline void run_predesigned(const std::string& platform,
        [](long f, long s) { return simarch::GemmShape{f, f, s, 4}; }},
   };
 
+  BenchJson json(fig_name);
+  json.meta("platform", Json(platform));
+  json.meta("baseline", Json(baseline_name));
+
   for (const auto& fam : families) {
     for (long f : small) {
       char title[64];
@@ -58,6 +62,17 @@ inline void run_predesigned(const std::string& platform,
         std::printf("%-22s %10ld %14.1f %14.1f %9.2f %7d\n", "", s,
                     shape.flops() / t_base / 1e9, shape.flops() / t_ml / 1e9,
                     t_base / t_ml, p);
+        JsonObject row;
+        row["family"] = Json(std::string(title));
+        row["swept"] = Json(s);
+        row["m"] = Json(shape.m);
+        row["k"] = Json(shape.k);
+        row["n"] = Json(shape.n);
+        row["gflops_baseline"] = Json(shape.flops() / t_base / 1e9);
+        row["gflops_ml"] = Json(shape.flops() / t_ml / 1e9);
+        row["speedup"] = Json(t_base / t_ml);
+        row["ml_threads"] = Json(p);
+        json.add(std::move(row));
       }
     }
   }

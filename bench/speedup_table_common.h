@@ -69,6 +69,21 @@ inline void run_speedup_table(bool smt, const std::string& table_name) {
     }
   }
   print_speedup_table(cols);
+
+  BenchJson json(table_name);
+  json.meta("smt", Json(smt));
+  for (const auto& c : cols) {
+    JsonObject row;
+    row["column"] = Json(c.label);
+    row["mean"] = Json(mean(c.speedups));
+    row["stddev"] = Json(stddev(c.speedups));
+    row["min"] = Json(min_of(c.speedups));
+    row["p25"] = Json(percentile(c.speedups, 25));
+    row["p50"] = Json(percentile(c.speedups, 50));
+    row["p75"] = Json(percentile(c.speedups, 75));
+    row["max"] = Json(max_of(c.speedups));
+    json.add(std::move(row));
+  }
   std::printf("\n[paper, HT on ] mean: setonix 1.32 (0-500) / 1.41 (0-100); "
               "gadi 1.07 / 1.26\n");
   std::printf("[paper, HT off] mean: setonix 1.24 / 1.55; gadi 1.02 / "

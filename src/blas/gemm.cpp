@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "blas/microkernel.h"
+#include "blas/kernels/dispatch.h"
 #include "blas/pack.h"
 #include "common/aligned_buffer.h"
 #include "common/barrier.h"
@@ -40,23 +40,23 @@ void scale_rows(T* c, int ldc, int row_begin, int row_end, int n, T beta) {
 }
 
 /// Inner macro-kernel: multiplies one packed A block (mc x kc) by the packed
-/// B block (kc x nc_eff) into C.
+/// B block (kc x nc_eff) into C, tiling with the dispatched kernel geometry.
 template <typename T>
-void macro_kernel(int mc, int nc_eff, int kc, T alpha, const T* a_pack,
-                  const T* b_pack, T* c, int ldc) {
-  for (int jr = 0; jr < nc_eff; jr += kNr) {
-    const int cols = std::min(kNr, nc_eff - jr);
-    const T* b_panel = b_pack + static_cast<long>(jr / kNr) * kc * kNr;
-    for (int ir = 0; ir < mc; ir += kMr) {
-      const int rows = std::min(kMr, mc - ir);
-      const T* a_panel = a_pack + static_cast<long>(ir / kMr) * kc * kMr;
+void macro_kernel(const kernels::KernelSet<T>& ks, int mc, int nc_eff, int kc,
+                  T alpha, const T* a_pack, const T* b_pack, T* c, int ldc) {
+  const int mr = ks.mr;
+  const int nr = ks.nr;
+  for (int jr = 0; jr < nc_eff; jr += nr) {
+    const int cols = std::min(nr, nc_eff - jr);
+    const T* b_panel = b_pack + static_cast<long>(jr / nr) * kc * nr;
+    for (int ir = 0; ir < mc; ir += mr) {
+      const int rows = std::min(mr, mc - ir);
+      const T* a_panel = a_pack + static_cast<long>(ir / mr) * kc * mr;
       T* c_tile = c + static_cast<long>(ir) * ldc + jr;
-      if (rows == kMr && cols == kNr) {
-        detail::microkernel_full<T, kMr, kNr>(kc, alpha, a_panel, b_panel,
-                                              c_tile, ldc);
+      if (rows == mr && cols == nr) {
+        ks.full(kc, alpha, a_panel, b_panel, c_tile, ldc);
       } else {
-        detail::microkernel_edge<T, kMr, kNr>(kc, alpha, a_panel, b_panel,
-                                              c_tile, ldc, rows, cols);
+        ks.edge(kc, alpha, a_panel, b_panel, c_tile, ldc, rows, cols);
       }
     }
   }
@@ -87,21 +87,26 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
     return;
   }
 
-  const int mc = std::max(kMr, tuning.mc - tuning.mc % kMr);
+  // Micro-kernel geometry is a runtime property of the dispatched set.
+  const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
+  const int mr = ks.mr;
+  const int nr = ks.nr;
+
+  const int mc = std::max(mr, tuning.mc - tuning.mc % mr);
   const int kc = std::max(1, tuning.kc);
-  const int nc = std::max(kNr, tuning.nc - tuning.nc % kNr);
+  const int nc = std::max(nr, tuning.nc - tuning.nc % nr);
 
   // Static row partition: contiguous runs of MR-row micro-panels per thread.
-  const int row_panels = (m + kMr - 1) / kMr;
+  const int row_panels = (m + mr - 1) / mr;
   const int panels_per_thread =
       (row_panels + static_cast<int>(p) - 1) / static_cast<int>(p);
 
   // Shared packed-B block; every thread reads it, so it is packed
   // cooperatively and guarded by barriers (this shared copy + barrier is the
   // data-copy / sync cost the paper's Table VII profiles).
-  const int nc_panels_max = (std::min(nc, n) + kNr - 1) / kNr;
-  AlignedBuffer<T> b_pack(static_cast<std::size_t>(nc_panels_max) * kc * kNr);
-  const int a_pack_elems = ((mc + kMr - 1) / kMr) * kMr * kc;
+  const int nc_panels_max = (std::min(nc, n) + nr - 1) / nr;
+  AlignedBuffer<T> b_pack(static_cast<std::size_t>(nc_panels_max) * kc * nr);
+  const int a_pack_elems = ((mc + mr - 1) / mr) * mr * kc;
   std::vector<AlignedBuffer<T>> a_packs;
   a_packs.reserve(p);
   for (std::size_t t = 0; t < p; ++t) {
@@ -112,8 +117,8 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
 
   pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
     const int t = static_cast<int>(tid);
-    const int row_lo = std::min(m, t * panels_per_thread * kMr);
-    const int row_hi = std::min(m, (t + 1) * panels_per_thread * kMr);
+    const int row_lo = std::min(m, t * panels_per_thread * mr);
+    const int row_hi = std::min(m, (t + 1) * panels_per_thread * mr);
 
     scale_rows(c, ldc, row_lo, row_hi, n, beta);
     if (nt > 1) barrier.arrive_and_wait();
@@ -122,7 +127,7 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
 
     for (int jc = 0; jc < n; jc += nc) {
       const int nc_eff = std::min(nc, n - jc);
-      const int nc_panels = (nc_eff + kNr - 1) / kNr;
+      const int nc_panels = (nc_eff + nr - 1) / nr;
       for (int pc = 0; pc < k; pc += kc) {
         const int kc_eff = std::min(kc, k - pc);
 
@@ -132,15 +137,15 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
         const int bp_lo = std::min(nc_panels, t * panels_chunk);
         const int bp_hi = std::min(nc_panels, bp_lo + panels_chunk);
         for (int q = bp_lo; q < bp_hi; ++q) {
-          const int j0 = jc + q * kNr;
-          const int cols = std::min(kNr, n - j0);
-          T* dst = b_pack.data() + static_cast<long>(q) * kc_eff * kNr;
+          const int j0 = jc + q * nr;
+          const int cols = std::min(nr, n - j0);
+          T* dst = b_pack.data() + static_cast<long>(q) * kc_eff * nr;
           if (trans_b == Trans::kNo) {
-            detail::pack_b<T, kNr>(b + static_cast<long>(pc) * ldb + j0, ldb,
-                                   kc_eff, cols, dst);
+            detail::pack_b<T>(b + static_cast<long>(pc) * ldb + j0, ldb,
+                              kc_eff, cols, nr, dst);
           } else {
-            detail::pack_b_trans<T, kNr>(
-                b + static_cast<long>(j0) * ldb + pc, ldb, kc_eff, cols, dst);
+            detail::pack_b_trans<T>(b + static_cast<long>(j0) * ldb + pc, ldb,
+                                    kc_eff, cols, nr, dst);
           }
         }
         if (nt > 1) barrier.arrive_and_wait();
@@ -148,14 +153,13 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
         for (int ic = row_lo; ic < row_hi; ic += mc) {
           const int mc_eff = std::min(mc, row_hi - ic);
           if (trans_a == Trans::kNo) {
-            detail::pack_a<T, kMr>(a + static_cast<long>(ic) * lda + pc, lda,
-                                   mc_eff, kc_eff, a_pack);
+            detail::pack_a<T>(a + static_cast<long>(ic) * lda + pc, lda,
+                              mc_eff, kc_eff, mr, a_pack);
           } else {
-            detail::pack_a_trans<T, kMr>(
-                a + static_cast<long>(pc) * lda + ic, lda, mc_eff, kc_eff,
-                a_pack);
+            detail::pack_a_trans<T>(a + static_cast<long>(pc) * lda + ic, lda,
+                                    mc_eff, kc_eff, mr, a_pack);
           }
-          macro_kernel<T>(mc_eff, nc_eff, kc_eff, alpha, a_pack,
+          macro_kernel<T>(ks, mc_eff, nc_eff, kc_eff, alpha, a_pack,
                           b_pack.data(), c + static_cast<long>(ic) * ldc + jc,
                           ldc);
         }

@@ -5,7 +5,9 @@
 // stand-in: a GotoBLAS/BLIS-style implementation with
 //   - three-level cache blocking (NC / KC / MC),
 //   - operand packing into contiguous micro-panels,
-//   - a register-blocked MR x NR micro-kernel (compiler-vectorised),
+//   - a register-blocked MR x NR micro-kernel chosen at runtime from the
+//     dispatched KernelSet (hand-written AVX2+FMA when the CPU has it,
+//     compiler-vectorised generic otherwise; see blas/kernels/dispatch.h),
 //   - row-partitioned threading with shared packed-B and spin barriers.
 // Its thread-count-dependent performance profile (sync + packing overhead vs
 // parallel FLOPs) is the behaviour the ML model learns in native mode.
@@ -17,21 +19,23 @@
 
 #include <cstddef>
 
+#include "blas/kernels/kernel_set.h"
+
 namespace adsala::blas {
 
 enum class Trans { kNo, kYes };
 
 /// Cache-blocking parameters. Defaults target ~32 KB L1 / ~512 KB L2 /
-/// shared L3 CPUs; all must be multiples of the micro-kernel footprint where
-/// noted. Exposed so tests/benches can exercise fringe paths.
+/// shared L3 CPUs; mc/nc are rounded to the active kernel's MR/NR geometry
+/// at call time. Exposed so tests/benches can exercise fringe paths and A/B
+/// kernel variants per call.
 struct GemmTuning {
-  int mc = 120;   ///< rows of the packed A block (multiple of kMr)
+  int mc = 120;   ///< rows of the packed A block (rounded to MR)
   int kc = 256;   ///< depth of the packed A/B blocks
-  int nc = 2048;  ///< columns of the packed B block (multiple of kNr)
+  int nc = 2048;  ///< columns of the packed B block (rounded to NR)
+  /// Micro-kernel variant override; kAuto follows ADSALA_KERNEL / CPUID.
+  kernels::Variant variant = kernels::Variant::kAuto;
 };
-
-inline constexpr int kMr = 6;  ///< micro-kernel rows
-inline constexpr int kNr = 8;  ///< micro-kernel columns
 
 /// Multi-threaded blocked GEMM. nthreads <= 0 selects the pool maximum.
 /// Throws std::invalid_argument on negative dimensions or bad strides.

@@ -1,0 +1,166 @@
+// Hand-vectorised AVX2+FMA micro-kernels.
+//
+//   fp32: 6x16 — per row two 8-lane accumulators, 12 ymm accumulators total
+//   fp64: 6x8  — per row two 4-lane accumulators, 12 ymm accumulators total
+//
+// Both shapes leave ymm registers free for the two B loads and the broadcast
+// of A, so with the fixed trip counts below GCC keeps every accumulator
+// resident in registers for the whole kc loop. The kernels are compiled with
+// per-function target attributes rather than per-file -mavx2 so this TU still
+// builds (and the rest of the library stays portable) under the default
+// x86-64 baseline; the dispatcher only hands these pointers out after a
+// CPUID probe confirms AVX2+FMA.
+#include "blas/kernels/kernel_set.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace adsala::blas::kernels::detail {
+
+namespace {
+
+inline constexpr int kMrF32 = 6;
+inline constexpr int kNrF32 = 16;
+inline constexpr int kMrF64 = 6;
+inline constexpr int kNrF64 = 8;
+
+__attribute__((target("avx2,fma"))) void sgemm_6x16_accumulate(
+    int kc, const float* a, const float* b, __m256 acc[kMrF32][2]) {
+  for (int i = 0; i < kMrF32; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    for (int i = 0; i < kMrF32; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(a + i);
+      acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+    }
+    a += kMrF32;
+    b += kNrF32;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sgemm_6x16_full(int kc, float alpha,
+                                                         const float* a,
+                                                         const float* b,
+                                                         float* c, int ldc) {
+  __m256 acc[kMrF32][2];
+  sgemm_6x16_accumulate(kc, a, b, acc);
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int i = 0; i < kMrF32; ++i) {
+    float* crow = c + i * static_cast<long>(ldc);
+    _mm256_storeu_ps(crow,
+                     _mm256_fmadd_ps(va, acc[i][0], _mm256_loadu_ps(crow)));
+    _mm256_storeu_ps(
+        crow + 8, _mm256_fmadd_ps(va, acc[i][1], _mm256_loadu_ps(crow + 8)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sgemm_6x16_edge(int kc, float alpha,
+                                                         const float* a,
+                                                         const float* b,
+                                                         float* c, int ldc,
+                                                         int rows, int cols) {
+  __m256 acc[kMrF32][2];
+  sgemm_6x16_accumulate(kc, a, b, acc);
+  alignas(32) float tile[kMrF32][kNrF32];
+  for (int i = 0; i < kMrF32; ++i) {
+    _mm256_store_ps(tile[i], acc[i][0]);
+    _mm256_store_ps(tile[i] + 8, acc[i][1]);
+  }
+  for (int i = 0; i < rows; ++i) {
+    float* crow = c + i * static_cast<long>(ldc);
+    for (int j = 0; j < cols; ++j) crow[j] += alpha * tile[i][j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void dgemm_6x8_accumulate(
+    int kc, const double* a, const double* b, __m256d acc[kMrF64][2]) {
+  for (int i = 0; i < kMrF64; ++i) {
+    acc[i][0] = _mm256_setzero_pd();
+    acc[i][1] = _mm256_setzero_pd();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(b);
+    const __m256d b1 = _mm256_loadu_pd(b + 4);
+    for (int i = 0; i < kMrF64; ++i) {
+      const __m256d ai = _mm256_broadcast_sd(a + i);
+      acc[i][0] = _mm256_fmadd_pd(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_pd(ai, b1, acc[i][1]);
+    }
+    a += kMrF64;
+    b += kNrF64;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void dgemm_6x8_full(int kc, double alpha,
+                                                        const double* a,
+                                                        const double* b,
+                                                        double* c, int ldc) {
+  __m256d acc[kMrF64][2];
+  dgemm_6x8_accumulate(kc, a, b, acc);
+  const __m256d va = _mm256_set1_pd(alpha);
+  for (int i = 0; i < kMrF64; ++i) {
+    double* crow = c + i * static_cast<long>(ldc);
+    _mm256_storeu_pd(crow,
+                     _mm256_fmadd_pd(va, acc[i][0], _mm256_loadu_pd(crow)));
+    _mm256_storeu_pd(
+        crow + 4, _mm256_fmadd_pd(va, acc[i][1], _mm256_loadu_pd(crow + 4)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void dgemm_6x8_edge(int kc, double alpha,
+                                                        const double* a,
+                                                        const double* b,
+                                                        double* c, int ldc,
+                                                        int rows, int cols) {
+  __m256d acc[kMrF64][2];
+  dgemm_6x8_accumulate(kc, a, b, acc);
+  alignas(32) double tile[kMrF64][kNrF64];
+  for (int i = 0; i < kMrF64; ++i) {
+    _mm256_store_pd(tile[i], acc[i][0]);
+    _mm256_store_pd(tile[i] + 4, acc[i][1]);
+  }
+  for (int i = 0; i < rows; ++i) {
+    double* crow = c + i * static_cast<long>(ldc);
+    for (int j = 0; j < cols; ++j) crow[j] += alpha * tile[i][j];
+  }
+}
+
+}  // namespace
+
+KernelSet<float> avx2_kernel_set_f32() {
+  KernelSet<float> set;
+  set.mr = kMrF32;
+  set.nr = kNrF32;
+  set.name = "avx2";
+  set.full = &sgemm_6x16_full;
+  set.edge = &sgemm_6x16_edge;
+  return set;
+}
+
+KernelSet<double> avx2_kernel_set_f64() {
+  KernelSet<double> set;
+  set.mr = kMrF64;
+  set.nr = kNrF64;
+  set.name = "avx2";
+  set.full = &dgemm_6x8_full;
+  set.edge = &dgemm_6x8_edge;
+  return set;
+}
+
+}  // namespace adsala::blas::kernels::detail
+
+#else  // non-x86: the dispatcher never selects kAvx2, but the symbols must
+       // exist. Return empty sets; dispatch.cpp treats them as unavailable.
+
+namespace adsala::blas::kernels::detail {
+KernelSet<float> avx2_kernel_set_f32() { return {}; }
+KernelSet<double> avx2_kernel_set_f64() { return {}; }
+}  // namespace adsala::blas::kernels::detail
+
+#endif

@@ -1,0 +1,105 @@
+#include "blas/kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <type_traits>
+
+namespace adsala::blas::kernels {
+
+namespace {
+
+/// Resolved once from ADSALA_KERNEL + CPUID; never kAuto.
+Variant env_default() {
+  if (const char* env = std::getenv("ADSALA_KERNEL")) {
+    const auto parsed = parse_variant(env);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "[adsala] ADSALA_KERNEL=%s not recognised "
+                   "(auto|generic|avx2); using auto\n",
+                   env);
+    } else if (*parsed == Variant::kAvx2 && !cpu_supports_avx2()) {
+      std::fprintf(stderr,
+                   "[adsala] ADSALA_KERNEL=avx2 but the CPU lacks AVX2/FMA; "
+                   "using generic\n");
+      return Variant::kGeneric;
+    } else if (*parsed != Variant::kAuto) {
+      return *parsed;
+    }
+  }
+  return cpu_supports_avx2() ? Variant::kAvx2 : Variant::kGeneric;
+}
+
+std::atomic<Variant> g_override{Variant::kAuto};
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+std::vector<Variant> supported_variants() {
+  std::vector<Variant> out{Variant::kGeneric};
+  if (cpu_supports_avx2()) out.push_back(Variant::kAvx2);
+  return out;
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kAuto:
+      return "auto";
+    case Variant::kGeneric:
+      return "generic";
+    case Variant::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Variant> parse_variant(std::string_view name) {
+  if (name == "auto") return Variant::kAuto;
+  if (name == "generic") return Variant::kGeneric;
+  if (name == "avx2") return Variant::kAvx2;
+  return std::nullopt;
+}
+
+void set_variant(Variant v) {
+  if (v == Variant::kAvx2 && !cpu_supports_avx2()) {
+    throw std::runtime_error("set_variant: avx2 kernels unsupported on host");
+  }
+  g_override.store(v, std::memory_order_relaxed);
+}
+
+Variant active_variant() {
+  const Variant forced = g_override.load(std::memory_order_relaxed);
+  if (forced != Variant::kAuto) return forced;
+  static const Variant resolved = env_default();
+  return resolved;
+}
+
+template <typename T>
+const KernelSet<T>& kernel_set(Variant v) {
+  static const KernelSet<T> generic = detail::generic_kernel_set<T>();
+  static const KernelSet<T> avx2 = [] {
+    if constexpr (std::is_same_v<T, float>) {
+      return detail::avx2_kernel_set_f32();
+    } else {
+      return detail::avx2_kernel_set_f64();
+    }
+  }();
+  if (v == Variant::kAuto) v = active_variant();
+  if (v == Variant::kAvx2 && cpu_supports_avx2()) return avx2;
+  return generic;
+}
+
+template const KernelSet<float>& kernel_set<float>(Variant);
+template const KernelSet<double>& kernel_set<double>(Variant);
+
+}  // namespace adsala::blas::kernels

@@ -1,0 +1,45 @@
+// Runtime kernel dispatch: one CPUID probe at first use selects the best
+// micro-kernel variant the host supports; callers fetch the per-dtype
+// KernelSet through kernel_set<T>().
+//
+// Selection order (first match wins):
+//   1. set_variant() process-wide API override,
+//   2. ADSALA_KERNEL environment variable ("generic" | "avx2" | "auto"),
+//   3. CPUID: AVX2+FMA present -> avx2, else generic.
+// An env/API request for an unsupported ISA falls back to generic (the env
+// path warns once on stderr; the API throws so tests can assert on it).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "blas/kernels/kernel_set.h"
+
+namespace adsala::blas::kernels {
+
+/// True when the host CPU (and OS) support AVX2 and FMA. Cached after the
+/// first probe; always false off x86.
+bool cpu_supports_avx2();
+
+/// Variants usable on this host, generic first.
+std::vector<Variant> supported_variants();
+
+const char* variant_name(Variant v);
+
+/// Parses "auto" / "generic" / "avx2" (the ADSALA_KERNEL vocabulary).
+std::optional<Variant> parse_variant(std::string_view name);
+
+/// Process-wide override. kAuto restores env/CPUID selection. Throws
+/// std::runtime_error if the requested ISA is not supported on this host.
+void set_variant(Variant v);
+
+/// The variant a kAuto request resolves to right now.
+Variant active_variant();
+
+/// The KernelSet for scalar type T (float or double). kAuto resolves through
+/// active_variant(); a concrete unsupported variant falls back to generic.
+template <typename T>
+const KernelSet<T>& kernel_set(Variant v = Variant::kAuto);
+
+}  // namespace adsala::blas::kernels

@@ -1,0 +1,50 @@
+// Runtime-dispatched micro-kernel descriptor.
+//
+// A KernelSet bundles the register-blocked inner kernels for one scalar type
+// together with their MR x NR geometry. The blocked GEMM/SYRK drivers consume
+// whatever geometry the set advertises instead of compile-time constants, so
+// swapping an AVX2 6x16 kernel for the portable 6x8 one is purely a runtime
+// decision (CPUID probe, ADSALA_KERNEL env, or the set_variant() API — see
+// dispatch.h).
+#pragma once
+
+namespace adsala::blas::kernels {
+
+/// Which micro-kernel implementation backs a BLAS call.
+enum class Variant {
+  kAuto,     ///< resolve via ADSALA_KERNEL env, else best the CPU supports
+  kGeneric,  ///< portable compiler-vectorised template kernel
+  kAvx2,     ///< hand-written AVX2+FMA intrinsics (x86-64 only)
+};
+
+/// Upper bounds on micro-tile geometry across all variants; edge paths use
+/// them to size stack scratch tiles.
+inline constexpr int kMaxMr = 8;
+inline constexpr int kMaxNr = 32;
+
+template <typename T>
+struct KernelSet {
+  /// C[0..mr) x [0..nr) += alpha * (packed MR-wide A panel) * (packed
+  /// NR-wide B panel); kc is the panel depth, ldc the row stride of C.
+  using FullFn = void (*)(int kc, T alpha, const T* a, const T* b, T* c,
+                          int ldc);
+  /// Fringe variant: same contract but writes back only rows x cols.
+  using EdgeFn = void (*)(int kc, T alpha, const T* a, const T* b, T* c,
+                          int ldc, int rows, int cols);
+
+  int mr = 0;
+  int nr = 0;
+  const char* name = "";
+  FullFn full = nullptr;
+  EdgeFn edge = nullptr;
+};
+
+namespace detail {
+/// Variant factories, defined in generic.cpp / avx2.cpp.
+template <typename T>
+KernelSet<T> generic_kernel_set();
+KernelSet<float> avx2_kernel_set_f32();
+KernelSet<double> avx2_kernel_set_f64();
+}  // namespace detail
+
+}  // namespace adsala::blas::kernels

@@ -1,73 +1,100 @@
-// Operand packing for the blocked GEMM.
+// Operand packing for the blocked GEMM/SYRK.
 //
 // Packing copies a cache-block of A (mc x kc) or B (kc x nc) into contiguous
 // micro-panels so the micro-kernel streams with unit stride. Short panels are
 // zero-padded to the full MR/NR width, which lets the micro-kernel stay
 // branch-free; the write-back path masks the padding out. The transpose
 // variants fold op(A)/op(B) into the copy so the kernel never sees a stride.
+//
+// MR/NR are runtime parameters: they come from the dispatched KernelSet, not
+// from compile-time constants, so one packing routine serves every kernel
+// variant. The copy loops issue software prefetches one cache line ahead of
+// the read stream (packing is bandwidth-bound; the prefetch hides the source
+// matrix's strided access behind the sequential panel writes).
 #pragma once
+
+#include <algorithm>
 
 namespace adsala::blas::detail {
 
-/// Packs rows [0,mc) x cols [0,kc) of `a` (row stride lda) into MR-row
-/// micro-panels: panel p holds rows [p*MR, p*MR+MR), stored column-by-column
-/// (kc columns of MR contiguous elements). Rows beyond mc are zero-padded.
-template <typename T, int MR>
-void pack_a(const T* a, int lda, int mc, int kc, T* dst) {
-  for (int i0 = 0; i0 < mc; i0 += MR) {
-    const int rows = (mc - i0) < MR ? (mc - i0) : MR;
+/// Elements of T per 64-byte cache line; the prefetch lookahead unit.
+template <typename T>
+inline constexpr int kLineElems = static_cast<int>(64 / sizeof(T));
+
+/// Packs rows [0,mc) x cols [0,kc) of `a` (row stride lda) into mr-row
+/// micro-panels: panel p holds rows [p*mr, p*mr+mr), stored column-by-column
+/// (kc columns of mr contiguous elements). Rows beyond mc are zero-padded.
+template <typename T>
+void pack_a(const T* a, int lda, int mc, int kc, int mr, T* dst) {
+  constexpr int kPf = kLineElems<T>;
+  for (int i0 = 0; i0 < mc; i0 += mr) {
+    const int rows = std::min(mr, mc - i0);
     for (int p = 0; p < kc; ++p) {
+      const bool lead = (p & (kPf - 1)) == 0;
       int i = 0;
-      for (; i < rows; ++i) dst[i] = a[(i0 + i) * static_cast<long>(lda) + p];
-      for (; i < MR; ++i) dst[i] = T(0);
-      dst += MR;
+      for (; i < rows; ++i) {
+        const T* src = a + (i0 + i) * static_cast<long>(lda);
+        if (lead) __builtin_prefetch(src + p + kPf);
+        dst[i] = src[p];
+      }
+      for (; i < mr; ++i) dst[i] = T(0);
+      dst += mr;
     }
   }
 }
 
 /// Same as pack_a but reading A transposed: logical element (i, p) comes
 /// from a[p * lda + i].
-template <typename T, int MR>
-void pack_a_trans(const T* a, int lda, int mc, int kc, T* dst) {
-  for (int i0 = 0; i0 < mc; i0 += MR) {
-    const int rows = (mc - i0) < MR ? (mc - i0) : MR;
+template <typename T>
+void pack_a_trans(const T* a, int lda, int mc, int kc, int mr, T* dst) {
+  for (int i0 = 0; i0 < mc; i0 += mr) {
+    const int rows = std::min(mr, mc - i0);
     for (int p = 0; p < kc; ++p) {
+      const T* src = a + p * static_cast<long>(lda) + i0;
+      __builtin_prefetch(src + lda);  // next source row (p+1)
       int i = 0;
-      for (; i < rows; ++i) dst[i] = a[p * static_cast<long>(lda) + (i0 + i)];
-      for (; i < MR; ++i) dst[i] = T(0);
-      dst += MR;
+      for (; i < rows; ++i) dst[i] = src[i];
+      for (; i < mr; ++i) dst[i] = T(0);
+      dst += mr;
     }
   }
 }
 
-/// Packs rows [0,kc) x cols [0,nc) of `b` (row stride ldb) into NR-column
-/// micro-panels: panel q holds columns [q*NR, q*NR+NR), stored row-by-row
-/// (kc rows of NR contiguous elements). Columns beyond nc are zero-padded.
-template <typename T, int NR>
-void pack_b(const T* b, int ldb, int kc, int nc, T* dst) {
-  for (int j0 = 0; j0 < nc; j0 += NR) {
-    const int cols = (nc - j0) < NR ? (nc - j0) : NR;
+/// Packs rows [0,kc) x cols [0,nc) of `b` (row stride ldb) into nr-column
+/// micro-panels: panel q holds columns [q*nr, q*nr+nr), stored row-by-row
+/// (kc rows of nr contiguous elements). Columns beyond nc are zero-padded.
+template <typename T>
+void pack_b(const T* b, int ldb, int kc, int nc, int nr, T* dst) {
+  for (int j0 = 0; j0 < nc; j0 += nr) {
+    const int cols = std::min(nr, nc - j0);
     for (int p = 0; p < kc; ++p) {
       const T* src = b + p * static_cast<long>(ldb) + j0;
+      __builtin_prefetch(src + ldb);  // next source row (p+1)
       int j = 0;
       for (; j < cols; ++j) dst[j] = src[j];
-      for (; j < NR; ++j) dst[j] = T(0);
-      dst += NR;
+      for (; j < nr; ++j) dst[j] = T(0);
+      dst += nr;
     }
   }
 }
 
 /// Same as pack_b but reading B transposed: logical element (p, j) comes
 /// from b[j * ldb + p].
-template <typename T, int NR>
-void pack_b_trans(const T* b, int ldb, int kc, int nc, T* dst) {
-  for (int j0 = 0; j0 < nc; j0 += NR) {
-    const int cols = (nc - j0) < NR ? (nc - j0) : NR;
+template <typename T>
+void pack_b_trans(const T* b, int ldb, int kc, int nc, int nr, T* dst) {
+  constexpr int kPf = kLineElems<T>;
+  for (int j0 = 0; j0 < nc; j0 += nr) {
+    const int cols = std::min(nr, nc - j0);
     for (int p = 0; p < kc; ++p) {
+      const bool lead = (p & (kPf - 1)) == 0;
       int j = 0;
-      for (; j < cols; ++j) dst[j] = b[(j0 + j) * static_cast<long>(ldb) + p];
-      for (; j < NR; ++j) dst[j] = T(0);
-      dst += NR;
+      for (; j < cols; ++j) {
+        const T* src = b + (j0 + j) * static_cast<long>(ldb);
+        if (lead) __builtin_prefetch(src + p + kPf);
+        dst[j] = src[p];
+      }
+      for (; j < nr; ++j) dst[j] = T(0);
+      dst += nr;
     }
   }
 }

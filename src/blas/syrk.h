@@ -8,6 +8,11 @@
 // Row-major; only the `uplo` triangle of C (including the diagonal) is
 // referenced and updated. Threading partitions the row blocks of the
 // triangle with a balanced assignment (lower rows carry more work).
+//
+// The update runs on the same packed-panel machinery as GEMM: operands are
+// packed into micro-panels and multiplied by the runtime-dispatched
+// KernelSet; tiles crossing the diagonal are computed into a scratch tile
+// and written back through a triangle mask.
 #pragma once
 
 #include "blas/gemm.h"
@@ -18,7 +23,8 @@ enum class Uplo { kLower, kUpper };
 
 template <typename T>
 void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
-          T beta, T* c, int ldc, int nthreads = 0);
+          T beta, T* c, int ldc, int nthreads = 0,
+          const GemmTuning& tuning = {});
 
 void ssyrk(Uplo uplo, Trans trans, int n, int k, float alpha, const float* a,
            int lda, float beta, float* c, int ldc, int nthreads = 0);

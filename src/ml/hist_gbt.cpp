@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace adsala::ml {
 
 namespace {
@@ -52,9 +54,12 @@ void LightGbmRegressor::fit(const Dataset& data) {
   // ---- quantile binning (once per fit) ------------------------------------
   // edges[j] holds ascending bin upper edges; bin b covers
   // (edges[b-1], edges[b]]; the last bin is open above.
+  // Features are independent (each owns its edges[j] and the bins column
+  // j), so the sort + bin-assignment fans out over the pool.
   std::vector<std::vector<double>> edges(d);
   std::vector<std::uint16_t> bins(n * d);
-  for (std::size_t j = 0; j < d; ++j) {
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(pool.max_threads(), 0, d, [&](std::size_t j) {
     std::vector<double> vals = data.column(j);
     std::sort(vals.begin(), vals.end());
     vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
@@ -74,7 +79,7 @@ void LightGbmRegressor::fit(const Dataset& data) {
       bins[i * d + j] =
           static_cast<std::uint16_t>(std::distance(e.begin(), it));
     }
-  }
+  });
 
   base_score_ = 0.0;
   for (std::size_t i = 0; i < n; ++i) base_score_ += data.label(i);
@@ -92,13 +97,31 @@ void LightGbmRegressor::fit(const Dataset& data) {
     if (leaf.rows.size() < 2 * static_cast<std::size_t>(min_child_samples_)) {
       return;
     }
-    std::fill(hist.begin(), hist.end(), BinCell{});
-    for (std::size_t r : leaf.rows) {
-      for (std::size_t j = 0; j < d; ++j) {
-        BinCell& cell = hist[j * max_b + bins[r * d + j]];
-        cell.g += g[r];
-        cell.h += h[r];
-        ++cell.count;
+    // Histogram build: each feature owns the disjoint hist slice
+    // [j*max_b, (j+1)*max_b), so the accumulation parallelises over
+    // features. Small leaves keep the cache-friendlier row-major serial
+    // walk instead of paying the fork/join.
+    constexpr std::size_t kParallelCells = 1 << 14;
+    if (leaf.rows.size() * d >= kParallelCells) {
+      pool.parallel_for(pool.max_threads(), 0, d, [&](std::size_t j) {
+        BinCell* col = hist.data() + j * max_b;
+        std::fill(col, col + max_b, BinCell{});
+        for (std::size_t r : leaf.rows) {
+          BinCell& cell = col[bins[r * d + j]];
+          cell.g += g[r];
+          cell.h += h[r];
+          ++cell.count;
+        }
+      });
+    } else {
+      std::fill(hist.begin(), hist.end(), BinCell{});
+      for (std::size_t r : leaf.rows) {
+        for (std::size_t j = 0; j < d; ++j) {
+          BinCell& cell = hist[j * max_b + bins[r * d + j]];
+          cell.g += g[r];
+          cell.h += h[r];
+          ++cell.count;
+        }
       }
     }
     const double parent = score(leaf.sum_g, leaf.sum_h, reg_lambda_);

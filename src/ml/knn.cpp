@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace adsala::ml {
 
 void KnnRegressor::fit(const Dataset& data) {
@@ -17,9 +19,11 @@ double KnnRegressor::predict_one(std::span<const double> x) const {
   const std::size_t n = y_.size();
   const auto k = std::min<std::size_t>(static_cast<std::size_t>(k_), n);
 
-  // Partial selection of the k smallest squared distances.
+  // Partial selection of the k smallest squared distances. Rows are
+  // independent, so the distance pass fans out over the pool for large
+  // training sets (nested calls degrade to serial inside other regions).
   std::vector<std::pair<double, std::size_t>> dist(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  const auto distance_to = [&](std::size_t i) {
     double s = 0.0;
     const double* row = &x_[i * d_];
     for (std::size_t j = 0; j < d_ && j < x.size(); ++j) {
@@ -27,6 +31,13 @@ double KnnRegressor::predict_one(std::span<const double> x) const {
       s += diff * diff;
     }
     dist[i] = {s, i};
+  };
+  constexpr std::size_t kParallelWork = 1 << 14;  // flops below this: serial
+  if (n * d_ >= kParallelWork) {
+    ThreadPool& pool = ThreadPool::global();
+    pool.parallel_for(pool.max_threads(), 0, n, distance_to);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) distance_to(i);
   }
   std::nth_element(dist.begin(),
                    dist.begin() + static_cast<std::ptrdiff_t>(k - 1),

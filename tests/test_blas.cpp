@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "blas/gemm.h"
+#include "blas/kernels/dispatch.h"
+#include "blas/syrk.h"
 #include "common/rng.h"
 
 namespace adsala::blas {
@@ -29,15 +31,17 @@ void expect_gemm_matches_reference(Trans ta, Trans tb, int m, int n, int k,
   const int a_cols = ta == Trans::kNo ? k : m;
   const int b_rows = tb == Trans::kNo ? k : n;
   const int b_cols = tb == Trans::kNo ? n : k;
-  const auto a = random_matrix<T>(a_rows, a_cols, 1);
-  const auto b = random_matrix<T>(b_rows, b_cols, 2);
+  const int lda = std::max(1, a_cols);  // k = 0 still needs a valid stride
+  const int ldb = std::max(1, b_cols);
+  const auto a = random_matrix<T>(std::max(1, a_rows), lda, 1);
+  const auto b = random_matrix<T>(std::max(1, b_rows), ldb, 2);
   auto c = random_matrix<T>(m, n, 3);
   auto c_ref = c;
 
-  gemm<T>(ta, tb, m, n, k, alpha, a.data(), a_cols, b.data(), b_cols, beta,
+  gemm<T>(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
           c.data(), n, nthreads, tuning);
-  reference_gemm<T>(ta, tb, m, n, k, alpha, a.data(), a_cols, b.data(),
-                    b_cols, beta, c_ref.data(), n);
+  reference_gemm<T>(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                    beta, c_ref.data(), n);
 
   // Tolerance scales with the k-dimension reduction length.
   const double tol =
@@ -211,6 +215,208 @@ TEST_P(GemmThreadInvariance, SameResultAsSingleThread) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, GemmThreadInvariance,
                          ::testing::Values(2, 3, 4, 7, 8, 16, 23));
+
+// ------------------------------------------------------- kernel variants --
+// Every dispatched kernel variant must agree with the naive reference on
+// fringe shapes (dimensions not multiples of MR/NR), degenerate products
+// (k=0, alpha=0), and the beta in {0, 1, 2} write-back modes — for GEMM and
+// SYRK alike. On non-AVX2 hosts the sweep degrades to generic only.
+
+class KernelVariantTest
+    : public ::testing::TestWithParam<kernels::Variant> {};
+
+TEST_P(KernelVariantTest, GeometryIsConsistent) {
+  const auto v = GetParam();
+  const auto& f32 = kernels::kernel_set<float>(v);
+  const auto& f64 = kernels::kernel_set<double>(v);
+  EXPECT_GT(f32.mr, 0);
+  EXPECT_GT(f32.nr, 0);
+  EXPECT_LE(f32.mr, kernels::kMaxMr);
+  EXPECT_LE(f32.nr, kernels::kMaxNr);
+  EXPECT_LE(f64.mr, kernels::kMaxMr);
+  EXPECT_LE(f64.nr, kernels::kMaxNr);
+  EXPECT_STREQ(f32.name, kernels::variant_name(v));
+  EXPECT_STREQ(f64.name, kernels::variant_name(v));
+}
+
+TEST_P(KernelVariantTest, GemmFringeShapesFloat) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const auto [m, n, k] : {std::tuple{1, 1, 3}, std::tuple{7, 9, 17},
+                               std::tuple{13, 31, 5}, std::tuple{29, 47, 23},
+                               std::tuple{65, 19, 37}}) {
+    for (const float beta : {0.0f, 1.0f, 2.0f}) {
+      expect_gemm_matches_reference<float>(Trans::kNo, Trans::kNo, m, n, k,
+                                           1.25f, beta, 3, tuning);
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, GemmFringeShapesDouble) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const auto [m, n, k] : {std::tuple{1, 1, 3}, std::tuple{7, 9, 17},
+                               std::tuple{13, 31, 5}, std::tuple{29, 47, 23},
+                               std::tuple{65, 19, 37}}) {
+    for (const double beta : {0.0, 1.0, 2.0}) {
+      expect_gemm_matches_reference<double>(Trans::kNo, Trans::kNo, m, n, k,
+                                            -0.75, beta, 3, tuning);
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, GemmTransposedFringe) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  expect_gemm_matches_reference<float>(Trans::kYes, Trans::kNo, 19, 21, 11,
+                                       1.0f, 1.0f, 2, tuning);
+  expect_gemm_matches_reference<float>(Trans::kNo, Trans::kYes, 19, 21, 11,
+                                       1.0f, 2.0f, 2, tuning);
+  expect_gemm_matches_reference<double>(Trans::kYes, Trans::kYes, 19, 21, 11,
+                                        0.5, 1.0, 2, tuning);
+}
+
+TEST_P(KernelVariantTest, GemmDegenerateProducts) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  // k = 0 and alpha = 0 reduce to the beta pass.
+  expect_gemm_matches_reference<float>(Trans::kNo, Trans::kNo, 9, 13, 0, 1.0f,
+                                       2.0f, 2, tuning);
+  expect_gemm_matches_reference<float>(Trans::kNo, Trans::kNo, 9, 13, 7, 0.0f,
+                                       0.5f, 2, tuning);
+  expect_gemm_matches_reference<double>(Trans::kNo, Trans::kNo, 9, 13, 0, 1.0,
+                                        0.0, 2, tuning);
+  expect_gemm_matches_reference<double>(Trans::kNo, Trans::kNo, 9, 13, 7, 0.0,
+                                        1.0, 2, tuning);
+}
+
+template <typename T>
+void expect_syrk_matches_reference(Uplo uplo, Trans trans, int n, int k,
+                                   T alpha, T beta, int nthreads,
+                                   const GemmTuning& tuning) {
+  const int a_rows = trans == Trans::kNo ? n : k;
+  const int a_cols = trans == Trans::kNo ? k : n;
+  const int lda = std::max(1, a_cols);  // k = 0 still needs a valid stride
+  const auto a = random_matrix<T>(std::max(1, a_rows), lda, 7);
+  auto c = random_matrix<T>(n, n, 8);
+  auto c_ref = c;
+
+  syrk<T>(uplo, trans, n, k, alpha, a.data(), lda, beta, c.data(), n,
+          nthreads, tuning);
+  reference_syrk<T>(uplo, trans, n, k, alpha, a.data(), lda, beta,
+                    c_ref.data(), n);
+
+  const double tol =
+      (std::is_same_v<T, float> ? 1e-4 : 1e-11) * std::max(1, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const bool in_triangle = uplo == Uplo::kLower ? j <= i : j >= i;
+      if (in_triangle) {
+        ASSERT_NEAR(static_cast<double>(c[i * n + j]),
+                    static_cast<double>(c_ref[i * n + j]), tol)
+            << "triangle mismatch at (" << i << ", " << j << ") n=" << n
+            << " k=" << k;
+      } else {
+        ASSERT_EQ(c[i * n + j], c_ref[i * n + j])
+            << "opposite triangle touched at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, SyrkFringeSweepFloat) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const auto [n, k] : {std::tuple{1, 1}, std::tuple{17, 23},
+                                std::tuple{31, 7}, std::tuple{53, 29}}) {
+        for (const float beta : {0.0f, 1.0f, 2.0f}) {
+          expect_syrk_matches_reference<float>(uplo, trans, n, k, 1.5f, beta,
+                                               3, tuning);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, SyrkFringeSweepDouble) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const auto [n, k] : {std::tuple{17, 23}, std::tuple{53, 29}}) {
+        for (const double beta : {0.0, 1.0, 2.0}) {
+          expect_syrk_matches_reference<double>(uplo, trans, n, k, -0.5, beta,
+                                                3, tuning);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, SyrkDegenerateProducts) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  expect_syrk_matches_reference<float>(Uplo::kLower, Trans::kNo, 11, 0, 1.0f,
+                                       2.0f, 2, tuning);
+  expect_syrk_matches_reference<float>(Uplo::kUpper, Trans::kNo, 11, 9, 0.0f,
+                                       0.5f, 2, tuning);
+  expect_syrk_matches_reference<double>(Uplo::kLower, Trans::kYes, 11, 0, 1.0,
+                                        0.0, 2, tuning);
+}
+
+TEST_P(KernelVariantTest, SyrkSpansMultipleCacheBlocks) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  tuning.mc = 12;
+  tuning.kc = 7;
+  tuning.nc = 16;
+  expect_syrk_matches_reference<float>(Uplo::kLower, Trans::kNo, 61, 43, 1.0f,
+                                       1.0f, 4, tuning);
+  expect_syrk_matches_reference<double>(Uplo::kUpper, Trans::kYes, 61, 43,
+                                        1.0, 1.0, 4, tuning);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dispatched, KernelVariantTest,
+    ::testing::ValuesIn(kernels::supported_variants()),
+    [](const ::testing::TestParamInfo<kernels::Variant>& info) {
+      return std::string(kernels::variant_name(info.param));
+    });
+
+TEST(KernelDispatch, ParseVariantVocabulary) {
+  EXPECT_EQ(kernels::parse_variant("auto"), kernels::Variant::kAuto);
+  EXPECT_EQ(kernels::parse_variant("generic"), kernels::Variant::kGeneric);
+  EXPECT_EQ(kernels::parse_variant("avx2"), kernels::Variant::kAvx2);
+  EXPECT_FALSE(kernels::parse_variant("sse9").has_value());
+  EXPECT_FALSE(kernels::parse_variant("").has_value());
+}
+
+TEST(KernelDispatch, GenericAlwaysSupported) {
+  const auto variants = kernels::supported_variants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.front(), kernels::Variant::kGeneric);
+}
+
+TEST(KernelDispatch, SetVariantOverridesActive) {
+  kernels::set_variant(kernels::Variant::kGeneric);
+  EXPECT_EQ(kernels::active_variant(), kernels::Variant::kGeneric);
+  kernels::set_variant(kernels::Variant::kAuto);  // restore default selection
+  EXPECT_NE(kernels::active_variant(), kernels::Variant::kAuto);
+}
+
+TEST(KernelDispatch, Avx2GeometryWhenSupported) {
+  if (!kernels::cpu_supports_avx2()) {
+    GTEST_SKIP() << "host lacks AVX2";
+  }
+  const auto& f32 = kernels::kernel_set<float>(kernels::Variant::kAvx2);
+  const auto& f64 = kernels::kernel_set<double>(kernels::Variant::kAvx2);
+  EXPECT_EQ(f32.mr, 6);
+  EXPECT_EQ(f32.nr, 16);
+  EXPECT_EQ(f64.mr, 6);
+  EXPECT_EQ(f64.nr, 8);
+}
 
 TEST(GemmHelpers, MemoryBytes) {
   // 4 * (mk + kn + mn), single precision.
