@@ -1,0 +1,40 @@
+// Level-3 BLAS operation kinds served by the tuning stack.
+//
+// The installation pipeline (gather -> train -> select) and the runtime tag
+// every timing sample and every prediction query with the operation that
+// produced it, so one model can serve the whole operation family instead of
+// proxying everything through GEMM (paper future work: "extend ... to other
+// BLAS operations"). Stored in datasets / CSV as the integer code below.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace adsala::blas {
+
+/// Which level-3 operation a timing sample or selection query refers to.
+enum class OpKind {
+  kGemm = 0,  ///< C <- alpha*op(A)*op(B) + beta*C, shape (m, k, n)
+  kSyrk = 1,  ///< C <- alpha*A*A^T + beta*C, shape family (n, k) with m == n
+};
+
+constexpr const char* op_name(OpKind op) {
+  return op == OpKind::kSyrk ? "syrk" : "gemm";
+}
+
+/// Stable integer code used in CSV persistence.
+constexpr int op_code(OpKind op) { return static_cast<int>(op); }
+
+constexpr std::optional<OpKind> op_from_code(int code) {
+  if (code == 0) return OpKind::kGemm;
+  if (code == 1) return OpKind::kSyrk;
+  return std::nullopt;
+}
+
+inline std::optional<OpKind> parse_op(std::string_view name) {
+  if (name == "gemm") return OpKind::kGemm;
+  if (name == "syrk") return OpKind::kSyrk;
+  return std::nullopt;
+}
+
+}  // namespace adsala::blas

@@ -42,20 +42,44 @@ void AdsalaGemm::save(const std::string& model_path,
   write_json_file(config_path, config);
 }
 
-int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
-  if (m == last_m_ && k == last_k_ && n == last_n_ &&
+bool AdsalaGemm::op_aware() const {
+  // An op indicator must have *survived* preprocessing: a GEMM-only campaign
+  // gathered with the 21-column schema drops the constant op_* columns at
+  // fit time and therefore answers SYRK queries exactly like the proxy.
+  const auto& names = pipeline_.input_feature_names();
+  for (std::size_t j : pipeline_.kept_features()) {
+    if (names[j] == "op_gemm" || names[j] == "op_syrk") return true;
+  }
+  return false;
+}
+
+int AdsalaGemm::select_threads_impl(blas::OpKind op, long m, long k, long n,
+                                    int elem_bytes) {
+  if (op == last_op_ && m == last_m_ && k == last_k_ && n == last_n_ &&
       elem_bytes == last_elem_) {
-    return last_threads_;  // repeated-shape fast path
+    return last_threads_;  // repeated-query fast path
   }
   simarch::GemmShape shape{m, k, n, elem_bytes};
   const std::size_t best =
-      predict_best_grid_index(*model_, pipeline_, shape, thread_grid_);
+      predict_best_grid_index(*model_, pipeline_, shape, thread_grid_, op);
+  last_op_ = op;
   last_m_ = m;
   last_k_ = k;
   last_n_ = n;
   last_elem_ = elem_bytes;
   last_threads_ = thread_grid_[best];
   return last_threads_;
+}
+
+int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
+  return select_threads_impl(blas::OpKind::kGemm, m, k, n, elem_bytes);
+}
+
+int AdsalaGemm::select_threads_syrk(long n, long k, int elem_bytes) {
+  // The equivalent-GEMM shape (n, k, n) serves both schemas: an op-aware
+  // pipeline differentiates via the op_* one-hots, a PR-1-era one sees the
+  // plain GEMM-proxy query.
+  return select_threads_impl(blas::OpKind::kSyrk, n, k, n, elem_bytes);
 }
 
 void AdsalaGemm::sgemm(int m, int n, int k, float alpha, const float* a,
@@ -77,8 +101,15 @@ void AdsalaGemm::dgemm(int m, int n, int k, double alpha, const double* a,
 void AdsalaGemm::ssyrk(blas::Uplo uplo, int n, int k, float alpha,
                        const float* a, int lda, float beta, float* c,
                        int ldc) {
-  const int p = select_threads(n, k, n, 4);
+  const int p = select_threads_syrk(n, k, 4);
   blas::ssyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+}
+
+void AdsalaGemm::dsyrk(blas::Uplo uplo, int n, int k, double alpha,
+                       const double* a, int lda, double beta, double* c,
+                       int ldc) {
+  const int p = select_threads_syrk(n, k, 8);
+  blas::dsyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
 }
 
 }  // namespace adsala::core

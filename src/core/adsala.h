@@ -1,18 +1,28 @@
 // ADSALA runtime library (paper Fig. 3).
 //
 // AdsalaGemm wraps the installation-produced artefacts — trained model +
-// preprocessing/config — in a C++ class. At each GEMM call it evaluates the
+// preprocessing/config — in a C++ class. At each BLAS call it evaluates the
 // model for every candidate thread count, picks the argmin, and runs the
-// GEMM with that many threads. The last (m, k, n) -> threads decision is
-// memoised, so loops over a fixed GEMM shape pay the model cost once
+// call with that many threads. The last (op, shape) -> threads decision is
+// memoised, so loops over a fixed shape pay the model cost once
 // (SS III-C: "the software will read and apply the predictions from the
 // responsible class attributes without re-evaluation").
+//
+// Queries are built against the feature schema the installed pipeline was
+// fitted with (the single source of truth is preprocess/features.h):
+//   - op-aware artefacts (21-column schema) answer SYRK queries from the
+//     syrk-family training rows via the op_* one-hot columns;
+//   - PR-1-era artefacts (17-column schema) fall back to the GEMM-proxy
+//     heuristic — the model is queried with the equivalent-work shape
+//     (n, k, n); SYRK does half the FLOPs of that GEMM with the same
+//     parallel structure, so the argmin transfers approximately.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "blas/gemm.h"
+#include "blas/op.h"
 #include "blas/syrk.h"
 #include "core/trainer.h"
 
@@ -29,8 +39,15 @@ class AdsalaGemm {
   AdsalaGemm(AdsalaGemm&&) = default;
   AdsalaGemm& operator=(AdsalaGemm&&) = default;
 
-  /// Predicted-optimal thread count for a shape (memoises the last query).
+  /// Predicted-optimal thread count for a GEMM shape (memoises the last
+  /// query; the memo key includes the operation and element size, so mixed
+  /// GEMM / SYRK / sgemm-dgemm call streams never reuse a stale decision).
   int select_threads(long m, long k, long n, int elem_bytes = 4);
+
+  /// Predicted-optimal thread count for a SYRK of the (n, k) family. With an
+  /// op-aware model this selects from syrk-tagged training rows; otherwise
+  /// it degrades to select_threads(n, k, n) (the GEMM proxy).
+  int select_threads_syrk(long n, long k, int elem_bytes = 4);
 
   /// Thread selection + the from-scratch BLAS, i.e. the paper's drop-in
   /// sgemm replacement for native runs. Row-major, C = alpha*A*B + beta*C.
@@ -40,12 +57,18 @@ class AdsalaGemm {
              const double* b, int ldb, double beta, double* c, int ldc);
 
   /// Thread-selected symmetric rank-k update (paper future work: "extend
-  /// ... to other BLAS operations"). The model trained on GEMM timings is
-  /// queried with the equivalent-work shape (n, k, n); SYRK does half the
-  /// FLOPs of that GEMM with the same parallel structure, so the argmin
-  /// transfers.
+  /// ... to other BLAS operations"), C <- alpha*A*A^T + beta*C with A n x k.
   void ssyrk(blas::Uplo uplo, int n, int k, float alpha, const float* a,
              int lda, float beta, float* c, int ldc);
+  void dsyrk(blas::Uplo uplo, int n, int k, double alpha, const double* a,
+             int lda, double beta, double* c, int ldc);
+
+  /// True when the installed model can actually differentiate operations:
+  /// an op_* one-hot column survived preprocessing into the model input.
+  /// False for PR-1-era artefacts *and* for GEMM-only campaigns gathered
+  /// with the op-aware schema (their constant op columns are dropped at fit
+  /// time, so SYRK queries reduce to the GEMM proxy).
+  bool op_aware() const;
 
   const std::string& platform() const { return platform_; }
   int max_threads() const { return max_threads_; }
@@ -59,6 +82,9 @@ class AdsalaGemm {
             const std::string& config_path) const;
 
  private:
+  int select_threads_impl(blas::OpKind op, long m, long k, long n,
+                          int elem_bytes);
+
   std::unique_ptr<ml::Regressor> model_;
   preprocess::Pipeline pipeline_;
   std::vector<int> thread_grid_;
@@ -67,6 +93,7 @@ class AdsalaGemm {
   std::string model_name_;
 
   // Memoised last decision (paper SS III-C).
+  blas::OpKind last_op_ = blas::OpKind::kGemm;
   long last_m_ = -1, last_k_ = -1, last_n_ = -1;
   int last_elem_ = 0;
   int last_threads_ = 0;

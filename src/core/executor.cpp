@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blas/gemm.h"
+#include "blas/syrk.h"
 #include "common/aligned_buffer.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -48,6 +49,31 @@ double measure_typed(const simarch::GemmShape& shape, int nthreads,
   return timer.seconds() / std::max(iterations, 1);
 }
 
+template <typename T>
+double measure_syrk_typed(const simarch::GemmShape& shape, int nthreads,
+                          int iterations) {
+  const auto n = static_cast<int>(shape.n);
+  const auto k = static_cast<int>(shape.k);
+  AlignedBuffer<T> a(static_cast<std::size_t>(n) * k);
+  AlignedBuffer<T> c(static_cast<std::size_t>(n) * n);
+  Rng rng(0x5eedu + static_cast<std::uint64_t>(n * 131 + k * 17));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = T(0);
+
+  // Warm-up, mirroring the GEMM protocol (paper SS V-B.3).
+  blas::syrk<T>(blas::Uplo::kLower, blas::Trans::kNo, n, k, T(1), a.data(), k,
+                T(0), c.data(), n, nthreads);
+
+  WallTimer timer;
+  for (int it = 0; it < iterations; ++it) {
+    blas::syrk<T>(blas::Uplo::kLower, blas::Trans::kNo, n, k, T(1), a.data(),
+                  k, T(0), c.data(), n, nthreads);
+  }
+  return timer.seconds() / std::max(iterations, 1);
+}
+
 }  // namespace
 
 double NativeExecutor::measure(const simarch::GemmShape& shape, int nthreads,
@@ -57,6 +83,17 @@ double NativeExecutor::measure(const simarch::GemmShape& shape, int nthreads,
     return measure_typed<double>(shape, nthreads, iterations);
   }
   return measure_typed<float>(shape, nthreads, iterations);
+}
+
+double NativeExecutor::measure_op(blas::OpKind op,
+                                  const simarch::GemmShape& shape,
+                                  int nthreads, int iterations) {
+  if (op != blas::OpKind::kSyrk) return measure(shape, nthreads, iterations);
+  nthreads = std::clamp(nthreads, 1, max_threads_);
+  if (shape.elem_bytes == 8) {
+    return measure_syrk_typed<double>(shape, nthreads, iterations);
+  }
+  return measure_syrk_typed<float>(shape, nthreads, iterations);
 }
 
 std::vector<int> default_thread_grid(int max_threads) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "blas/op.h"
 #include "simarch/machine_model.h"
 
 namespace adsala::core {
@@ -25,6 +26,16 @@ class GemmExecutor {
   /// Mean seconds per GEMM call over `iterations` timed runs.
   virtual double measure(const simarch::GemmShape& shape, int nthreads,
                          int iterations = 10) = 0;
+
+  /// Operation-aware measurement for the op-aware gathering campaign. SYRK
+  /// shapes use the equivalent-GEMM convention (m == n; A is n x k). The
+  /// default falls back to the GEMM proxy — backends that can actually run
+  /// or model a SYRK override this.
+  virtual double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
+                            int nthreads, int iterations = 10) {
+    (void)op;
+    return measure(shape, nthreads, iterations);
+  }
 };
 
 /// Backend over the analytical machine model (paper-scale platforms).
@@ -46,6 +57,13 @@ class SimulatedExecutor : public GemmExecutor {
     policy.nthreads = nthreads;
     return model_.measure_gemm(shape, policy, iterations);
   }
+  double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
+                    int nthreads, int iterations = 10) override {
+    if (op != blas::OpKind::kSyrk) return measure(shape, nthreads, iterations);
+    simarch::ExecPolicy policy = base_policy_;
+    policy.nthreads = nthreads;
+    return model_.measure_syrk(shape, policy, iterations);
+  }
 
   const simarch::MachineModel& model() const { return model_; }
   const simarch::ExecPolicy& base_policy() const { return base_policy_; }
@@ -66,6 +84,10 @@ class NativeExecutor : public GemmExecutor {
   int max_threads() const override { return max_threads_; }
   double measure(const simarch::GemmShape& shape, int nthreads,
                  int iterations = 10) override;
+  /// SYRK requests run the real blas::syrk on the host (lower triangle,
+  /// no transpose); everything else routes through measure().
+  double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
+                    int nthreads, int iterations = 10) override;
 
  private:
   int max_threads_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "blas/kernels/dispatch.h"
 #include "common/csv.h"
 #include "ml/splits.h"
 #include "preprocess/features.h"
@@ -22,13 +23,13 @@ double GatherRecord::optimal_runtime() const {
 double GatherRecord::max_thread_runtime() const { return runtime.back(); }
 
 ml::Dataset GatherData::to_dataset() const {
-  ml::Dataset data(preprocess::feature_names());
+  ml::Dataset data(preprocess::op_aware_feature_names());
   for (const auto& rec : records) {
     for (std::size_t t = 0; t < rec.threads.size(); ++t) {
-      const auto feats = preprocess::make_features(
+      const auto feats = preprocess::make_op_aware_features(
           static_cast<double>(rec.shape.m), static_cast<double>(rec.shape.k),
           static_cast<double>(rec.shape.n),
-          static_cast<double>(rec.threads[t]));
+          static_cast<double>(rec.threads[t]), rec.op, rec.variant);
       data.add_row(feats, rec.runtime[t]);
     }
   }
@@ -51,7 +52,8 @@ void GatherData::split(double test_fraction, std::uint64_t seed,
 
 void GatherData::save_csv(const std::string& path) const {
   CsvTable table;
-  table.header = {"m", "k", "n", "elem_bytes", "threads", "runtime"};
+  table.header = {"m",       "k",       "n",  "elem_bytes",
+                  "threads", "runtime", "op", "variant"};
   for (const auto& rec : records) {
     for (std::size_t t = 0; t < rec.threads.size(); ++t) {
       table.rows.push_back({static_cast<double>(rec.shape.m),
@@ -59,7 +61,9 @@ void GatherData::save_csv(const std::string& path) const {
                             static_cast<double>(rec.shape.n),
                             static_cast<double>(rec.shape.elem_bytes),
                             static_cast<double>(rec.threads[t]),
-                            rec.runtime[t]});
+                            rec.runtime[t],
+                            static_cast<double>(blas::op_code(rec.op)),
+                            static_cast<double>(rec.variant)});
     }
   }
   write_csv(path, table);
@@ -67,6 +71,18 @@ void GatherData::save_csv(const std::string& path) const {
 
 GatherData GatherData::load_csv(const std::string& path) {
   const CsvTable table = read_csv(path);
+  // Column lookup by header name so the PR-1-era six-column files (no
+  // op/variant) keep loading; absent columns default to generic-kernel GEMM.
+  const bool has_op =
+      std::find(table.header.begin(), table.header.end(), "op") !=
+      table.header.end();
+  const bool has_variant =
+      std::find(table.header.begin(), table.header.end(), "variant") !=
+      table.header.end();
+  const std::size_t op_col = has_op ? table.col_index("op") : 0;
+  const std::size_t variant_col =
+      has_variant ? table.col_index("variant") : 0;
+
   GatherData out;
   GatherRecord current;
   bool have_current = false;
@@ -75,11 +91,34 @@ GatherData GatherData::load_csv(const std::string& path) {
                              static_cast<long>(row[1]),
                              static_cast<long>(row[2]),
                              static_cast<int>(row[3])};
+    blas::OpKind op = blas::OpKind::kGemm;
+    if (has_op) {
+      const auto parsed = blas::op_from_code(static_cast<int>(row[op_col]));
+      if (!parsed) {
+        throw std::runtime_error("GatherData::load_csv: unknown op code");
+      }
+      op = *parsed;
+    }
+    auto variant = blas::kernels::Variant::kGeneric;
+    if (has_variant) {
+      const int code = static_cast<int>(row[variant_col]);
+      // Records must carry a concrete variant; kAuto (0) or unknown codes
+      // mean the file is corrupt or from an incompatible future version.
+      if (code != static_cast<int>(blas::kernels::Variant::kGeneric) &&
+          code != static_cast<int>(blas::kernels::Variant::kAvx2)) {
+        throw std::runtime_error(
+            "GatherData::load_csv: unknown kernel-variant code");
+      }
+      variant = static_cast<blas::kernels::Variant>(code);
+    }
     if (!have_current || shape.m != current.shape.m ||
-        shape.k != current.shape.k || shape.n != current.shape.n) {
+        shape.k != current.shape.k || shape.n != current.shape.n ||
+        shape.elem_bytes != current.shape.elem_bytes || op != current.op) {
       if (have_current) out.records.push_back(std::move(current));
       current = GatherRecord{};
       current.shape = shape;
+      current.op = op;
+      current.variant = variant;
       have_current = true;
     }
     current.threads.push_back(static_cast<int>(row[4]));
@@ -103,22 +142,38 @@ GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config) {
   if (out.thread_grid.empty()) {
     throw std::invalid_argument("gather_timings: empty thread grid");
   }
+  if (config.ops.empty()) {
+    throw std::invalid_argument("gather_timings: no operations configured");
+  }
 
-  sampling::GemmDomainSampler sampler(config.domain);
-  const auto shapes = sampler.sample(config.n_samples);
+  // The variant tag of every record: what the dispatched kernel resolves to
+  // in this process (a concrete variant, never kAuto). Simulated platforms
+  // do not run the kernels, but the tag keeps the dataset schema uniform.
+  const blas::kernels::Variant variant = blas::kernels::active_variant();
 
-  out.records.reserve(shapes.size());
-  for (const auto& shape : shapes) {
-    GatherRecord rec;
-    rec.shape = shape;
-    rec.threads = out.thread_grid;
-    rec.runtime.reserve(rec.threads.size());
-    // One program execution per thread count, exactly as the paper isolates
-    // them to avoid thread-pool resize interference (SS III-B).
-    for (int p : rec.threads) {
-      rec.runtime.push_back(executor.measure(shape, p, config.iterations));
+  out.records.reserve(config.n_samples * config.ops.size());
+  for (const blas::OpKind op : config.ops) {
+    const auto shapes =
+        op == blas::OpKind::kSyrk
+            ? sampling::SyrkDomainSampler(config.domain)
+                  .sample(config.n_samples)
+            : sampling::GemmDomainSampler(config.domain)
+                  .sample(config.n_samples);
+    for (const auto& shape : shapes) {
+      GatherRecord rec;
+      rec.shape = shape;
+      rec.op = op;
+      rec.variant = variant;
+      rec.threads = out.thread_grid;
+      rec.runtime.reserve(rec.threads.size());
+      // One program execution per thread count, exactly as the paper
+      // isolates them to avoid thread-pool resize interference (SS III-B).
+      for (int p : rec.threads) {
+        rec.runtime.push_back(
+            executor.measure_op(op, shape, p, config.iterations));
+      }
+      out.records.push_back(std::move(rec));
     }
-    out.records.push_back(std::move(rec));
   }
   return out;
 }

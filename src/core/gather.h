@@ -1,26 +1,39 @@
 // Installation-time data gathering (paper Fig. 2, "Data gathering part").
 //
-// Samples GEMM shapes from the memory-capped domain with a scrambled Halton
+// Samples shapes from the memory-capped domain with a scrambled Halton
 // sequence, times each shape at every thread count of a probe grid, and
-// keeps the full per-shape runtime curves. The curves serve two purposes:
-// rows (shape x thread-count -> runtime) become the ML training set, and the
-// per-shape argmin/max-thread runtimes are the ground truth for speedup
-// estimation and for the optimal-thread-count histogram/heatmap figures.
+// keeps the full per-shape runtime curves. Since the operation-aware gather
+// (PR 2) a campaign can cover several level-3 operations: GEMM shapes come
+// from the 3-D (m, k, n) domain, SYRK shapes from the 2-D (n, k) family
+// (stored with m == n), and every record is tagged with the operation and
+// the micro-kernel variant active while it was timed.
+//
+// The curves serve two purposes: rows (shape x thread-count -> runtime)
+// become the ML training set — flattened by to_dataset() into the op-aware
+// feature schema defined in preprocess/features.h — and the per-shape
+// argmin/max-thread runtimes are the ground truth for speedup estimation and
+// for the optimal-thread-count histogram/heatmap figures.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "blas/kernels/kernel_set.h"
+#include "blas/op.h"
 #include "core/executor.h"
 #include "ml/dataset.h"
 #include "sampling/domain.h"
 
 namespace adsala::core {
 
-/// Full runtime curve of one GEMM shape over the probe thread grid.
+/// Full runtime curve of one shape over the probe thread grid.
 struct GatherRecord {
-  simarch::GemmShape shape;
+  simarch::GemmShape shape;  ///< SYRK records carry the m == n convention
+  blas::OpKind op = blas::OpKind::kGemm;
+  /// Micro-kernel variant active when the curve was timed (a concrete
+  /// variant, never kAuto); becomes the kernel_* one-hot columns.
+  blas::kernels::Variant variant = blas::kernels::Variant::kGeneric;
   std::vector<int> threads;
   std::vector<double> runtime;  ///< seconds, same order as `threads`
 
@@ -30,10 +43,14 @@ struct GatherRecord {
 };
 
 struct GatherConfig {
-  std::size_t n_samples = 400;
+  std::size_t n_samples = 400;  ///< shapes per operation
   int iterations = 10;
   std::vector<int> thread_grid;  ///< empty -> default_thread_grid(max)
   sampling::DomainConfig domain;
+  /// Operations to cover, each over the same domain config. The default
+  /// keeps the PR-1 behaviour (GEMM only); append kSyrk for an op-aware
+  /// campaign.
+  std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
 };
 
 struct GatherData {
@@ -42,7 +59,9 @@ struct GatherData {
   std::vector<int> thread_grid;
   std::vector<GatherRecord> records;
 
-  /// Flattens to the Table-II feature dataset: one row per (shape, threads).
+  /// Flattens to the op-aware feature dataset (see preprocess/features.h for
+  /// the column list): one row per (record, threads) pair; SYRK rows compute
+  /// the numeric features from the equivalent-GEMM shape (n, k, n).
   ml::Dataset to_dataset() const;
 
   /// Train/test split *by shape* (no leakage of a shape's curve across the
@@ -50,11 +69,16 @@ struct GatherData {
   void split(double test_fraction, std::uint64_t seed, GatherData* train,
              GatherData* test) const;
 
+  /// CSV columns: m, k, n, elem_bytes, threads, runtime, op, variant (the
+  /// last two as the integer codes from blas/op.h and kernels::Variant).
+  /// load_csv also accepts the PR-1-era six-column layout, tagging every
+  /// row as a generic-kernel GEMM.
   void save_csv(const std::string& path) const;
   static GatherData load_csv(const std::string& path);
 };
 
-/// Runs the gathering campaign on the given executor.
+/// Runs the gathering campaign on the given executor, one sub-campaign per
+/// configured operation.
 GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config);
 
 }  // namespace adsala::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "blas/kernels/dispatch.h"
 #include "common/timer.h"
 #include "ml/metrics.h"
 #include "preprocess/features.h"
@@ -26,14 +27,27 @@ std::vector<std::string> paper_candidates() {
 std::size_t predict_best_grid_index(const ml::Regressor& model,
                                     const preprocess::Pipeline& pipeline,
                                     const simarch::GemmShape& shape,
-                                    std::span<const int> thread_grid) {
+                                    std::span<const int> thread_grid,
+                                    blas::OpKind op,
+                                    blas::kernels::Variant variant) {
+  const bool op_aware =
+      pipeline.n_input_features() >= preprocess::kNumOpAwareFeatures;
+  if (op_aware && variant == blas::kernels::Variant::kAuto) {
+    variant = blas::kernels::active_variant();
+  }
   std::size_t best = 0;
   double best_pred = 0.0;
   for (std::size_t t = 0; t < thread_grid.size(); ++t) {
-    const auto raw = preprocess::make_features(
-        static_cast<double>(shape.m), static_cast<double>(shape.k),
-        static_cast<double>(shape.n), static_cast<double>(thread_grid[t]));
-    const auto x = pipeline.transform_row(raw);
+    const double m = static_cast<double>(shape.m);
+    const double k = static_cast<double>(shape.k);
+    const double n = static_cast<double>(shape.n);
+    const double p = static_cast<double>(thread_grid[t]);
+    const auto x =
+        op_aware ? pipeline.transform_row(
+                       preprocess::make_op_aware_features(m, k, n, p, op,
+                                                          variant))
+                 : pipeline.transform_row(
+                       preprocess::make_features(m, k, n, p));
     const double pred = model.predict_one(x);
     if (t == 0 || pred < best_pred) {
       best_pred = pred;
@@ -75,8 +89,8 @@ SpeedupStats speedups(const ml::Regressor& model,
   SpeedupStats out;
   double sum_ratio = 0.0, sum_orig = 0.0, sum_adsala = 0.0;
   for (const auto& rec : test.records) {
-    const std::size_t best =
-        predict_best_grid_index(model, pipeline, rec.shape, rec.threads);
+    const std::size_t best = predict_best_grid_index(
+        model, pipeline, rec.shape, rec.threads, rec.op, rec.variant);
     const double t_adsala = rec.runtime[best] + eval_overhead_s;
     const double t_orig = rec.max_thread_runtime();
     sum_ratio += t_orig / t_adsala;
@@ -100,8 +114,8 @@ double measure_eval_time_s(const ml::Regressor& model,
   for (int r = 0; r < repeats; ++r) {
     const auto& rec = test.records[static_cast<std::size_t>(r) % n_probe];
     // The argmin result is intentionally unused; volatile blocks DCE.
-    volatile std::size_t sink =
-        predict_best_grid_index(model, pipeline, rec.shape, rec.threads);
+    volatile std::size_t sink = predict_best_grid_index(
+        model, pipeline, rec.shape, rec.threads, rec.op, rec.variant);
     (void)sink;
   }
   return timer.seconds() / repeats;
@@ -122,9 +136,17 @@ TrainOutput train_and_select(const GatherData& gathered,
   GatherData train, test;
   gathered.split(options.test_fraction, options.seed, &train, &test);
 
-  // Fit the preprocessing on the training rows only.
-  out.pipeline = preprocess::Pipeline(options.pipeline);
-  const ml::Dataset train_set = out.pipeline.fit_transform(train.to_dataset());
+  // Fit the preprocessing on the training rows only. The op-aware gather
+  // emits the one-hot op / kernel columns (preprocess/features.h); mark them
+  // categorical unless the caller configured its own set.
+  preprocess::PipelineConfig pipeline_cfg = options.pipeline;
+  const ml::Dataset train_raw = train.to_dataset();
+  if (pipeline_cfg.categorical.empty() &&
+      train_raw.n_features() == preprocess::kNumOpAwareFeatures) {
+    pipeline_cfg.categorical = preprocess::categorical_indices();
+  }
+  out.pipeline = preprocess::Pipeline(pipeline_cfg);
+  const ml::Dataset train_set = out.pipeline.fit_transform(train_raw);
   const ml::Dataset test_set = transform_rows(out.pipeline, test.to_dataset());
 
   const auto candidates =

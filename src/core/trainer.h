@@ -65,9 +65,17 @@ TrainOutput train_and_select(const GatherData& gathered,
 /// Predicts the best thread count for one shape with a fitted model +
 /// pipeline over a thread grid (the runtime argmin loop, shared with
 /// AdsalaGemm). Returns the grid index of the argmin.
-std::size_t predict_best_grid_index(const ml::Regressor& model,
-                                    const preprocess::Pipeline& pipeline,
-                                    const simarch::GemmShape& shape,
-                                    std::span<const int> thread_grid);
+///
+/// The raw feature row is built to match the pipeline's fitted input width
+/// (see preprocess/features.h): an op-aware pipeline gets the op / kernel
+/// one-hot columns from `op` and `variant` (kAuto resolves to the active
+/// dispatch), while a PR-1-era 17-column pipeline ignores them — a SYRK
+/// query then degrades to the GEMM-proxy heuristic, since its shape already
+/// carries the equivalent-GEMM (n, k, n).
+std::size_t predict_best_grid_index(
+    const ml::Regressor& model, const preprocess::Pipeline& pipeline,
+    const simarch::GemmShape& shape, std::span<const int> thread_grid,
+    blas::OpKind op = blas::OpKind::kGemm,
+    blas::kernels::Variant variant = blas::kernels::Variant::kAuto);
 
 }  // namespace adsala::core

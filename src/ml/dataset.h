@@ -3,6 +3,12 @@
 // The ADSALA training set is ~10^3-10^4 rows x 10-20 features (paper SS II-B),
 // so a contiguous flat array with span row views is both the simplest and
 // the fastest representation for every model in this library.
+//
+// The container is schema-agnostic: columns are identified only by the name
+// list passed at construction. The canonical ADSALA column lists (17-column
+// Table II base schema and the 21-column op-aware schema with the one-hot
+// op_* / kernel_* columns) are defined once in preprocess/features.h;
+// GatherData::to_dataset emits them in that order.
 #pragma once
 
 #include <span>

@@ -13,8 +13,26 @@ const std::vector<std::string>& feature_names() {
   return names;
 }
 
+const std::vector<std::string>& op_aware_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = feature_names();
+    all.insert(all.end(),
+               {"op_gemm", "op_syrk", "kernel_generic", "kernel_avx2"});
+    return all;
+  }();
+  return names;
+}
+
 std::vector<std::size_t> group1_indices() {
   return {0, 1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+std::vector<std::size_t> categorical_indices() {
+  std::vector<std::size_t> idx;
+  for (std::size_t j = kNumFeatures; j < kNumOpAwareFeatures; ++j) {
+    idx.push_back(j);
+  }
+  return idx;
 }
 
 std::array<double, kNumFeatures> make_features(double m, double k, double n,
@@ -27,6 +45,20 @@ std::array<double, kNumFeatures> make_features(double m, double k, double n,
   return {m,      k,      n,      t,      mk,     mn,      kn,     mkn,
           total,  m / t,  k / t,  n / t,  mk / t, mn / t,  kn / t, mkn / t,
           total / t};
+}
+
+std::array<double, kNumOpAwareFeatures> make_op_aware_features(
+    double m, double k, double n, double t, blas::OpKind op,
+    blas::kernels::Variant variant) {
+  const auto base = make_features(m, k, n, t);
+  std::array<double, kNumOpAwareFeatures> out{};
+  for (std::size_t j = 0; j < kNumFeatures; ++j) out[j] = base[j];
+  out[kNumFeatures + 0] = op == blas::OpKind::kGemm ? 1.0 : 0.0;
+  out[kNumFeatures + 1] = op == blas::OpKind::kSyrk ? 1.0 : 0.0;
+  out[kNumFeatures + 2] =
+      variant == blas::kernels::Variant::kGeneric ? 1.0 : 0.0;
+  out[kNumFeatures + 3] = variant == blas::kernels::Variant::kAvx2 ? 1.0 : 0.0;
+  return out;
 }
 
 }  // namespace adsala::preprocess

@@ -1,27 +1,87 @@
-// Table II feature engineering.
+// Feature engineering — THE canonical definition of the ADSALA feature
+// schema. Every other component (GatherData::to_dataset, the trainer, the
+// runtime query path in AdsalaGemm) references this header instead of
+// restating the column list.
 //
-// Maps a raw (m, k, n, n_threads) GEMM configuration to the paper's 17
-// candidate features: Group 1 carries the serial-runtime terms (matrix
-// areas, FLOP volume), Group 2 the per-thread parallel terms. The order here
-// is the canonical feature order for every dataset in the project.
+// == Base schema (paper Table II, 17 columns) =================================
+//
+//   idx  name              idx  name
+//   ---  ----------------  ---  ----------------
+//    0   m                  9   m/t
+//    1   k                 10   k/t
+//    2   n                 11   n/t
+//    3   n_threads         12   m*k/t
+//    4   m*k               13   m*n/t
+//    5   m*n               14   k*n/t
+//    6   k*n               15   m*k*n/t
+//    7   m*k*n             16   (m*k+k*n+m*n)/t
+//    8   m*k+k*n+m*n
+//
+// Group 1 (0-8) carries the serial-runtime terms, Group 2 (9-16) the
+// per-thread parallel terms; the order above is the canonical feature order
+// for every dataset in the project.
+//
+// == Op-aware schema (21 columns) =============================================
+//
+// Since the operation-aware gather (PR 2), datasets append four one-hot
+// categorical columns after the 17 numeric ones:
+//
+//   17  op_gemm          1 when the row timed a GEMM call
+//   18  op_syrk          1 when the row timed a SYRK call (m == n equivalent
+//                        shape: features 0-16 are computed from (n, k, n))
+//   19  kernel_generic   1 when the portable micro-kernel produced the timing
+//   20  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
+//
+// Categorical columns are passed through the preprocessing pipeline
+// untransformed (no Yeo-Johnson, no standardisation; see
+// preprocess::PipelineConfig::categorical) and columns that are constant over
+// the training rows are dropped at fit time — a GEMM-only campaign therefore
+// reduces to the base behaviour, and a model trained without the op columns
+// answers SYRK queries through the GEMM-proxy shape exactly as before.
 #pragma once
 
 #include <array>
 #include <string>
 #include <vector>
 
+#include "blas/kernels/kernel_set.h"
+#include "blas/op.h"
+
 namespace adsala::preprocess {
 
+/// Number of numeric Table-II features (base schema).
 inline constexpr std::size_t kNumFeatures = 17;
 
-/// Canonical feature names, Group 1 then Group 2 (paper Table II).
+/// One-hot categorical columns appended by the op-aware schema.
+inline constexpr std::size_t kNumCategoricalFeatures = 4;
+
+/// Total width of the op-aware schema.
+inline constexpr std::size_t kNumOpAwareFeatures =
+    kNumFeatures + kNumCategoricalFeatures;
+
+/// Canonical base feature names, Group 1 then Group 2 (paper Table II).
 const std::vector<std::string>& feature_names();
+
+/// Canonical op-aware feature names: base schema + the four one-hot columns.
+const std::vector<std::string>& op_aware_feature_names();
 
 /// Index set of the Group 1 (serial) features, for the feature ablation.
 std::vector<std::size_t> group1_indices();
 
-/// Computes the 17 features for one configuration.
+/// Indices of the categorical one-hot columns in the op-aware schema
+/// (17..20); feed these to PipelineConfig::categorical.
+std::vector<std::size_t> categorical_indices();
+
+/// Computes the 17 numeric features for one configuration.
 std::array<double, kNumFeatures> make_features(double m, double k, double n,
                                                double n_threads);
+
+/// Computes the full op-aware row: numeric features plus the op / kernel
+/// one-hots. For SYRK pass the equivalent-GEMM shape (m == n). `variant`
+/// must be concrete (resolve kAuto via blas::kernels::active_variant()
+/// first); kAuto leaves both kernel columns zero.
+std::array<double, kNumOpAwareFeatures> make_op_aware_features(
+    double m, double k, double n, double n_threads, blas::OpKind op,
+    blas::kernels::Variant variant);
 
 }  // namespace adsala::preprocess

@@ -1,5 +1,6 @@
 #include "preprocess/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -17,26 +18,43 @@ ml::Dataset Pipeline::fit_transform(const ml::Dataset& raw) {
   const std::size_t d = raw.n_features();
   names_ = raw.feature_names();
 
-  // Stage 2+3 state, fitted column-wise.
+  // Stage 2+3 state, fitted column-wise. Categorical columns keep the
+  // identity parameters (lambda 1, mean 0, std 1), so transform_row treats
+  // them uniformly.
   lambdas_.assign(d, 1.0);
   means_.assign(d, 0.0);
   stds_.assign(d, 1.0);
 
+  std::vector<bool> is_categorical(d, false);
+  for (std::size_t j : cfg_.categorical) {
+    if (j >= d) {
+      throw std::invalid_argument("Pipeline: categorical index out of range");
+    }
+    is_categorical[j] = true;
+  }
+
   std::vector<double> transformed(n * d);
+  std::vector<bool> is_constant(d, false);
   for (std::size_t j = 0; j < d; ++j) {
     std::vector<double> col = raw.column(j);
-    if (cfg_.yeo_johnson) {
-      YeoJohnsonTransformer yj;
-      yj.fit(col);
-      lambdas_[j] = yj.lambda();
-      for (auto& v : col) v = yj.transform(v);
+    if (!col.empty()) {
+      const auto [lo, hi] = std::minmax_element(col.begin(), col.end());
+      is_constant[j] = *lo == *hi;
     }
-    if (cfg_.standardize) {
-      StandardScaler sc;
-      sc.fit(col);
-      means_[j] = sc.mean();
-      stds_[j] = sc.stddev();
-      for (auto& v : col) v = sc.transform(v);
+    if (!is_categorical[j]) {
+      if (cfg_.yeo_johnson) {
+        YeoJohnsonTransformer yj;
+        yj.fit(col);
+        lambdas_[j] = yj.lambda();
+        for (auto& v : col) v = yj.transform(v);
+      }
+      if (cfg_.standardize) {
+        StandardScaler sc;
+        sc.fit(col);
+        means_[j] = sc.mean();
+        stds_[j] = sc.stddev();
+        for (auto& v : col) v = sc.transform(v);
+      }
     }
     for (std::size_t i = 0; i < n; ++i) transformed[i * d + j] = col[i];
   }
@@ -57,7 +75,8 @@ ml::Dataset Pipeline::fit_transform(const ml::Dataset& raw) {
                   transform_label(raw.label(i)));
   }
 
-  // Stage 5: feature whitelist (ablation hook) then correlation filter.
+  // Stage 5: feature whitelist (ablation hook), constant-categorical drop,
+  // then correlation filter.
   std::vector<std::size_t> candidates;
   if (cfg_.feature_whitelist.empty()) {
     candidates.resize(d);
@@ -65,6 +84,9 @@ ml::Dataset Pipeline::fit_transform(const ml::Dataset& raw) {
   } else {
     candidates = cfg_.feature_whitelist;
   }
+  std::erase_if(candidates, [&](std::size_t j) {
+    return is_categorical[j] && is_constant[j];
+  });
   keep_ = candidates;
   if (cfg_.corr_filter) {
     const ml::Dataset restricted = inter.select_features(candidates);
@@ -106,6 +128,9 @@ Json Pipeline::save() const {
   out["corr_filter"] = Json(cfg_.corr_filter);
   out["corr_threshold"] = Json(cfg_.corr_threshold);
   out["log_label"] = Json(cfg_.log_label);
+  JsonArray categorical;
+  for (std::size_t j : cfg_.categorical) categorical.emplace_back(j);
+  out["categorical"] = Json(std::move(categorical));
   JsonArray names;
   for (const auto& s : names_) names.emplace_back(s);
   out["feature_names"] = Json(std::move(names));
@@ -127,6 +152,12 @@ void Pipeline::load(const Json& blob) {
   cfg_.corr_filter = blob.at("corr_filter").as_bool();
   cfg_.corr_threshold = blob.at("corr_threshold").as_number();
   cfg_.log_label = blob.at("log_label").as_bool();
+  cfg_.categorical.clear();
+  if (blob.contains("categorical")) {  // absent in PR-1-era config files
+    for (const auto& v : blob.at("categorical").as_array()) {
+      cfg_.categorical.push_back(static_cast<std::size_t>(v.as_number()));
+    }
+  }
   names_.clear();
   for (const auto& s : blob.at("feature_names").as_array()) {
     names_.push_back(s.as_string());

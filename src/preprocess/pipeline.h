@@ -8,6 +8,14 @@
 //   4. LOF outlier-row removal (train-time only; needs standardised scales),
 //   5. correlation filter (|r| > 0.80 -> drop the worse member).
 // transform_row applies the fitted 2/3/5 steps to a raw runtime query.
+//
+// Columns listed in PipelineConfig::categorical (the one-hot op / kernel
+// indicators of the op-aware schema, see preprocess/features.h) skip stages
+// 2 and 3 — a 0/1 indicator must stay a 0/1 indicator — and are dropped
+// outright when constant over the training rows (a single-op, single-kernel
+// campaign carries no information in them). Non-constant categorical columns
+// still pass through the correlation filter, which prunes redundant one-hot
+// pairs (op_gemm vs op_syrk are perfectly anti-correlated).
 #pragma once
 
 #include <span>
@@ -30,6 +38,10 @@ struct PipelineConfig {
   /// (indices into the raw dataset); empty = all features. Used by the
   /// feature-group ablation study.
   std::vector<std::size_t> feature_whitelist;
+  /// Raw-column indices treated as categorical one-hots: passed through
+  /// untransformed (no Yeo-Johnson / standardisation) and dropped when
+  /// constant over the training rows. See preprocess/features.h.
+  std::vector<std::size_t> categorical;
 };
 
 class Pipeline {
@@ -47,6 +59,14 @@ class Pipeline {
   double inverse_label(double y) const;
 
   const PipelineConfig& config() const { return cfg_; }
+  /// Width of the raw rows this pipeline was fitted on (17 for PR-1-era
+  /// artefacts, 21 for op-aware ones); transform_row expects this many
+  /// values. Zero before fit/load.
+  std::size_t n_input_features() const { return names_.size(); }
+  /// Names of the raw input columns at fit time (canonical schema order).
+  const std::vector<std::string>& input_feature_names() const {
+    return names_;
+  }
   const std::vector<std::size_t>& kept_features() const { return keep_; }
   const std::vector<double>& lambdas() const { return lambdas_; }
   std::size_t rows_removed() const { return rows_removed_; }

@@ -1,11 +1,64 @@
 #include "sampling/domain.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 
 namespace adsala::sampling {
+
+namespace {
+
+/// sqrt-scale: uniform in sqrt(dim) space => denser coverage of the small
+/// dimensions the paper's motivation targets.
+long sqrt_scale(double x, long dim_min, long dim_max) {
+  const double lo = std::sqrt(static_cast<double>(dim_min));
+  const double hi = std::sqrt(static_cast<double>(dim_max));
+  const double s = lo + x * (hi - lo);
+  return std::max(dim_min, static_cast<long>(std::llround(s * s)));
+}
+
+void check_bounds(const DomainConfig& config, const char* who) {
+  if (config.dim_min < 1 || config.dim_max < config.dim_min) {
+    throw std::invalid_argument(std::string(who) + ": bad dimension bounds");
+  }
+}
+
+/// Shared rejection-sampling loop: advance the rotated sequence until
+/// `count` in-domain shapes are drawn. The sqrt-scaled cube contains many
+/// over-cap points (large in every dimension); guard against a degenerate
+/// config where nothing fits by capping the attempts.
+template <typename MapFn, typename InDomainFn>
+std::vector<simarch::GemmShape> sample_rejection(
+    ScrambledHalton& sequence, const std::vector<double>& rotation,
+    std::size_t count, const char* who, MapFn&& map_point,
+    InDomainFn&& in_domain) {
+  std::vector<simarch::GemmShape> out;
+  out.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 10000 + 100000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    std::vector<double> u = sequence.next();
+    for (std::size_t d = 0; d < u.size(); ++d) {
+      u[d] += rotation[d];
+      if (u[d] >= 1.0) u[d] -= 1.0;  // torus wrap (Cranley-Patterson)
+    }
+    const simarch::GemmShape shape = map_point(u);
+    if (in_domain(shape)) out.push_back(shape);
+  }
+  if (out.size() < count) {
+    throw std::runtime_error(
+        std::string(who) +
+        ": rejection sampling failed to fill the request; memory cap too "
+        "tight for dim_max");
+  }
+  return out;
+}
+
+}  // namespace
 
 GemmDomainSampler::GemmDomainSampler(DomainConfig config)
     : config_(std::move(config)),
@@ -13,9 +66,7 @@ GemmDomainSampler::GemmDomainSampler(DomainConfig config)
   if (config_.bases.size() != 3) {
     throw std::invalid_argument("GemmDomainSampler: need exactly 3 bases");
   }
-  if (config_.dim_min < 1 || config_.dim_max < config_.dim_min) {
-    throw std::invalid_argument("GemmDomainSampler: bad dimension bounds");
-  }
+  check_bounds(config_, "GemmDomainSampler");
   Rng rng(config_.seed ^ 0x0c5a9d21ull);
   rotation_.resize(config_.bases.size());
   for (auto& r : rotation_) r = rng.uniform();
@@ -23,18 +74,10 @@ GemmDomainSampler::GemmDomainSampler(DomainConfig config)
 
 simarch::GemmShape GemmDomainSampler::map_point(
     const std::vector<double>& u) const {
-  auto scale = [&](double x) {
-    // sqrt-scale: uniform in sqrt(dim) space => denser coverage of the small
-    // dimensions the paper's motivation targets.
-    const double lo = std::sqrt(static_cast<double>(config_.dim_min));
-    const double hi = std::sqrt(static_cast<double>(config_.dim_max));
-    const double s = lo + x * (hi - lo);
-    return static_cast<long>(std::llround(s * s));
-  };
   simarch::GemmShape shape;
-  shape.m = std::max(config_.dim_min, scale(u[0]));
-  shape.k = std::max(config_.dim_min, scale(u[1]));
-  shape.n = std::max(config_.dim_min, scale(u[2]));
+  shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);
+  shape.k = sqrt_scale(u[1], config_.dim_min, config_.dim_max);
+  shape.n = sqrt_scale(u[2], config_.dim_min, config_.dim_max);
   shape.elem_bytes = config_.elem_bytes;
   return shape;
 }
@@ -47,29 +90,51 @@ bool GemmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
 }
 
 std::vector<simarch::GemmShape> GemmDomainSampler::sample(std::size_t count) {
-  std::vector<simarch::GemmShape> out;
-  out.reserve(count);
-  // Rejection sampling: the sqrt-scaled cube contains many over-cap points
-  // (large m AND large n AND large k); guard against a degenerate config
-  // where nothing fits by capping the attempts.
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = count * 10000 + 100000;
-  while (out.size() < count && attempts < max_attempts) {
-    ++attempts;
-    std::vector<double> u = sequence_.next();
-    for (std::size_t d = 0; d < u.size(); ++d) {
-      u[d] += rotation_[d];
-      if (u[d] >= 1.0) u[d] -= 1.0;  // torus wrap (Cranley-Patterson)
-    }
-    const simarch::GemmShape shape = map_point(u);
-    if (in_domain(shape)) out.push_back(shape);
-  }
-  if (out.size() < count) {
-    throw std::runtime_error(
-        "GemmDomainSampler: rejection sampling failed to fill the request; "
-        "memory cap too tight for dim_max");
-  }
-  return out;
+  return sample_rejection(
+      sequence_, rotation_, count, "GemmDomainSampler",
+      [this](const std::vector<double>& u) { return map_point(u); },
+      [this](const simarch::GemmShape& s) { return in_domain(s); });
+}
+
+SyrkDomainSampler::SyrkDomainSampler(DomainConfig config)
+    : config_(std::move(config)),
+      sequence_({config_.bases.size() > 0 ? config_.bases[0] : 2u,
+                 config_.bases.size() > 1 ? config_.bases[1] : 3u},
+                config_.seed) {
+  check_bounds(config_, "SyrkDomainSampler");
+  // Distinct salt from the GEMM sampler: a mixed-op campaign with one
+  // DomainConfig must not time both operations on identical diagonals.
+  Rng rng(config_.seed ^ 0x5a9c0d17ull);
+  rotation_.resize(2);
+  for (auto& r : rotation_) r = rng.uniform();
+}
+
+simarch::GemmShape SyrkDomainSampler::map_point(
+    const std::vector<double>& u) const {
+  simarch::GemmShape shape;
+  shape.n = sqrt_scale(u[0], config_.dim_min, config_.dim_max);
+  shape.k = sqrt_scale(u[1], config_.dim_min, config_.dim_max);
+  shape.m = shape.n;  // equivalent-GEMM convention for the (n, k) family
+  shape.elem_bytes = config_.elem_bytes;
+  return shape;
+}
+
+bool SyrkDomainSampler::in_domain(const simarch::GemmShape& shape) const {
+  const double footprint =
+      static_cast<double>(shape.elem_bytes) *
+      (static_cast<double>(shape.n) * shape.k +
+       static_cast<double>(shape.n) * shape.n);
+  return shape.m == shape.n &&
+         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
+         shape.k >= config_.dim_min && shape.k <= config_.dim_max &&
+         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
+}
+
+std::vector<simarch::GemmShape> SyrkDomainSampler::sample(std::size_t count) {
+  return sample_rejection(
+      sequence_, rotation_, count, "SyrkDomainSampler",
+      [this](const std::vector<double>& u) { return map_point(u); },
+      [this](const simarch::GemmShape& s) { return in_domain(s); });
 }
 
 }  // namespace adsala::sampling

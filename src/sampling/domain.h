@@ -1,11 +1,17 @@
-// Memory-capped GEMM shape domain sampler.
+// Memory-capped GEMM / SYRK shape domain samplers.
 //
-// Maps scrambled-Halton points in [0,1)^3 to (m, k, n) triples whose
-// aggregate operand footprint elem_bytes*(mk + kn + mn) stays under a cap
-// (the paper's 100 MB / 500 MB domains). Coordinates use a square-root scale
-// -- u^2 stretched over [1, dim_max] -- matching the paper's sqrt-scaled
-// heatmap axes, so slim/skinny shapes are as well represented as square
-// ones; points over the cap are rejected and the sequence advanced.
+// GemmDomainSampler maps scrambled-Halton points in [0,1)^3 to (m, k, n)
+// triples whose aggregate operand footprint elem_bytes*(mk + kn + mn) stays
+// under a cap (the paper's 100 MB / 500 MB domains). Coordinates use a
+// square-root scale -- u^2 stretched over [1, dim_max] -- matching the
+// paper's sqrt-scaled heatmap axes, so slim/skinny shapes are as well
+// represented as square ones; points over the cap are rejected and the
+// sequence advanced.
+//
+// SyrkDomainSampler is the two-dimensional sibling for the SYRK family
+// (n, k): A is n x k, C is n x n, footprint elem_bytes*(nk + nn). It shares
+// the cap, bounds, and sqrt scale of the GEMM domain so an operation-aware
+// gathering campaign covers both operations over the same territory.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +56,32 @@ class GemmDomainSampler {
   DomainConfig config_;
   ScrambledHalton sequence_;
   std::vector<double> rotation_;  ///< Cranley-Patterson shift per dimension
+};
+
+/// Samples the SYRK (n, k) family under the same DomainConfig. Uses the
+/// first two Halton bases and a rotation stream decorrelated from the GEMM
+/// sampler's, so a mixed campaign does not probe the same diagonal twice.
+/// Returned shapes carry m == n (the equivalent-GEMM convention used
+/// throughout the op-aware pipeline).
+class SyrkDomainSampler {
+ public:
+  explicit SyrkDomainSampler(DomainConfig config);
+
+  /// Draws `count` in-domain shapes (rejection sampling over the sequence).
+  std::vector<simarch::GemmShape> sample(std::size_t count);
+
+  /// Maps one [0,1)^2 point to a (possibly out-of-cap) shape with m == n.
+  simarch::GemmShape map_point(const std::vector<double>& u) const;
+
+  /// In-domain test on the SYRK footprint elem_bytes*(nk + nn).
+  bool in_domain(const simarch::GemmShape& shape) const;
+
+  const DomainConfig& config() const { return config_; }
+
+ private:
+  DomainConfig config_;
+  ScrambledHalton sequence_;
+  std::vector<double> rotation_;
 };
 
 }  // namespace adsala::sampling

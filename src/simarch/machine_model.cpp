@@ -180,17 +180,32 @@ TimingBreakdown MachineModel::time_gemm(const GemmShape& shape,
   return out;
 }
 
-double MachineModel::measure_gemm(const GemmShape& shape,
-                                  const ExecPolicy& policy,
-                                  int iterations) const {
-  const TimingBreakdown base = time_gemm(shape, policy);
-  const int p = resolve_threads(policy);
+TimingBreakdown MachineModel::time_syrk(const GemmShape& shape,
+                                        const ExecPolicy& policy) const {
+  TimingBreakdown out = time_gemm(shape, policy);
+  if (shape.n <= 0) return out;
+  // Only the uplo triangle's micro-tiles run: n*(n+1)*k multiply-adds vs the
+  // equivalent GEMM's 2*n*n*k. Copy and sync stay at GEMM level -- the
+  // substrate packs A into both panel roles and keeps the same barrier
+  // schedule -- which is exactly why the SYRK optimum sits at fewer threads:
+  // the fixed overheads amortise over roughly half the FLOPs.
+  const double n = static_cast<double>(shape.n);
+  out.kernel_s *= (n + 1.0) / (2.0 * n);
+  return out;
+}
+
+namespace {
+
+/// Mean of `iterations` noisy draws around an analytical base time.
+double noisy_mean(const TimingBreakdown& base, std::uint64_t seed,
+                  double sigma, const GemmShape& shape,
+                  const ExecPolicy& policy, int p, int iterations) {
   double sum = 0.0;
   for (int it = 0; it < iterations; ++it) {
-    Rng rng(mix_seed(noise_seed_, shape.m, shape.k, shape.n, p,
+    Rng rng(mix_seed(seed, shape.m, shape.k, shape.n, p,
                      static_cast<int>(policy.affinity),
                      policy.allow_smt ? 1 : 0, it));
-    double factor = rng.lognormal_factor(noise_sigma_);
+    double factor = rng.lognormal_factor(sigma);
     // Rare OS-noise spike, larger with more threads involved.
     if (rng.uniform() < 0.02) {
       factor *= 1.0 + rng.uniform(0.1, 0.6) * std::log2(double(p) + 1.0);
@@ -198,6 +213,26 @@ double MachineModel::measure_gemm(const GemmShape& shape,
     sum += base.total() * factor;
   }
   return sum / iterations;
+}
+
+/// Salt decorrelating the SYRK noise stream from the GEMM one.
+constexpr std::uint64_t kSyrkNoiseSalt = 0x53595246ull;  // "SYRK"
+
+}  // namespace
+
+double MachineModel::measure_gemm(const GemmShape& shape,
+                                  const ExecPolicy& policy,
+                                  int iterations) const {
+  return noisy_mean(time_gemm(shape, policy), noise_seed_, noise_sigma_,
+                    shape, policy, resolve_threads(policy), iterations);
+}
+
+double MachineModel::measure_syrk(const GemmShape& shape,
+                                  const ExecPolicy& policy,
+                                  int iterations) const {
+  return noisy_mean(time_syrk(shape, policy), noise_seed_ ^ kSyrkNoiseSalt,
+                    noise_sigma_, shape, policy, resolve_threads(policy),
+                    iterations);
 }
 
 int MachineModel::optimal_threads(const GemmShape& shape, ExecPolicy policy,

@@ -72,9 +72,23 @@ class MachineModel {
   TimingBreakdown time_gemm(const GemmShape& shape,
                             const ExecPolicy& policy) const;
 
+  /// Noise-free breakdown of one SYRK call, given as the equivalent-GEMM
+  /// shape (m == n; A is n x k). SYRK shares GEMM's packing, barrier, and
+  /// spawn structure (our substrate runs it on the same packed-panel
+  /// machinery, and A is packed into both panel roles), but only the
+  /// triangle's micro-tiles execute: the kernel component scales by
+  /// (n + 1) / (2n).
+  TimingBreakdown time_syrk(const GemmShape& shape,
+                            const ExecPolicy& policy) const;
+
   /// Mean of `iterations` noisy total-time draws (the paper times 10
   /// iterations per configuration, SS V-B.3). Deterministic in (inputs, seed).
   double measure_gemm(const GemmShape& shape, const ExecPolicy& policy,
+                      int iterations = 10) const;
+
+  /// SYRK sibling of measure_gemm; noise stream is decorrelated from the
+  /// GEMM stream so mixed-op campaigns do not share draws.
+  double measure_syrk(const GemmShape& shape, const ExecPolicy& policy,
                       int iterations = 10) const;
 
   /// Exhaustive argmin of measure_gemm over 1..max_threads. Returns the

@@ -2,13 +2,16 @@
 // model selection, the runtime class, and the full install() workflow.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
+#include "common/csv.h"
 #include "core/adsala.h"
 #include "core/executor.h"
 #include "core/gather.h"
 #include "core/install.h"
 #include "core/trainer.h"
+#include "preprocess/features.h"
 
 namespace adsala::core {
 namespace {
@@ -89,7 +92,43 @@ TEST(Gather, DatasetHasRowPerShapeThreadPair) {
   const auto data = gather_timings(ex, tiny_gather_config(20));
   const auto ds = data.to_dataset();
   EXPECT_EQ(ds.size(), 20u * data.thread_grid.size());
-  EXPECT_EQ(ds.n_features(), 17u);
+  EXPECT_EQ(ds.n_features(), preprocess::kNumOpAwareFeatures);
+  // A GEMM-only campaign one-hot-encodes every row as op_gemm.
+  const std::size_t op_gemm = 17, op_syrk = 18;
+  EXPECT_EQ(ds.feature_names()[op_gemm], "op_gemm");
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds.row(i)[op_gemm], 1.0);
+    EXPECT_DOUBLE_EQ(ds.row(i)[op_syrk], 0.0);
+  }
+}
+
+TEST(Gather, SyrkCampaignTagsRecords) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(12);
+  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto data = gather_timings(ex, cfg);
+  ASSERT_EQ(data.records.size(), 24u);
+  std::size_t n_syrk = 0;
+  for (const auto& rec : data.records) {
+    EXPECT_NE(rec.variant, blas::kernels::Variant::kAuto)
+        << "records must carry a concrete kernel variant";
+    for (double t : rec.runtime) EXPECT_GT(t, 0.0);
+    if (rec.op == blas::OpKind::kSyrk) {
+      ++n_syrk;
+      EXPECT_EQ(rec.shape.m, rec.shape.n)
+          << "syrk records use the equivalent-GEMM (n, k, n) convention";
+    }
+  }
+  EXPECT_EQ(n_syrk, 12u);
+}
+
+TEST(Gather, SyrkIsFasterThanEquivalentGemm) {
+  // Same (n, k, n) shape, same threads: the simulated SYRK does roughly half
+  // the kernel work, so it cannot be slower than the GEMM it proxies.
+  auto ex = tiny_executor();
+  const simarch::GemmShape s{600, 300, 600, 4};
+  EXPECT_LT(ex.measure_op(blas::OpKind::kSyrk, s, 4),
+            ex.measure_op(blas::OpKind::kGemm, s, 4));
 }
 
 TEST(Gather, SplitPartitionsByShape) {
@@ -116,6 +155,47 @@ TEST(Gather, CsvRoundTrip) {
                        data.records[i].runtime[t]);
     }
   }
+  std::filesystem::remove(path);
+}
+
+TEST(Gather, CsvRoundTripKeepsOpAndVariantColumns) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(8);
+  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto data = gather_timings(ex, cfg);
+  const std::string path = "/tmp/adsala_test_gather_op.csv";
+  data.save_csv(path);
+  const auto back = GatherData::load_csv(path);
+  ASSERT_EQ(back.records.size(), data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].op, data.records[i].op);
+    EXPECT_EQ(back.records[i].variant, data.records[i].variant);
+    EXPECT_EQ(back.records[i].shape.m, data.records[i].shape.m);
+    EXPECT_EQ(back.records[i].shape.k, data.records[i].shape.k);
+    EXPECT_EQ(back.records[i].shape.n, data.records[i].shape.n);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Gather, LegacySixColumnCsvLoadsAsGemm) {
+  // PR-1-era files carry no op/variant columns; loading must default every
+  // row to a generic-kernel GEMM record.
+  CsvTable legacy;
+  legacy.header = {"m", "k", "n", "elem_bytes", "threads", "runtime"};
+  legacy.rows = {{100, 200, 300, 4, 1, 0.5},
+                 {100, 200, 300, 4, 2, 0.3},
+                 {400, 500, 600, 4, 1, 0.9},
+                 {400, 500, 600, 4, 2, 0.6}};
+  const std::string path = "/tmp/adsala_test_gather_legacy.csv";
+  write_csv(path, legacy);
+  const auto back = GatherData::load_csv(path);
+  ASSERT_EQ(back.records.size(), 2u);
+  for (const auto& rec : back.records) {
+    EXPECT_EQ(rec.op, blas::OpKind::kGemm);
+    EXPECT_EQ(rec.variant, blas::kernels::Variant::kGeneric);
+    EXPECT_EQ(rec.threads, (std::vector<int>{1, 2}));
+  }
+  EXPECT_DOUBLE_EQ(back.records[1].runtime[1], 0.6);
   std::filesystem::remove(path);
 }
 
@@ -189,6 +269,140 @@ TEST(Trainer, TooFewShapesThrows) {
 
 // -------------------------------------------------------------- AdsalaGemm
 
+/// Trains a small op-aware runtime (mixed GEMM + SYRK campaign) on the tiny
+/// simulated platform.
+AdsalaGemm op_aware_runtime(std::size_t n_samples = 60) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(n_samples);
+  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  return AdsalaGemm(train_and_select(gather_timings(ex, cfg), opts));
+}
+
+TEST(AdsalaGemm, OpAwareModelSelectsFromSyrkFamilyRows) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(60);
+  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto data = gather_timings(ex, cfg);
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  AdsalaGemm adsala(train_and_select(data, opts));
+  ASSERT_TRUE(adsala.op_aware());
+
+  // The op indicator must survive preprocessing into the model input...
+  bool op_col_kept = false;
+  for (std::size_t j : adsala.pipeline().kept_features()) {
+    const auto& name = adsala.pipeline().input_feature_names()[j];
+    if (name == "op_gemm" || name == "op_syrk") op_col_kept = true;
+  }
+  EXPECT_TRUE(op_col_kept)
+      << "mixed campaign must keep an op one-hot after preprocessing";
+
+  // ...and actually steer the selection: over the gathered syrk family, the
+  // syrk answer must differ from the GEMM-proxy answer somewhere (the
+  // simulated SYRK optimum sits at fewer threads for many shapes).
+  int n_diff = 0;
+  for (const auto& rec : data.records) {
+    if (rec.op != blas::OpKind::kSyrk) continue;
+    const int p_syrk = adsala.select_threads_syrk(rec.shape.n, rec.shape.k);
+    const int p_proxy =
+        adsala.select_threads(rec.shape.n, rec.shape.k, rec.shape.n);
+    EXPECT_GE(p_syrk, 1);
+    EXPECT_LE(p_syrk, 16);
+    if (p_syrk != p_proxy) ++n_diff;
+  }
+  EXPECT_GT(n_diff, 0)
+      << "syrk-family rows must influence ssyrk thread selection";
+}
+
+TEST(AdsalaGemm, OpAwareArtefactsSurviveSaveLoad) {
+  AdsalaGemm original = op_aware_runtime();
+  const std::string model_path = "/tmp/adsala_test_op_model.json";
+  const std::string config_path = "/tmp/adsala_test_op_config.json";
+  original.save(model_path, config_path);
+  AdsalaGemm restored(model_path, config_path);
+  EXPECT_TRUE(restored.op_aware());
+  for (long n : {64L, 300L, 900L}) {
+    EXPECT_EQ(restored.select_threads_syrk(n, 2 * n),
+              original.select_threads_syrk(n, 2 * n));
+    EXPECT_EQ(restored.select_threads(n, n, n),
+              original.select_threads(n, n, n));
+  }
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(config_path);
+}
+
+TEST(AdsalaGemm, LegacyGemmOnlyArtefactsFallBackToProxy) {
+  // Emulate a PR-1-era artefact: pipeline + model fitted on the 17-column
+  // base schema, with no op/variant columns anywhere.
+  auto ex = tiny_executor();
+  const auto data = gather_timings(ex, tiny_gather_config(60));
+  ml::Dataset base(preprocess::feature_names());
+  for (const auto& rec : data.records) {
+    for (std::size_t t = 0; t < rec.threads.size(); ++t) {
+      base.add_row(preprocess::make_features(
+                       static_cast<double>(rec.shape.m),
+                       static_cast<double>(rec.shape.k),
+                       static_cast<double>(rec.shape.n),
+                       static_cast<double>(rec.threads[t])),
+                   rec.runtime[t]);
+    }
+  }
+  TrainOutput legacy;
+  legacy.selected = "decision_tree";
+  legacy.thread_grid = data.thread_grid;
+  legacy.max_threads = data.max_threads;
+  legacy.platform = data.platform;
+  legacy.pipeline = preprocess::Pipeline(preprocess::PipelineConfig{});
+  const auto train_set = legacy.pipeline.fit_transform(base);
+  legacy.model = ml::make_model("decision_tree");
+  legacy.model->fit(train_set);
+
+  const std::string model_path = "/tmp/adsala_test_legacy_model.json";
+  const std::string config_path = "/tmp/adsala_test_legacy_config.json";
+  AdsalaGemm(std::move(legacy)).save(model_path, config_path);
+
+  // Loading the old-schema pair must work, and syrk queries must degrade to
+  // the GEMM-proxy heuristic (identical answer to the (n, k, n) query).
+  AdsalaGemm runtime(model_path, config_path);
+  EXPECT_FALSE(runtime.op_aware());
+  for (long n : {64L, 256L, 700L}) {
+    const int p_syrk = runtime.select_threads_syrk(n, 3 * n);
+    const int p_proxy = runtime.select_threads(n, 3 * n, n);
+    EXPECT_EQ(p_syrk, p_proxy);
+    EXPECT_GE(p_syrk, 1);
+    EXPECT_LE(p_syrk, 16);
+  }
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(config_path);
+}
+
+TEST(AdsalaGemm, MemoInvalidatesAcrossOpsAndElemSizes) {
+  AdsalaGemm adsala = op_aware_runtime();
+  const long n = 500, k = 300;
+  // Ground truth from the stateless predictor (no memo involved).
+  auto fresh = [&](blas::OpKind op, int elem) {
+    const simarch::GemmShape shape{n, k, n, elem};
+    return adsala.thread_grid()[predict_best_grid_index(
+        adsala.model(), adsala.pipeline(), shape, adsala.thread_grid(), op)];
+  };
+  const int gemm4 = fresh(blas::OpKind::kGemm, 4);
+  const int syrk4 = fresh(blas::OpKind::kSyrk, 4);
+  const int gemm8 = fresh(blas::OpKind::kGemm, 8);
+  // Interleaved queries over the same (m, k, n) must each return their own
+  // answer — a memo keyed on the shape alone would leak across ops/sizes.
+  EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);
+  EXPECT_EQ(adsala.select_threads_syrk(n, k, 4), syrk4);
+  EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);
+  EXPECT_EQ(adsala.select_threads(n, k, n, 8), gemm8);
+  EXPECT_EQ(adsala.select_threads_syrk(n, k, 4), syrk4);
+  EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);
+  EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);  // memo fast path
+}
+
 TEST(AdsalaGemm, SelectThreadsMemoisesLastQuery) {
   auto ex = tiny_executor();
   auto data = gather_timings(ex, tiny_gather_config(60));
@@ -201,6 +415,12 @@ TEST(AdsalaGemm, SelectThreadsMemoisesLastQuery) {
   EXPECT_EQ(p1, p2);
   EXPECT_GE(p1, 1);
   EXPECT_LE(p1, 16);
+  // Trained on a GEMM-only campaign: the constant op_* columns are dropped
+  // at fit time, so the runtime must not claim operation awareness (syrk
+  // queries reduce to the GEMM proxy).
+  EXPECT_FALSE(adsala.op_aware());
+  EXPECT_EQ(adsala.select_threads_syrk(100, 200),
+            adsala.select_threads(100, 200, 100));
 }
 
 TEST(AdsalaGemm, SaveLoadRoundTrip) {
@@ -243,6 +463,28 @@ TEST(AdsalaGemm, SgemmComputesCorrectProduct) {
                               1.0f, a.data(), k, b.data(), n, 0.0f,
                               c_ref.data(), n);
   for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-3);
+}
+
+TEST(AdsalaGemm, SsyrkAndDsyrkComputeCorrectUpdate) {
+  AdsalaGemm adsala = op_aware_runtime();
+  const int n = 15, k = 9;
+  std::vector<float> a(n * k);
+  for (int i = 0; i < n * k; ++i) a[i] = static_cast<float>(i % 7) - 3.0f;
+  std::vector<float> c(n * n, 0.0f), c_ref(n * n, 0.0f);
+  adsala.ssyrk(blas::Uplo::kLower, n, k, 1.0f, a.data(), k, 0.0f, c.data(),
+               n);
+  blas::reference_syrk<float>(blas::Uplo::kLower, blas::Trans::kNo, n, k,
+                              1.0f, a.data(), k, 0.0f, c_ref.data(), n);
+  for (int i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-3);
+
+  std::vector<double> ad(n * k);
+  for (int i = 0; i < n * k; ++i) ad[i] = static_cast<double>(i % 5) - 2.0;
+  std::vector<double> cd(n * n, 0.0), cd_ref(n * n, 0.0);
+  adsala.dsyrk(blas::Uplo::kUpper, n, k, 1.0, ad.data(), k, 0.0, cd.data(),
+               n);
+  blas::reference_syrk<double>(blas::Uplo::kUpper, blas::Trans::kNo, n, k,
+                               1.0, ad.data(), k, 0.0, cd_ref.data(), n);
+  for (int i = 0; i < n * n; ++i) EXPECT_NEAR(cd[i], cd_ref[i], 1e-10);
 }
 
 // ----------------------------------------------------------------- Install

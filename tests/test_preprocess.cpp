@@ -2,6 +2,7 @@
 // filter, Table-II features, and the full pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -263,6 +264,40 @@ TEST(Features, GroupOneIndicesMatchNames) {
   }
 }
 
+TEST(Features, OpAwareSchemaAppendsOneHots) {
+  const auto& names = op_aware_feature_names();
+  ASSERT_EQ(names.size(), kNumOpAwareFeatures);
+  EXPECT_EQ(std::vector<std::string>(names.begin(),
+                                     names.begin() + kNumFeatures),
+            feature_names());
+  EXPECT_EQ(names[17], "op_gemm");
+  EXPECT_EQ(names[18], "op_syrk");
+  EXPECT_EQ(names[19], "kernel_generic");
+  EXPECT_EQ(names[20], "kernel_avx2");
+  EXPECT_EQ(categorical_indices(),
+            (std::vector<std::size_t>{17, 18, 19, 20}));
+}
+
+TEST(Features, OpAwareValuesEncodeOpAndVariant) {
+  const auto f = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kSyrk,
+                                        blas::kernels::Variant::kAvx2);
+  const auto base = make_features(2, 3, 4, 8);
+  for (std::size_t j = 0; j < kNumFeatures; ++j) {
+    EXPECT_DOUBLE_EQ(f[j], base[j]) << "numeric prefix must match Table II";
+  }
+  EXPECT_DOUBLE_EQ(f[17], 0.0);  // op_gemm
+  EXPECT_DOUBLE_EQ(f[18], 1.0);  // op_syrk
+  EXPECT_DOUBLE_EQ(f[19], 0.0);  // kernel_generic
+  EXPECT_DOUBLE_EQ(f[20], 1.0);  // kernel_avx2
+
+  const auto g = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kGemm,
+                                        blas::kernels::Variant::kGeneric);
+  EXPECT_DOUBLE_EQ(g[17], 1.0);
+  EXPECT_DOUBLE_EQ(g[18], 0.0);
+  EXPECT_DOUBLE_EQ(g[19], 1.0);
+  EXPECT_DOUBLE_EQ(g[20], 0.0);
+}
+
 // ---------------------------------------------------------------- Pipeline
 
 ml::Dataset skewed_dataset(std::size_t n, std::uint64_t seed) {
@@ -357,6 +392,106 @@ TEST(Pipeline, EmptyDatasetThrows) {
   Pipeline pipe;
   ml::Dataset empty({"x"});
   EXPECT_THROW(pipe.fit_transform(empty), std::invalid_argument);
+}
+
+// ------------------------------------------------- Pipeline (categorical)
+
+/// Skewed numeric column + binary one-hot column (alternating 0/1).
+ml::Dataset categorical_dataset(std::size_t n, std::uint64_t seed,
+                                bool constant_onehot = false) {
+  ml::Dataset data({"f0", "is_syrk"});
+  adsala::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double onehot = constant_onehot ? 1.0 : static_cast<double>(i % 2);
+    data.add_row(std::vector<double>{std::exp(rng.normal(0.0, 1.5)), onehot},
+                 std::exp(rng.normal(0.0, 1.0)));
+  }
+  return data;
+}
+
+TEST(Pipeline, CategoricalColumnPassesThroughUntransformed) {
+  PipelineConfig cfg;
+  cfg.lof = false;  // keep rows aligned with the input
+  cfg.categorical = {1};
+  Pipeline pipe(cfg);
+  const auto raw = categorical_dataset(200, 21);
+  const auto out = pipe.fit_transform(raw);
+  ASSERT_EQ(out.size(), raw.size());
+  const auto& kept = pipe.kept_features();
+  const auto it = std::find(kept.begin(), kept.end(), std::size_t{1});
+  ASSERT_NE(it, kept.end()) << "non-constant categorical must be kept";
+  const auto col = static_cast<std::size_t>(it - kept.begin());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.row(i)[col], raw.row(i)[1])
+        << "one-hot values must not be Yeo-Johnson'd or standardised";
+  }
+  // transform_row agrees for categorical and numeric alike.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto row = pipe.transform_row(raw.row(i));
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_NEAR(row[j], out.row(i)[j], 1e-10);
+    }
+  }
+}
+
+TEST(Pipeline, ConstantCategoricalColumnIsDropped) {
+  PipelineConfig cfg;
+  cfg.categorical = {1};
+  Pipeline pipe(cfg);
+  pipe.fit_transform(categorical_dataset(200, 22, /*constant_onehot=*/true));
+  const auto& kept = pipe.kept_features();
+  EXPECT_EQ(std::count(kept.begin(), kept.end(), std::size_t{1}), 0)
+      << "a single-op campaign carries no information in the one-hot";
+  EXPECT_EQ(std::count(kept.begin(), kept.end(), std::size_t{0}), 1);
+}
+
+TEST(Pipeline, RedundantOneHotPairIsPrunedByCorrFilter) {
+  // op_gemm + op_syrk == 1 for every row: perfectly anti-correlated, so the
+  // correlation filter must keep exactly one of them.
+  PipelineConfig cfg;
+  cfg.lof = false;
+  cfg.categorical = {1, 2};
+  Pipeline pipe(cfg);
+  ml::Dataset data({"f0", "op_gemm", "op_syrk"});
+  adsala::Rng rng(23);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double syrk = static_cast<double>(i % 2);
+    data.add_row(
+        std::vector<double>{std::exp(rng.normal(0.0, 1.0)), 1.0 - syrk, syrk},
+        1.0);
+  }
+  pipe.fit_transform(data);
+  const auto& kept = pipe.kept_features();
+  const auto n_onehot = std::count_if(kept.begin(), kept.end(),
+                                      [](std::size_t j) { return j >= 1; });
+  EXPECT_EQ(n_onehot, 1);
+}
+
+TEST(Pipeline, CategoricalSurvivesSaveLoad) {
+  PipelineConfig cfg;
+  cfg.lof = false;
+  cfg.categorical = {1};
+  Pipeline pipe(cfg);
+  const auto raw = categorical_dataset(150, 24);
+  pipe.fit_transform(raw);
+  Pipeline restored;
+  restored.load(pipe.save());
+  EXPECT_EQ(restored.config().categorical, cfg.categorical);
+  EXPECT_EQ(restored.kept_features(), pipe.kept_features());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto a = pipe.transform_row(raw.row(i));
+    const auto b = restored.transform_row(raw.row(i));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+TEST(Pipeline, CategoricalIndexOutOfRangeThrows) {
+  PipelineConfig cfg;
+  cfg.categorical = {7};
+  Pipeline pipe(cfg);
+  EXPECT_THROW(pipe.fit_transform(categorical_dataset(50, 25)),
+               std::invalid_argument);
 }
 
 }  // namespace

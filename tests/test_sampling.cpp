@@ -198,5 +198,60 @@ TEST(Domain, ImpossibleCapThrowsOnSample) {
   EXPECT_THROW(sampler.sample(10), std::runtime_error);
 }
 
+// ------------------------------------------------------------- SyrkDomain
+
+TEST(SyrkDomain, ShapesCarryEquivalentGemmConvention) {
+  DomainConfig cfg;
+  cfg.memory_cap_bytes = 100ull * 1024 * 1024;
+  cfg.dim_max = 40000;
+  SyrkDomainSampler sampler(cfg);
+  for (const auto& s : sampler.sample(200)) {
+    EXPECT_EQ(s.m, s.n) << "syrk family shapes are (n, k) with m == n";
+    // SYRK footprint: A (n x k) + C (n x n).
+    const double footprint =
+        static_cast<double>(s.elem_bytes) *
+        (static_cast<double>(s.n) * s.k + static_cast<double>(s.n) * s.n);
+    EXPECT_LE(footprint, static_cast<double>(cfg.memory_cap_bytes));
+    EXPECT_GE(s.n, cfg.dim_min);
+    EXPECT_LE(s.n, cfg.dim_max);
+    EXPECT_GE(s.k, cfg.dim_min);
+    EXPECT_LE(s.k, cfg.dim_max);
+  }
+}
+
+TEST(SyrkDomain, DeterministicForFixedSeed) {
+  DomainConfig cfg;
+  cfg.seed = 42;
+  SyrkDomainSampler a(cfg), b(cfg);
+  const auto sa = a.sample(50), sb = b.sample(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sa[i].n, sb[i].n);
+    EXPECT_EQ(sa[i].k, sb[i].k);
+  }
+}
+
+TEST(SyrkDomain, DecorrelatedFromGemmSampler) {
+  // Same DomainConfig must not probe identical (n, k) diagonals in both
+  // campaigns: the rotation streams use different salts.
+  DomainConfig cfg;
+  cfg.seed = 1234;
+  GemmDomainSampler gemm(cfg);
+  SyrkDomainSampler syrk(cfg);
+  const auto gs = gemm.sample(30);
+  const auto ss = syrk.sample(30);
+  int identical = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (gs[i].n == ss[i].n && gs[i].k == ss[i].k) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(SyrkDomain, ImpossibleCapThrowsOnSample) {
+  DomainConfig cfg;
+  cfg.memory_cap_bytes = 1;
+  SyrkDomainSampler sampler(cfg);
+  EXPECT_THROW(sampler.sample(10), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace adsala::sampling

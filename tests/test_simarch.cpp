@@ -119,6 +119,37 @@ TEST(MachineModel, SmtOffLimitsThreads) {
   EXPECT_EQ(model.resolve_threads({.nthreads = -5}), 96);
 }
 
+TEST(MachineModel, SyrkScalesKernelOnly) {
+  MachineModel model(gadi_topology());
+  const auto s = shape(800, 400, 800);
+  const ExecPolicy policy{.nthreads = 8};
+  const auto gemm = model.time_gemm(s, policy);
+  const auto syrk = model.time_syrk(s, policy);
+  // Kernel scales by the triangle fraction (n + 1) / (2n)...
+  EXPECT_NEAR(syrk.kernel_s, gemm.kernel_s * (800.0 + 1.0) / 1600.0,
+              1e-12 * gemm.kernel_s);
+  // ...while packing, sync, and spawn keep the GEMM structure.
+  EXPECT_DOUBLE_EQ(syrk.copy_s, gemm.copy_s);
+  EXPECT_DOUBLE_EQ(syrk.sync_s, gemm.sync_s);
+  EXPECT_DOUBLE_EQ(syrk.spawn_s, gemm.spawn_s);
+}
+
+TEST(MachineModel, SyrkMeasurementDeterministicAndDecorrelated) {
+  MachineModel model(gadi_topology(), 42);
+  const auto s = shape(500, 500, 500);
+  const ExecPolicy policy{.nthreads = 16};
+  EXPECT_DOUBLE_EQ(model.measure_syrk(s, policy),
+                   model.measure_syrk(s, policy));
+  // Distinct noise stream: the syrk/gemm ratio is not exactly the noise-free
+  // kernel ratio.
+  const double ratio = model.measure_syrk(s, policy) /
+                       model.measure_gemm(s, policy);
+  const double clean_ratio =
+      model.time_syrk(s, policy).total() / model.time_gemm(s, policy).total();
+  EXPECT_NE(ratio, clean_ratio);
+  EXPECT_LT(ratio, 1.0) << "syrk does half the kernel work";
+}
+
 TEST(MachineModel, MeasurementIsDeterministic) {
   MachineModel a(setonix_topology(), 42), b(setonix_topology(), 42);
   const GemmShape s = shape(333, 222, 111);

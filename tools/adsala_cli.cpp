@@ -1,16 +1,18 @@
 // adsala — command-line interface to the ADSALA workflow.
 //
 //   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
-//                    [--out DIR] [--cap-mb MB] [--no-tune]
-//   adsala predict   --dir DIR --shape MxKxN [--shape ...]
+//                    [--out DIR] [--cap-mb MB] [--no-tune] [--ops gemm,syrk]
+//   adsala predict   --dir DIR [--shape MxKxN ...] [--syrk NxK ...]
 //   adsala inspect   --dir DIR
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //
 // `install` runs the full installation workflow and writes model.json /
-// config.json / timings.csv. `predict` loads those artefacts and prints the
-// selected thread count per shape. `inspect` summarises the artefacts.
-// `time` measures one GEMM on the chosen backend at a given thread count
-// (or sweeps the default grid when --threads is omitted).
+// config.json / timings.csv; `--ops gemm,syrk` gathers an operation-aware
+// campaign (one sub-campaign per operation over the same domain). `predict`
+// loads those artefacts and prints the selected thread count per GEMM shape
+// / SYRK (n, k) family member. `inspect` summarises the artefacts. `time`
+// measures one GEMM on the chosen backend at a given thread count (or
+// sweeps the default grid when --threads is omitted).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "blas/op.h"
 #include "core/adsala.h"
 #include "core/install.h"
 
@@ -33,7 +36,9 @@ struct Args {
   std::size_t cap_mb = 100;
   bool tune = true;
   int threads = 0;
+  std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   std::vector<simarch::GemmShape> shapes;
+  std::vector<simarch::GemmShape> syrk_shapes;  ///< m == n convention
 };
 
 [[noreturn]] void usage(const char* why = nullptr) {
@@ -41,8 +46,10 @@ struct Args {
   std::fprintf(stderr,
                "usage:\n"
                "  adsala install --platform <native|setonix|gadi|tiny> "
-               "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune]\n"
-               "  adsala predict --dir DIR --shape MxKxN [--shape ...]\n"
+               "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune] "
+               "[--ops gemm,syrk]\n"
+               "  adsala predict --dir DIR [--shape MxKxN ...] "
+               "[--syrk NxK ...]\n"
                "  adsala inspect --dir DIR\n"
                "  adsala time    --platform <...> --shape MxKxN "
                "[--threads P]\n");
@@ -84,6 +91,30 @@ Args parse(int argc, char** argv) {
       args.threads = std::stoi(value());
     } else if (flag == "--shape") {
       args.shapes.push_back(parse_shape(value()));
+    } else if (flag == "--syrk") {
+      simarch::GemmShape shape;
+      shape.elem_bytes = 4;
+      if (std::sscanf(value().c_str(), "%ldx%ld", &shape.n, &shape.k) != 2 ||
+          shape.n < 1 || shape.k < 1) {
+        usage("--syrk expects NxK with positive integers");
+      }
+      shape.m = shape.n;
+      args.syrk_shapes.push_back(shape);
+    } else if (flag == "--ops") {
+      args.ops.clear();
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string token =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        const auto op = blas::parse_op(token);
+        if (!op) usage("--ops expects a comma list of gemm|syrk");
+        args.ops.push_back(*op);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -111,6 +142,7 @@ int cmd_install(const Args& args) {
   auto executor = make_backend(args.platform);
   core::InstallOptions options;
   options.gather.n_samples = args.samples;
+  options.gather.ops = args.ops;
   options.gather.domain.memory_cap_bytes = args.cap_mb * 1024ull * 1024;
   if (args.platform == "native") {
     options.gather.iterations = 3;
@@ -121,9 +153,16 @@ int cmd_install(const Args& args) {
   options.output_dir = args.dir;
   std::filesystem::create_directories(args.dir);
 
-  std::printf("installing on '%s' (%zu shapes, cap %zu MB, tune=%s)...\n",
-              args.platform.c_str(), args.samples, args.cap_mb,
-              args.tune ? "yes" : "no");
+  std::string op_list;
+  for (const auto op : args.ops) {
+    if (!op_list.empty()) op_list += ',';
+    op_list += blas::op_name(op);
+  }
+  std::printf(
+      "installing on '%s' (%zu shapes per op, ops=%s, cap %zu MB, "
+      "tune=%s)...\n",
+      args.platform.c_str(), args.samples, op_list.c_str(), args.cap_mb,
+      args.tune ? "yes" : "no");
   const auto report = core::install(*executor, options);
   std::printf("gather %.1fs, train %.1fs\n", report.gather_seconds,
               report.train_seconds);
@@ -141,15 +180,22 @@ int cmd_install(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
-  if (args.shapes.empty()) usage("predict needs at least one --shape");
+  if (args.shapes.empty() && args.syrk_shapes.empty()) {
+    usage("predict needs at least one --shape or --syrk");
+  }
   core::AdsalaGemm runtime(args.dir + "/model.json",
                            args.dir + "/config.json");
-  std::printf("platform %s, model %s, max threads %d\n",
+  std::printf("platform %s, model %s, max threads %d, op-aware %s\n",
               runtime.platform().c_str(), runtime.model_name().c_str(),
-              runtime.max_threads());
+              runtime.max_threads(), runtime.op_aware() ? "yes" : "no");
   for (const auto& s : args.shapes) {
-    std::printf("%ldx%ldx%ld -> %d threads\n", s.m, s.k, s.n,
+    std::printf("gemm %ldx%ldx%ld -> %d threads\n", s.m, s.k, s.n,
                 runtime.select_threads(s.m, s.k, s.n));
+  }
+  for (const auto& s : args.syrk_shapes) {
+    std::printf("syrk n=%ld k=%ld -> %d threads%s\n", s.n, s.k,
+                runtime.select_threads_syrk(s.n, s.k),
+                runtime.op_aware() ? "" : " (gemm-proxy fallback)");
   }
   return 0;
 }
@@ -173,9 +219,14 @@ int cmd_inspect(const Args& args) {
               pipe.at("lof").as_bool() ? "on" : "off",
               pipe.at("corr_filter").as_bool() ? "on" : "off",
               pipe.at("log_label").as_bool() ? "on" : "off");
-  std::printf("features    : %zu kept of %zu\n",
+  bool op_aware = false;
+  for (const auto& name : pipe.at("feature_names").as_array()) {
+    if (name.as_string() == "op_syrk") op_aware = true;
+  }
+  std::printf("features    : %zu kept of %zu (%s schema)\n",
               pipe.at("keep").as_array().size(),
-              pipe.at("feature_names").as_array().size());
+              pipe.at("feature_names").as_array().size(),
+              op_aware ? "op-aware" : "PR-1 base");
   return 0;
 }
 

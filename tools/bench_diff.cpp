@@ -1,0 +1,300 @@
+// bench_diff — compares two directories of BENCH_*.json results (see
+// bench/bench_util.h for the envelope format) and flags metric regressions
+// beyond a relative threshold, so the perf trajectory across PRs is a CI
+// check instead of a manual scrape.
+//
+//   bench_diff [--threshold FRAC] BASELINE_DIR CANDIDATE_DIR
+//   bench_diff --self-test
+//
+// Rows are matched within each bench file by their identity fields (strings,
+// bools, and numeric fields that are not measurements: n, k, threads, ...).
+// Numeric fields whose names look like measurements are compared:
+//   lower-is-better: *time*, *seconds*, *runtime*, *_s, *_us, *_ms, *rmse*
+//   higher-is-better: *gflops*, *speedup*
+// A candidate value worse than baseline by more than --threshold (default
+// 0.10 = 10%) is a regression; any regression makes the exit status 1.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace fs = std::filesystem;
+using adsala::Json;
+using adsala::JsonObject;
+
+namespace {
+
+bool name_contains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+bool name_ends_with(const std::string& name, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return name.size() >= len &&
+         name.compare(name.size() - len, len, suffix) == 0;
+}
+
+enum class MetricKind { kNotMetric, kLowerBetter, kHigherBetter };
+
+/// Classifies a row field by name: identity field, or a measurement and in
+/// which direction "better" points.
+MetricKind classify(const std::string& name) {
+  if (name_contains(name, "gflops") || name_contains(name, "speedup")) {
+    return MetricKind::kHigherBetter;
+  }
+  if (name_contains(name, "time") || name_contains(name, "seconds") ||
+      name_contains(name, "runtime") || name_contains(name, "rmse") ||
+      name_ends_with(name, "_s") || name_ends_with(name, "_us") ||
+      name_ends_with(name, "_ms")) {
+    return MetricKind::kLowerBetter;
+  }
+  return MetricKind::kNotMetric;
+}
+
+/// Identity key of a row: every non-metric field, serialised name=value.
+/// JsonObject is an ordered map, so the key is deterministic.
+std::string row_key(const JsonObject& row) {
+  std::string key;
+  for (const auto& [name, value] : row) {
+    if (value.is_number() && classify(name) != MetricKind::kNotMetric) {
+      continue;
+    }
+    key += name;
+    key += '=';
+    key += value.dump();
+    key += ';';
+  }
+  return key;
+}
+
+struct Finding {
+  std::string file;
+  std::string key;
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  ///< signed, in the metric's raw direction
+  bool regression = false;
+};
+
+/// Compares the rows of one bench file pair.
+std::vector<Finding> diff_rows(const std::string& file,
+                               const std::vector<Json>& base_rows,
+                               const std::vector<Json>& cand_rows,
+                               double threshold) {
+  // Group candidate rows by identity key; rows sharing a key match in order.
+  std::map<std::string, std::vector<const JsonObject*>> cand_by_key;
+  for (const auto& row : cand_rows) {
+    cand_by_key[row_key(row.as_object())].push_back(&row.as_object());
+  }
+  std::map<std::string, std::size_t> cursor;
+
+  std::vector<Finding> findings;
+  for (const auto& row : base_rows) {
+    const JsonObject& base = row.as_object();
+    const std::string key = row_key(base);
+    auto it = cand_by_key.find(key);
+    if (it == cand_by_key.end()) continue;  // row vanished: not a regression
+    const std::size_t at = cursor[key]++;
+    if (at >= it->second.size()) continue;
+    const JsonObject& cand = *it->second[at];
+
+    for (const auto& [name, value] : base) {
+      const MetricKind kind = classify(name);
+      if (kind == MetricKind::kNotMetric || !value.is_number()) continue;
+      const auto cit = cand.find(name);
+      if (cit == cand.end() || !cit->second.is_number()) continue;
+      const double a = value.as_number();
+      const double b = cit->second.as_number();
+      if (!(std::fabs(a) > 0.0)) continue;  // avoid 0-division; also NaN
+      Finding f;
+      f.file = file;
+      f.key = key;
+      f.metric = name;
+      f.baseline = a;
+      f.candidate = b;
+      f.rel_change = (b - a) / std::fabs(a);
+      f.regression = kind == MetricKind::kLowerBetter
+                         ? f.rel_change > threshold
+                         : f.rel_change < -threshold;
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+std::map<std::string, fs::path> bench_files(const fs::path& dir) {
+  std::map<std::string, fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name_ends_with(name, ".json")) {
+      out[name] = entry.path();
+    }
+  }
+  return out;
+}
+
+int run_diff(const std::string& dir_a, const std::string& dir_b,
+             double threshold) {
+  if (!fs::is_directory(dir_a) || !fs::is_directory(dir_b)) {
+    std::fprintf(stderr, "bench_diff: both arguments must be directories\n");
+    return 2;
+  }
+  const auto base_files = bench_files(dir_a);
+  const auto cand_files = bench_files(dir_b);
+
+  std::size_t n_compared = 0, n_regressions = 0, n_improvements = 0;
+  for (const auto& [name, base_path] : base_files) {
+    const auto it = cand_files.find(name);
+    if (it == cand_files.end()) {
+      std::printf("  [missing] %s only in %s\n", name.c_str(), dir_a.c_str());
+      continue;
+    }
+    const Json base = adsala::read_json_file(base_path.string());
+    const Json cand = adsala::read_json_file(it->second.string());
+    if (!base.contains("rows") || !cand.contains("rows")) continue;
+    const auto findings = diff_rows(name, base.at("rows").as_array(),
+                                    cand.at("rows").as_array(), threshold);
+    for (const auto& f : findings) {
+      ++n_compared;
+      const MetricKind kind = classify(f.metric);
+      const bool improved = kind == MetricKind::kLowerBetter
+                                ? f.rel_change < -threshold
+                                : f.rel_change > threshold;
+      n_improvements += improved;
+      if (f.regression) {
+        ++n_regressions;
+        std::printf("  [regression] %s %s%s: %.4g -> %.4g (%+.1f%%)\n",
+                    f.file.c_str(), f.key.c_str(), f.metric.c_str(),
+                    f.baseline, f.candidate, 100.0 * f.rel_change);
+      }
+    }
+  }
+  for (const auto& [name, path] : cand_files) {
+    if (base_files.find(name) == base_files.end()) {
+      std::printf("  [new] %s only in %s\n", name.c_str(), dir_b.c_str());
+    }
+  }
+  std::printf(
+      "bench_diff: %zu metric pairs compared, %zu regressions, "
+      "%zu improvements (threshold %.0f%%)\n",
+      n_compared, n_regressions, n_improvements, 100.0 * threshold);
+  return n_regressions > 0 ? 1 : 0;
+}
+
+// ------------------------------------------------------------- self-test --
+
+int fail(const char* what) {
+  std::fprintf(stderr, "bench_diff --self-test: FAIL: %s\n", what);
+  return 1;
+}
+
+Json make_row(long n, int threads, double runtime, double gflops) {
+  JsonObject row;
+  row["n"] = Json(n);
+  row["threads"] = Json(threads);
+  row["runtime_s"] = Json(runtime);
+  row["gflops"] = Json(gflops);
+  return Json(std::move(row));
+}
+
+int self_test() {
+  // Direction logic.
+  if (classify("runtime_s") != MetricKind::kLowerBetter) {
+    return fail("runtime_s must be lower-better");
+  }
+  if (classify("eval_time_us") != MetricKind::kLowerBetter) {
+    return fail("eval_time_us must be lower-better");
+  }
+  if (classify("gflops") != MetricKind::kHigherBetter) {
+    return fail("gflops must be higher-better");
+  }
+  if (classify("mean_speedup") != MetricKind::kHigherBetter) {
+    return fail("mean_speedup must be higher-better");
+  }
+  if (classify("threads") != MetricKind::kNotMetric) {
+    return fail("threads must be an identity field");
+  }
+  if (classify("n") != MetricKind::kNotMetric) {
+    return fail("n must be an identity field");
+  }
+
+  // Identity keys ignore metric fields but keep shape fields.
+  const Json r1 = make_row(512, 8, 0.5, 100.0);
+  const Json r2 = make_row(512, 8, 0.9, 80.0);
+  const Json r3 = make_row(1024, 8, 0.5, 100.0);
+  if (row_key(r1.as_object()) != row_key(r2.as_object())) {
+    return fail("rows differing only in metrics must share a key");
+  }
+  if (row_key(r1.as_object()) == row_key(r3.as_object())) {
+    return fail("rows with different shapes must not share a key");
+  }
+
+  // A 80% runtime slowdown + gflops drop beyond 10% is two regressions; the
+  // matching row with improvements is none.
+  const std::vector<Json> base = {r1, r3};
+  const std::vector<Json> cand = {r2, make_row(1024, 8, 0.45, 111.0)};
+  const auto findings = diff_rows("BENCH_x.json", base, cand, 0.10);
+  std::size_t regressions = 0;
+  for (const auto& f : findings) regressions += f.regression;
+  if (regressions != 2) return fail("expected exactly 2 regressions");
+
+  // Within-threshold noise is not a regression.
+  const auto quiet =
+      diff_rows("BENCH_x.json", {r1}, {make_row(512, 8, 0.52, 98.0)}, 0.10);
+  for (const auto& f : quiet) {
+    if (f.regression) return fail("4% noise must not flag at 10% threshold");
+  }
+
+  std::printf("bench_diff --self-test: ok\n");
+  return 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bench_diff [--threshold FRAC] BASELINE_DIR CANDIDATE_DIR\n"
+               "  bench_diff --self-test\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) usage();
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_diff: --threshold expects a positive fraction "
+                     "(e.g. 0.10), got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.size() != 2) usage();
+  try {
+    return run_diff(dirs[0], dirs[1], threshold);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Verifies that every relative link target in the given markdown files exists
+on disk (files or directories), including `#anchor` fragments against the
+target file's headings. External (http/https/mailto) links are not fetched.
+
+Usage: tools/check_md_links.py README.md docs/*.md
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {slugify(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    for target in LINK_RE.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = (md.parent / path_part).resolve() if path_part else md.resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link -> {target}")
+            continue
+        if fragment and dest.is_file() and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_md_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        md = Path(arg)
+        if not md.is_file():
+            errors.append(f"{md}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_md_links: {checked} files checked, {len(errors)} problems")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
