@@ -1,0 +1,10 @@
+// SYMM thread-count selection: selected-vs-max-threads speedup over an
+// independent symm-family test set (A symmetric n x n, B/C n x m), served
+// by one model trained with the four-operation gather.
+//
+// SYMM does the same FLOPs as its equivalent GEMM but pays extra packing
+// for the symmetric expansion, so its optimum drifts from the proxy answer
+// on copy-bound shapes. Results land in BENCH_symm_select.json.
+#include "op_select_common.h"
+
+int main() { return adsala::bench::run_op_select_bench(adsala::blas::OpKind::kSymm); }

@@ -1,113 +1,14 @@
 // SYRK thread-count selection: selected-vs-max-threads speedup over an
-// independent syrk-family test set, served by a model trained with the
-// operation-aware gather (GEMM + SYRK campaigns on the same Halton domain).
+// independent syrk-family test set, served by one model trained with the
+// four-operation gather (GEMM + SYRK + TRSM + SYMM campaigns on the same
+// Halton domain).
 //
 // For every test (n, k) the bench compares the measured SYRK runtime at the
 // model-selected thread count against the runtime at the platform maximum
 // (the paper's "as many threads as cores" default), and also reports how
 // often the op-aware answer differs from the GEMM-proxy heuristic the
-// runtime falls back to for PR-1-era artefacts. Results land in
+// runtime falls back to for pre-op-aware artefacts. Results land in
 // BENCH_syrk_select.json.
-#include <cmath>
+#include "op_select_common.h"
 
-#include "bench_util.h"
-#include "sampling/domain.h"
-
-using namespace adsala;
-
-namespace {
-
-/// Installs (or loads) the op-aware artefact set for a platform; cached
-/// separately from the GEMM-only bench artefacts.
-core::AdsalaGemm op_aware_runtime(const std::string& platform) {
-  const std::string dir = "bench_artifacts/" + platform + "-op";
-  const std::string model_path = dir + "/model.json";
-  const std::string config_path = dir + "/config.json";
-  if (std::filesystem::exists(model_path) &&
-      std::filesystem::exists(config_path)) {
-    return core::AdsalaGemm(model_path, config_path);
-  }
-  std::filesystem::create_directories(dir);
-  std::fprintf(stderr,
-               "[bench] no cached op-aware model for %s: installing "
-               "(%zu shapes per op)...\n",
-               platform.c_str(), bench::train_samples());
-  auto executor = bench::make_executor(platform);
-  core::InstallOptions opts;
-  opts.gather = bench::bench_gather_config();
-  opts.gather.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
-  opts.output_dir = dir;
-  const auto report = core::install(executor, opts);
-  std::fprintf(stderr, "[bench] installed %s-op: selected=%s\n",
-               platform.c_str(), report.trained.selected.c_str());
-  return core::AdsalaGemm(model_path, config_path);
-}
-
-void run_platform(const std::string& platform, bench::BenchJson& json) {
-  auto runtime = op_aware_runtime(platform);
-  auto executor = bench::make_executor(platform);
-  const int max_threads = executor.max_threads();
-
-  sampling::DomainConfig domain = bench::train_domain();
-  domain.seed = 98765;  // disjoint scrambling from the training campaign
-  const auto shapes =
-      sampling::SyrkDomainSampler(domain).sample(bench::test_samples());
-
-  double sum_ratio = 0.0, sum_sel = 0.0, sum_max = 0.0;
-  int n_diff_from_proxy = 0;
-  for (const auto& shape : shapes) {
-    const int p = runtime.select_threads_syrk(shape.n, shape.k);
-    const int p_proxy = runtime.select_threads(shape.n, shape.k, shape.n);
-    n_diff_from_proxy += (p != p_proxy);
-    const double t_sel =
-        executor.measure_op(blas::OpKind::kSyrk, shape, p);
-    const double t_max =
-        executor.measure_op(blas::OpKind::kSyrk, shape, max_threads);
-    sum_ratio += t_max / t_sel;
-    sum_sel += t_sel;
-    sum_max += t_max;
-
-    JsonObject row;
-    row["platform"] = Json(platform);
-    row["n"] = Json(shape.n);
-    row["k"] = Json(shape.k);
-    row["selected_threads"] = Json(p);
-    row["proxy_threads"] = Json(p_proxy);
-    row["t_selected_s"] = Json(t_sel);
-    row["t_max_threads_s"] = Json(t_max);
-    row["speedup"] = Json(t_max / t_sel);
-    json.add(std::move(row));
-  }
-
-  const auto n = static_cast<double>(shapes.size());
-  const double mean_speedup = sum_ratio / n;
-  const double agg_speedup = sum_max / sum_sel;
-  std::printf("%-10s | op_aware=%s | %4zu syrk shapes | mean speedup %5.2f | "
-              "aggregate %5.2f | differs from proxy %3.0f%%\n",
-              platform.c_str(), runtime.op_aware() ? "yes" : "no",
-              shapes.size(), mean_speedup, agg_speedup,
-              100.0 * n_diff_from_proxy / n);
-
-  JsonObject summary;
-  summary["platform"] = Json(platform);
-  summary["summary"] = Json(true);
-  summary["mean_speedup"] = Json(mean_speedup);
-  summary["aggregate_speedup"] = Json(agg_speedup);
-  summary["proxy_divergence_frac"] = Json(n_diff_from_proxy / n);
-  json.add(std::move(summary));
-}
-
-}  // namespace
-
-int main() {
-  bench::print_header(
-      "SYRK select | selected vs max-threads speedup (op-aware model)");
-  bench::BenchJson json("syrk_select");
-  json.meta("train_samples_per_op", Json(bench::train_samples()));
-  json.meta("test_samples", Json(bench::test_samples()));
-  run_platform("setonix", json);
-  run_platform("gadi", json);
-  std::printf("\nspeedup = t(max threads) / t(selected); > 1 means the "
-              "op-aware selection beats the all-cores default\n");
-  return 0;
-}
+int main() { return adsala::bench::run_op_select_bench(adsala::blas::OpKind::kSyrk); }

@@ -1,0 +1,12 @@
+// TRSM thread-count selection: selected-vs-max-threads speedup over an
+// independent trsm-family test set (A n x n triangular, m right-hand-side
+// columns), served by one model trained with the four-operation gather.
+//
+// TRSM is where op awareness earns its keep: the diagonal-solve dependency
+// chain runs at single-thread rate and the trailing updates touch only the
+// triangle, so the optimum sits well below the equivalent GEMM's — the
+// GEMM-proxy heuristic systematically over-threads. Results land in
+// BENCH_trsm_select.json.
+#include "op_select_common.h"
+
+int main() { return adsala::bench::run_op_select_bench(adsala::blas::OpKind::kTrsm); }

@@ -6,6 +6,10 @@
 // model pays the installation cost and the rest just load it. Scale knobs:
 //   ADSALA_BENCH_SAMPLES  training shapes per platform   (default 500)
 //   ADSALA_BENCH_TEST     independent test shapes        (default 174, paper)
+//   ADSALA_BENCH_MODEL    pin one registry model (skips the 8-model tuning
+//                         + wall-clock-dependent selection, making the
+//                         installed artefacts deterministic — what the CI
+//                         baseline diff needs)
 #pragma once
 
 #include <cctype>
@@ -34,6 +38,18 @@ inline std::size_t train_samples() {
   return env_size("ADSALA_BENCH_SAMPLES", 500);
 }
 inline std::size_t test_samples() { return env_size("ADSALA_BENCH_TEST", 174); }
+
+/// Applies the ADSALA_BENCH_MODEL pin (if set) to an install's training
+/// options: one candidate, default hyper-parameters, no grid search —
+/// training then depends only on the gathered (deterministic) data.
+inline void apply_model_pin(core::InstallOptions& opts) {
+  if (const char* model = std::getenv("ADSALA_BENCH_MODEL")) {
+    if (*model != '\0') {
+      opts.train.candidates = {model};
+      opts.train.tune = false;
+    }
+  }
+}
 
 inline simarch::CpuTopology topology_for(const std::string& platform) {
   if (platform == "setonix") return simarch::setonix_topology();
@@ -97,11 +113,42 @@ inline core::AdsalaGemm trained_runtime(const std::string& platform,
   core::InstallOptions opts;
   opts.gather = bench_gather_config();
   opts.output_dir = dir;
+  apply_model_pin(opts);
   const auto report = core::install(executor, opts);
   std::fprintf(stderr,
                "[bench] installed %s: selected=%s gather=%.1fs train=%.1fs\n",
                platform.c_str(), report.trained.selected.c_str(),
                report.gather_seconds, report.train_seconds);
+  return core::AdsalaGemm(model_path, config_path);
+}
+
+/// Loads (or installs) the *operation-aware* artefact set for a platform:
+/// one model trained on a campaign covering every registered operation
+/// (gemm, syrk, trsm, symm) over the shared Halton domain. Cached under
+/// bench_artifacts/<platform>-op4, separately from the GEMM-only artefacts.
+inline core::AdsalaGemm op_aware_runtime(const std::string& platform) {
+  const std::string dir = "bench_artifacts/" + platform + "-op4";
+  const std::string model_path = dir + "/model.json";
+  const std::string config_path = dir + "/config.json";
+  if (std::filesystem::exists(model_path) &&
+      std::filesystem::exists(config_path)) {
+    return core::AdsalaGemm(model_path, config_path);
+  }
+  std::filesystem::create_directories(dir);
+  std::fprintf(stderr,
+               "[bench] no cached op-aware model for %s: installing "
+               "(%zu shapes per op, %zu ops)...\n",
+               platform.c_str(), train_samples(), blas::kNumOps);
+  auto executor = make_executor(platform);
+  core::InstallOptions opts;
+  opts.gather = bench_gather_config();
+  const auto ops = blas::all_ops();
+  opts.gather.ops.assign(ops.begin(), ops.end());
+  opts.output_dir = dir;
+  apply_model_pin(opts);
+  const auto report = core::install(executor, opts);
+  std::fprintf(stderr, "[bench] installed %s-op4: selected=%s\n",
+               platform.c_str(), report.trained.selected.c_str());
   return core::AdsalaGemm(model_path, config_path);
 }
 

@@ -25,6 +25,13 @@ namespace adsala::blas {
 
 enum class Trans { kNo, kYes };
 
+/// Which triangle of a symmetric / triangular operand is stored and touched
+/// (shared by syrk / trsm / symm).
+enum class Uplo { kLower, kUpper };
+
+/// Whether a triangular matrix has an implicit unit diagonal (trsm).
+enum class Diag { kNonUnit, kUnit };
+
 /// Cache-blocking parameters. Defaults target ~32 KB L1 / ~512 KB L2 /
 /// shared L3 CPUs; mc/nc are rounded to the active kernel's MR/NR geometry
 /// at call time. Exposed so tests/benches can exercise fringe paths and A/B

@@ -5,8 +5,16 @@
 // produced it, so one model can serve the whole operation family instead of
 // proxying everything through GEMM (paper future work: "extend ... to other
 // BLAS operations"). Stored in datasets / CSV as the integer code below.
+//
+// Adding an operation is ONE row in detail::kOpTable (plus the measure /
+// sampler / substrate plumbing listed in docs/OPERATIONS.md): name, code,
+// CSV persistence, one-hot feature column, and CLI parsing all derive from
+// the table. Codes must stay contiguous from 0 in table order — the op-aware
+// feature schema indexes its one-hot columns by code.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <optional>
 #include <string_view>
 
@@ -16,24 +24,64 @@ namespace adsala::blas {
 enum class OpKind {
   kGemm = 0,  ///< C <- alpha*op(A)*op(B) + beta*C, shape (m, k, n)
   kSyrk = 1,  ///< C <- alpha*A*A^T + beta*C, shape family (n, k) with m == n
+  kTrsm = 2,  ///< B <- alpha*inv(op(A))*B, shape family (n, m) with m == k
+  kSymm = 3,  ///< C <- alpha*A*B + beta*C, A symmetric, family (n, m), m == k
 };
 
-constexpr const char* op_name(OpKind op) {
-  return op == OpKind::kSyrk ? "syrk" : "gemm";
+namespace detail {
+
+struct OpInfo {
+  OpKind op;
+  int code;  ///< stable CSV / one-hot code; contiguous from 0 in table order
+  const char* name;
+};
+
+inline constexpr OpInfo kOpTable[] = {
+    {OpKind::kGemm, 0, "gemm"},
+    {OpKind::kSyrk, 1, "syrk"},
+    {OpKind::kTrsm, 2, "trsm"},
+    {OpKind::kSymm, 3, "symm"},
+};
+
+}  // namespace detail
+
+/// Number of registered operations (== number of op one-hot columns in the
+/// op-aware feature schema, see preprocess/features.h).
+inline constexpr std::size_t kNumOps = std::size(detail::kOpTable);
+
+/// Every registered operation, in table (== code) order.
+constexpr std::array<OpKind, kNumOps> all_ops() {
+  std::array<OpKind, kNumOps> out{};
+  for (std::size_t i = 0; i < kNumOps; ++i) out[i] = detail::kOpTable[i].op;
+  return out;
 }
 
-/// Stable integer code used in CSV persistence.
-constexpr int op_code(OpKind op) { return static_cast<int>(op); }
+constexpr const char* op_name(OpKind op) {
+  for (const auto& row : detail::kOpTable) {
+    if (row.op == op) return row.name;
+  }
+  return "unknown";
+}
+
+/// Stable integer code used in CSV persistence and one-hot column order.
+constexpr int op_code(OpKind op) {
+  for (const auto& row : detail::kOpTable) {
+    if (row.op == op) return row.code;
+  }
+  return -1;
+}
 
 constexpr std::optional<OpKind> op_from_code(int code) {
-  if (code == 0) return OpKind::kGemm;
-  if (code == 1) return OpKind::kSyrk;
+  for (const auto& row : detail::kOpTable) {
+    if (row.code == code) return row.op;
+  }
   return std::nullopt;
 }
 
-inline std::optional<OpKind> parse_op(std::string_view name) {
-  if (name == "gemm") return OpKind::kGemm;
-  if (name == "syrk") return OpKind::kSyrk;
+constexpr std::optional<OpKind> parse_op(std::string_view name) {
+  for (const auto& row : detail::kOpTable) {
+    if (name == row.name) return row.op;
+  }
   return std::nullopt;
 }
 

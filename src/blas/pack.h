@@ -60,6 +60,32 @@ void pack_a_trans(const T* a, int lda, int mc, int kc, int mr, T* dst) {
   }
 }
 
+/// Packs the mc x kc block of a *symmetric* matrix whose top-left logical
+/// element is (row0, col0), reading every element from the stored triangle:
+/// logical A(i, p) comes from a[i*lda + p] when (i, p) lies in the stored
+/// triangle and from the mirrored a[p*lda + i] otherwise. Same micro-panel
+/// layout as pack_a. This is the "symmetric-packed A reuse" of SYMM: the
+/// kernel streams a dense panel while only the triangle lives in memory.
+template <typename T>
+void pack_a_sym(const T* a, int lda, bool lower_stored, int row0, int col0,
+                int mc, int kc, int mr, T* dst) {
+  for (int i0 = 0; i0 < mc; i0 += mr) {
+    const int rows = std::min(mr, mc - i0);
+    for (int p = 0; p < kc; ++p) {
+      const int gp = col0 + p;
+      int i = 0;
+      for (; i < rows; ++i) {
+        const int gi = row0 + i0 + i;
+        const bool stored = lower_stored ? gp <= gi : gp >= gi;
+        dst[i] = stored ? a[static_cast<long>(gi) * lda + gp]
+                        : a[static_cast<long>(gp) * lda + gi];
+      }
+      for (; i < mr; ++i) dst[i] = T(0);
+      dst += mr;
+    }
+  }
+}
+
 /// Packs rows [0,kc) x cols [0,nc) of `b` (row stride ldb) into nr-column
 /// micro-panels: panel q holds columns [q*nr, q*nr+nr), stored row-by-row
 /// (kc rows of nr contiguous elements). Columns beyond nc are zero-padded.

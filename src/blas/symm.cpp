@@ -1,0 +1,176 @@
+#include "blas/symm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "blas/kernels/dispatch.h"
+#include "blas/pack.h"
+#include "common/aligned_buffer.h"
+#include "common/thread_pool.h"
+
+namespace adsala::blas {
+
+namespace {
+
+/// beta pass over C rows [row_lo, row_hi).
+template <typename T>
+void scale_rows(int m, T beta, T* c, long ldc, int row_lo, int row_hi) {
+  if (beta == T(1)) return;
+  for (int i = row_lo; i < row_hi; ++i) {
+    T* row = c + i * ldc;
+    if (beta == T(0)) {
+      std::fill(row, row + m, T(0));
+    } else {
+      for (int j = 0; j < m; ++j) row[j] *= beta;
+    }
+  }
+}
+
+/// Blocked product over C rows [row_lo, row_hi): the GEMM macro-loop with A
+/// panels packed through the symmetric expansion (pack_a_sym) and B packed
+/// straight. Each thread packs its own operands; like SYRK, the duplicated
+/// B packing buys a barrier-free schedule.
+template <typename T>
+void symm_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, int n,
+                       int m, T alpha, const T* a, int lda, const T* b,
+                       int ldb, T* c, int ldc, int row_lo, int row_hi, int mc,
+                       int kc, int nc) {
+  if (row_lo >= row_hi) return;
+  const int mr = ks.mr;
+  const int nr = ks.nr;
+  const bool lower = uplo == Uplo::kLower;
+
+  AlignedBuffer<T> a_pack(static_cast<std::size_t>((mc + mr - 1) / mr) * mr *
+                          kc);
+  const int b_panels_max = (std::min(nc, m) + nr - 1) / nr;
+  AlignedBuffer<T> b_pack(static_cast<std::size_t>(b_panels_max) * kc * nr);
+
+  for (int jc = 0; jc < m; jc += nc) {
+    const int nc_eff = std::min(nc, m - jc);
+    const int nc_panels = (nc_eff + nr - 1) / nr;
+    for (int pc = 0; pc < n; pc += kc) {
+      const int kc_eff = std::min(kc, n - pc);
+
+      for (int q = 0; q < nc_panels; ++q) {
+        const int j0 = jc + q * nr;
+        const int cols = std::min(nr, m - j0);
+        detail::pack_b<T>(b + static_cast<long>(pc) * ldb + j0, ldb, kc_eff,
+                          cols, nr,
+                          b_pack.data() + static_cast<long>(q) * kc_eff * nr);
+      }
+
+      for (int ic = row_lo; ic < row_hi; ic += mc) {
+        const int mc_eff = std::min(mc, row_hi - ic);
+        detail::pack_a_sym<T>(a, lda, lower, ic, pc, mc_eff, kc_eff, mr,
+                              a_pack.data());
+
+        for (int jr = 0; jr < nc_eff; jr += nr) {
+          const int cols = std::min(nr, nc_eff - jr);
+          const T* b_panel =
+              b_pack.data() + static_cast<long>(jr / nr) * kc_eff * nr;
+          for (int ir = 0; ir < mc_eff; ir += mr) {
+            const int rows = std::min(mr, mc_eff - ir);
+            const T* a_panel =
+                a_pack.data() + static_cast<long>(ir / mr) * kc_eff * mr;
+            T* c_tile = c + static_cast<long>(ic + ir) * ldc + jc + jr;
+            if (rows == mr && cols == nr) {
+              ks.full(kc_eff, alpha, a_panel, b_panel, c_tile, ldc);
+            } else {
+              ks.edge(kc_eff, alpha, a_panel, b_panel, c_tile, ldc, rows,
+                      cols);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda, const T* b,
+          int ldb, T beta, T* c, int ldc, int nthreads,
+          const GemmTuning& tuning) {
+  if (n < 0 || m < 0) throw std::invalid_argument("symm: negative dimension");
+  if (lda < std::max(1, n) || ldb < std::max(1, m) || ldc < std::max(1, m)) {
+    throw std::invalid_argument("symm: leading dimension too small");
+  }
+  if (n == 0 || m == 0) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+
+  if (alpha == T(0)) {
+    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+      const int chunk = static_cast<int>((n + nt - 1) / nt);
+      const int lo = static_cast<int>(tid) * chunk;
+      const int hi = std::min(n, lo + chunk);
+      scale_rows(m, beta, c, static_cast<long>(ldc), lo, hi);
+    });
+    return;
+  }
+
+  const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
+  const int mc = std::max(ks.mr, tuning.mc - tuning.mc % ks.mr);
+  const int kc = std::max(1, tuning.kc);
+  const int nc = std::max(ks.nr, tuning.nc - tuning.nc % ks.nr);
+
+  // Each thread owns a contiguous run of C rows; the beta pass and the
+  // accumulation need no cross-thread synchronisation.
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    const int lo = static_cast<int>(tid * static_cast<std::size_t>(n) / nt);
+    const int hi =
+        static_cast<int>((tid + 1) * static_cast<std::size_t>(n) / nt);
+    scale_rows(m, beta, c, static_cast<long>(ldc), lo, hi);
+    symm_rows_blocked(ks, uplo, n, m, alpha, a, lda, b, ldb, c, ldc, lo, hi,
+                      mc, kc, nc);
+  });
+}
+
+void ssymm(Uplo uplo, int n, int m, float alpha, const float* a, int lda,
+           const float* b, int ldb, float beta, float* c, int ldc,
+           int nthreads) {
+  symm<float>(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, nthreads);
+}
+
+void dsymm(Uplo uplo, int n, int m, double alpha, const double* a, int lda,
+           const double* b, int ldb, double beta, double* c, int ldc,
+           int nthreads) {
+  symm<double>(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, nthreads);
+}
+
+template <typename T>
+void reference_symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda,
+                    const T* b, int ldb, T beta, T* c, int ldc) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      T acc = T(0);
+      for (int p = 0; p < n; ++p) {
+        const bool stored = uplo == Uplo::kLower ? p <= i : p >= i;
+        const T aip = stored ? a[static_cast<long>(i) * lda + p]
+                             : a[static_cast<long>(p) * lda + i];
+        acc += aip * b[static_cast<long>(p) * ldb + j];
+      }
+      T& out = c[static_cast<long>(i) * ldc + j];
+      out = alpha * acc + (beta == T(0) ? T(0) : beta * out);
+    }
+  }
+}
+
+template void symm<float>(Uplo, int, int, float, const float*, int,
+                          const float*, int, float, float*, int, int,
+                          const GemmTuning&);
+template void symm<double>(Uplo, int, int, double, const double*, int,
+                           const double*, int, double, double*, int, int,
+                           const GemmTuning&);
+template void reference_symm<float>(Uplo, int, int, float, const float*, int,
+                                    const float*, int, float, float*, int);
+template void reference_symm<double>(Uplo, int, int, double, const double*,
+                                     int, const double*, int, double, double*,
+                                     int);
+
+}  // namespace adsala::blas

@@ -1,0 +1,45 @@
+// Symmetric matrix-matrix multiply — fourth member of the served level-3
+// family (paper future work: "extend ... to other BLAS operations").
+//
+//   C <- alpha * A * B + beta * C        (left-side product)
+//
+// with A a symmetric n x n matrix of which only the `uplo` triangle
+// (including the diagonal) is stored and referenced, and B / C n x m
+// blocks. Row-major; ld* is the row stride.
+//
+// SYMM does the same 2*n*n*m FLOPs as the equivalent (n, n, m) GEMM but
+// streams only half of A from memory: packing expands the stored triangle
+// into dense micro-panels on the fly (pack_a_sym), so the runtime-dispatched
+// micro-kernel runs the identical inner loop as GEMM. The mirrored half of
+// every packed block is read with a strided (transposed) access pattern,
+// which is the extra packing cost the machine model charges SYMM for.
+#pragma once
+
+#include "blas/gemm.h"
+
+namespace adsala::blas {
+
+/// Multi-threaded blocked SYMM. nthreads <= 0 selects the pool maximum.
+/// Throws std::invalid_argument on negative dimensions or bad strides.
+template <typename T>
+void symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda, const T* b,
+          int ldb, T beta, T* c, int ldc, int nthreads = 0,
+          const GemmTuning& tuning = {});
+
+void ssymm(Uplo uplo, int n, int m, float alpha, const float* a, int lda,
+           const float* b, int ldb, float beta, float* c, int ldc,
+           int nthreads = 0);
+void dsymm(Uplo uplo, int n, int m, double alpha, const double* a, int lda,
+           const double* b, int ldb, double beta, double* c, int ldc,
+           int nthreads = 0);
+
+/// Naive triple loop reading A through the stored triangle; the correctness
+/// oracle in tests.
+template <typename T>
+void reference_symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda,
+                    const T* b, int ldb, T beta, T* c, int ldc);
+
+/// FLOP count: identical to the equivalent (n, n, m) GEMM.
+inline double symm_flops(double n, double m) { return 2.0 * n * n * m; }
+
+}  // namespace adsala::blas

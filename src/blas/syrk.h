@@ -19,8 +19,6 @@
 
 namespace adsala::blas {
 
-enum class Uplo { kLower, kUpper };
-
 template <typename T>
 void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
           T beta, T* c, int ldc, int nthreads = 0,

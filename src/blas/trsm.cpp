@@ -1,0 +1,175 @@
+#include "blas/trsm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace adsala::blas {
+
+namespace {
+
+/// Logical element of op(A): row i, column p.
+template <typename T>
+inline T op_a(const T* a, long lda, Trans trans, int i, int p) {
+  return trans == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
+}
+
+/// In-place substitution over the diagonal block rows [j0, j1) of B, forward
+/// (effective-lower op(A)) or backward (effective-upper). Sequential by
+/// nature: row i depends on every previously solved row of the block.
+template <typename T>
+void solve_diag_block(Trans trans, Diag diag, int j0, int j1, int m,
+                      const T* a, long lda, T* b, long ldb, bool forward) {
+  if (forward) {
+    for (int i = j0; i < j1; ++i) {
+      T* row_i = b + i * ldb;
+      for (int p = j0; p < i; ++p) {
+        const T f = op_a(a, lda, trans, i, p);
+        const T* row_p = b + p * ldb;
+        for (int c = 0; c < m; ++c) row_i[c] -= f * row_p[c];
+      }
+      if (diag == Diag::kNonUnit) {
+        const T d = op_a(a, lda, trans, i, i);
+        for (int c = 0; c < m; ++c) row_i[c] /= d;
+      }
+    }
+  } else {
+    for (int i = j1 - 1; i >= j0; --i) {
+      T* row_i = b + i * ldb;
+      for (int p = i + 1; p < j1; ++p) {
+        const T f = op_a(a, lda, trans, i, p);
+        const T* row_p = b + p * ldb;
+        for (int c = 0; c < m; ++c) row_i[c] -= f * row_p[c];
+      }
+      if (diag == Diag::kNonUnit) {
+        const T d = op_a(a, lda, trans, i, i);
+        for (int c = 0; c < m; ++c) row_i[c] /= d;
+      }
+    }
+  }
+}
+
+template <typename T>
+void scale_b(int n, int m, T alpha, T* b, long ldb, int nthreads) {
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    const int chunk = static_cast<int>((n + nt - 1) / nt);
+    const int lo = static_cast<int>(tid) * chunk;
+    const int hi = std::min(n, lo + chunk);
+    for (int i = lo; i < hi; ++i) {
+      T* row = b + i * ldb;
+      if (alpha == T(0)) {
+        std::fill(row, row + m, T(0));
+      } else {
+        for (int c = 0; c < m; ++c) row[c] *= alpha;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void trsm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+          const T* a, int lda, T* b, int ldb, int nthreads,
+          const GemmTuning& tuning) {
+  if (n < 0 || m < 0) throw std::invalid_argument("trsm: negative dimension");
+  if (lda < std::max(1, n) || ldb < std::max(1, m)) {
+    throw std::invalid_argument("trsm: leading dimension too small");
+  }
+  if (n == 0 || m == 0) return;
+
+  // alpha scales the right-hand side exactly once, up front (alpha == 0
+  // degenerates to B = 0: inv(A) * 0 needs no solve).
+  if (alpha != T(1)) scale_b(n, m, alpha, b, static_cast<long>(ldb), nthreads);
+  if (alpha == T(0)) return;
+
+  // op(A) is effectively lower triangular (forward substitution) when the
+  // stored triangle and the transpose flag agree.
+  const bool forward = (uplo == Uplo::kLower) == (trans == Trans::kNo);
+
+  // Diagonal-block size: small enough that the sequential in-block solves
+  // stay a sliver of the total work, large enough that the trailing GEMM
+  // updates run at panel depth the micro-kernel likes.
+  const int nb = std::clamp(tuning.kc / 4, 16, 256);
+
+  // Blocked substitution: solve one diagonal block sequentially, then fold
+  // its solution into every remaining row with one multi-threaded GEMM
+  // (eager trailing update). trsm itself never opens a parallel region, so
+  // the non-reentrant pool is only entered through gemm / scale_b.
+  if (forward) {
+    for (int j0 = 0; j0 < n; j0 += nb) {
+      const int j1 = std::min(j0 + nb, n);
+      solve_diag_block(trans, diag, j0, j1, m, a, static_cast<long>(lda), b,
+                       static_cast<long>(ldb), /*forward=*/true);
+      if (j1 < n) {
+        // B[j1:n) -= op(A)[j1:n, j0:j1) * B[j0:j1).
+        const T* a_sub = trans == Trans::kNo
+                             ? a + static_cast<long>(j1) * lda + j0
+                             : a + static_cast<long>(j0) * lda + j1;
+        gemm<T>(trans, Trans::kNo, n - j1, m, j1 - j0, T(-1), a_sub, lda,
+                b + static_cast<long>(j0) * ldb, ldb, T(1),
+                b + static_cast<long>(j1) * ldb, ldb, nthreads, tuning);
+      }
+    }
+  } else {
+    for (int j1 = n; j1 > 0; j1 -= nb) {
+      const int j0 = std::max(0, j1 - nb);
+      solve_diag_block(trans, diag, j0, j1, m, a, static_cast<long>(lda), b,
+                       static_cast<long>(ldb), /*forward=*/false);
+      if (j0 > 0) {
+        // B[0:j0) -= op(A)[0:j0, j0:j1) * B[j0:j1).
+        const T* a_sub = trans == Trans::kNo
+                             ? a + j0
+                             : a + static_cast<long>(j0) * lda;
+        gemm<T>(trans, Trans::kNo, j0, m, j1 - j0, T(-1), a_sub, lda,
+                b + static_cast<long>(j0) * ldb, ldb, T(1), b, ldb, nthreads,
+                tuning);
+      }
+    }
+  }
+}
+
+void strsm(Uplo uplo, Trans trans, Diag diag, int n, int m, float alpha,
+           const float* a, int lda, float* b, int ldb, int nthreads) {
+  trsm<float>(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, nthreads);
+}
+
+void dtrsm(Uplo uplo, Trans trans, Diag diag, int n, int m, double alpha,
+           const double* a, int lda, double* b, int ldb, int nthreads) {
+  trsm<double>(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, nthreads);
+}
+
+template <typename T>
+void reference_trsm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+                    const T* a, int lda, T* b, int ldb) {
+  const bool forward = (uplo == Uplo::kLower) == (trans == Trans::kNo);
+  for (int c = 0; c < m; ++c) {
+    for (int step = 0; step < n; ++step) {
+      const int i = forward ? step : n - 1 - step;
+      T s = alpha * b[static_cast<long>(i) * ldb + c];
+      const int p_lo = forward ? 0 : i + 1;
+      const int p_hi = forward ? i : n;
+      for (int p = p_lo; p < p_hi; ++p) {
+        s -= op_a(a, lda, trans, i, p) * b[static_cast<long>(p) * ldb + c];
+      }
+      if (diag == Diag::kNonUnit) s /= op_a(a, lda, trans, i, i);
+      b[static_cast<long>(i) * ldb + c] = s;
+    }
+  }
+}
+
+template void trsm<float>(Uplo, Trans, Diag, int, int, float, const float*,
+                          int, float*, int, int, const GemmTuning&);
+template void trsm<double>(Uplo, Trans, Diag, int, int, double, const double*,
+                           int, double*, int, int, const GemmTuning&);
+template void reference_trsm<float>(Uplo, Trans, Diag, int, int, float,
+                                    const float*, int, float*, int);
+template void reference_trsm<double>(Uplo, Trans, Diag, int, int, double,
+                                     const double*, int, double*, int);
+
+}  // namespace adsala::blas

@@ -44,11 +44,11 @@ void AdsalaGemm::save(const std::string& model_path,
 
 bool AdsalaGemm::op_aware() const {
   // An op indicator must have *survived* preprocessing: a GEMM-only campaign
-  // gathered with the 21-column schema drops the constant op_* columns at
-  // fit time and therefore answers SYRK queries exactly like the proxy.
+  // gathered with the op-aware schema drops the constant op_* columns at
+  // fit time and therefore answers family queries exactly like the proxy.
   const auto& names = pipeline_.input_feature_names();
   for (std::size_t j : pipeline_.kept_features()) {
-    if (names[j] == "op_gemm" || names[j] == "op_syrk") return true;
+    if (names[j].rfind("op_", 0) == 0) return true;
   }
   return false;
 }
@@ -76,10 +76,20 @@ int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
 }
 
 int AdsalaGemm::select_threads_syrk(long n, long k, int elem_bytes) {
-  // The equivalent-GEMM shape (n, k, n) serves both schemas: an op-aware
-  // pipeline differentiates via the op_* one-hots, a PR-1-era one sees the
-  // plain GEMM-proxy query.
+  // The equivalent-GEMM shape (n, k, n) serves every schema tier: an
+  // op-aware pipeline differentiates via the op_* one-hots, an older one
+  // sees the plain GEMM-proxy query.
   return select_threads_impl(blas::OpKind::kSyrk, n, k, n, elem_bytes);
+}
+
+int AdsalaGemm::select_threads_trsm(long n, long m, int elem_bytes) {
+  // Equivalent-GEMM shape (n, n, m): the m == k convention of the
+  // triangular families (docs/OPERATIONS.md).
+  return select_threads_impl(blas::OpKind::kTrsm, n, n, m, elem_bytes);
+}
+
+int AdsalaGemm::select_threads_symm(long n, long m, int elem_bytes) {
+  return select_threads_impl(blas::OpKind::kSymm, n, n, m, elem_bytes);
 }
 
 void AdsalaGemm::sgemm(int m, int n, int k, float alpha, const float* a,
@@ -110,6 +120,34 @@ void AdsalaGemm::dsyrk(blas::Uplo uplo, int n, int k, double alpha,
                        int ldc) {
   const int p = select_threads_syrk(n, k, 8);
   blas::dsyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+}
+
+void AdsalaGemm::strsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag,
+                       int n, int m, float alpha, const float* a, int lda,
+                       float* b, int ldb) {
+  const int p = select_threads_trsm(n, m, 4);
+  blas::strsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+}
+
+void AdsalaGemm::dtrsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag,
+                       int n, int m, double alpha, const double* a, int lda,
+                       double* b, int ldb) {
+  const int p = select_threads_trsm(n, m, 8);
+  blas::dtrsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+}
+
+void AdsalaGemm::ssymm(blas::Uplo uplo, int n, int m, float alpha,
+                       const float* a, int lda, const float* b, int ldb,
+                       float beta, float* c, int ldc) {
+  const int p = select_threads_symm(n, m, 4);
+  blas::ssymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
+}
+
+void AdsalaGemm::dsymm(blas::Uplo uplo, int n, int m, double alpha,
+                       const double* a, int lda, const double* b, int ldb,
+                       double beta, double* c, int ldc) {
+  const int p = select_threads_symm(n, m, 8);
+  blas::dsymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
 }
 
 }  // namespace adsala::core

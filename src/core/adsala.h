@@ -10,12 +10,15 @@
 //
 // Queries are built against the feature schema the installed pipeline was
 // fitted with (the single source of truth is preprocess/features.h):
-//   - op-aware artefacts (21-column schema) answer SYRK queries from the
-//     syrk-family training rows via the op_* one-hot columns;
+//   - current op-aware artefacts (23-column schema) answer SYRK / TRSM /
+//     SYMM queries from their own families' training rows via the op_*
+//     one-hot columns;
+//   - PR-2-era artefacts (21 columns: gemm/syrk one-hots only) still answer
+//     SYRK first-class, and proxy TRSM / SYMM as GEMM rows;
 //   - PR-1-era artefacts (17-column schema) fall back to the GEMM-proxy
-//     heuristic — the model is queried with the equivalent-work shape
-//     (n, k, n); SYRK does half the FLOPs of that GEMM with the same
-//     parallel structure, so the argmin transfers approximately.
+//     heuristic for everything — the model is queried with the
+//     equivalent-work shape (SYRK: (n, k, n); TRSM/SYMM: (n, n, m)), whose
+//     parallel structure transfers approximately.
 #pragma once
 
 #include <memory>
@@ -23,7 +26,9 @@
 
 #include "blas/gemm.h"
 #include "blas/op.h"
+#include "blas/symm.h"
 #include "blas/syrk.h"
+#include "blas/trsm.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
@@ -49,6 +54,16 @@ class AdsalaGemm {
   /// it degrades to select_threads(n, k, n) (the GEMM proxy).
   int select_threads_syrk(long n, long k, int elem_bytes = 4);
 
+  /// Predicted-optimal thread count for a left-side TRSM (A n x n
+  /// triangular, m right-hand-side columns). Op-aware models select from
+  /// trsm-tagged rows; older artefacts degrade to the GEMM proxy
+  /// select_threads(n, n, m).
+  int select_threads_trsm(long n, long m, int elem_bytes = 4);
+
+  /// Predicted-optimal thread count for a left-side SYMM (A symmetric
+  /// n x n, B/C n x m); GEMM-proxy fallback as for TRSM.
+  int select_threads_symm(long n, long m, int elem_bytes = 4);
+
   /// Thread selection + the from-scratch BLAS, i.e. the paper's drop-in
   /// sgemm replacement for native runs. Row-major, C = alpha*A*B + beta*C.
   void sgemm(int m, int n, int k, float alpha, const float* a, int lda,
@@ -62,6 +77,22 @@ class AdsalaGemm {
              int lda, float beta, float* c, int ldc);
   void dsyrk(blas::Uplo uplo, int n, int k, double alpha, const double* a,
              int lda, double beta, double* c, int ldc);
+
+  /// Thread-selected left-side triangular solve, B <- alpha*inv(op(A))*B
+  /// with A n x n triangular and B n x m.
+  void strsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag, int n,
+             int m, float alpha, const float* a, int lda, float* b, int ldb);
+  void dtrsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag, int n,
+             int m, double alpha, const double* a, int lda, double* b,
+             int ldb);
+
+  /// Thread-selected left-side symmetric multiply, C <- alpha*A*B + beta*C
+  /// with A symmetric n x n (stored triangle `uplo`) and B/C n x m.
+  void ssymm(blas::Uplo uplo, int n, int m, float alpha, const float* a,
+             int lda, const float* b, int ldb, float beta, float* c, int ldc);
+  void dsymm(blas::Uplo uplo, int n, int m, double alpha, const double* a,
+             int lda, const double* b, int ldb, double beta, double* c,
+             int ldc);
 
   /// True when the installed model can actually differentiate operations:
   /// an op_* one-hot column survived preprocessing into the model input.

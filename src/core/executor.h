@@ -27,10 +27,12 @@ class GemmExecutor {
   virtual double measure(const simarch::GemmShape& shape, int nthreads,
                          int iterations = 10) = 0;
 
-  /// Operation-aware measurement for the op-aware gathering campaign. SYRK
-  /// shapes use the equivalent-GEMM convention (m == n; A is n x k). The
-  /// default falls back to the GEMM proxy — backends that can actually run
-  /// or model a SYRK override this.
+  /// Operation-aware measurement for the op-aware gathering campaign.
+  /// Non-GEMM shapes use the equivalent-GEMM conventions of
+  /// docs/OPERATIONS.md (SYRK: m == n, A n x k; TRSM / SYMM: m == k ==
+  /// triangle/symmetric n, shape.n = right-hand-side columns). The default
+  /// falls back to the GEMM proxy — backends that can actually run or model
+  /// an operation override this.
   virtual double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
                             int nthreads, int iterations = 10) {
     (void)op;
@@ -59,10 +61,19 @@ class SimulatedExecutor : public GemmExecutor {
   }
   double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
                     int nthreads, int iterations = 10) override {
-    if (op != blas::OpKind::kSyrk) return measure(shape, nthreads, iterations);
     simarch::ExecPolicy policy = base_policy_;
     policy.nthreads = nthreads;
-    return model_.measure_syrk(shape, policy, iterations);
+    switch (op) {
+      case blas::OpKind::kSyrk:
+        return model_.measure_syrk(shape, policy, iterations);
+      case blas::OpKind::kTrsm:
+        return model_.measure_trsm(shape, policy, iterations);
+      case blas::OpKind::kSymm:
+        return model_.measure_symm(shape, policy, iterations);
+      case blas::OpKind::kGemm:
+        break;
+    }
+    return measure(shape, nthreads, iterations);
   }
 
   const simarch::MachineModel& model() const { return model_; }
@@ -84,8 +95,9 @@ class NativeExecutor : public GemmExecutor {
   int max_threads() const override { return max_threads_; }
   double measure(const simarch::GemmShape& shape, int nthreads,
                  int iterations = 10) override;
-  /// SYRK requests run the real blas::syrk on the host (lower triangle,
-  /// no transpose); everything else routes through measure().
+  /// Non-GEMM requests run the real substrate routine on the host
+  /// (blas::syrk / blas::trsm / blas::symm, lower triangle, no transpose);
+  /// GEMM routes through measure().
   double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
                     int nthreads, int iterations = 10) override;
 

@@ -132,6 +132,27 @@ GatherData GatherData::load_csv(const std::string& path) {
   return out;
 }
 
+namespace {
+
+/// One domain sampler per operation family (stored-shape conventions in
+/// docs/OPERATIONS.md); a new op plugs in here and nowhere else in gather.
+std::vector<simarch::GemmShape> sample_shapes(
+    blas::OpKind op, const sampling::DomainConfig& domain, std::size_t count) {
+  switch (op) {
+    case blas::OpKind::kSyrk:
+      return sampling::SyrkDomainSampler(domain).sample(count);
+    case blas::OpKind::kTrsm:
+      return sampling::TrsmDomainSampler(domain).sample(count);
+    case blas::OpKind::kSymm:
+      return sampling::SymmDomainSampler(domain).sample(count);
+    case blas::OpKind::kGemm:
+      break;
+  }
+  return sampling::GemmDomainSampler(domain).sample(count);
+}
+
+}  // namespace
+
 GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config) {
   GatherData out;
   out.platform = executor.name();
@@ -153,12 +174,7 @@ GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config) {
 
   out.records.reserve(config.n_samples * config.ops.size());
   for (const blas::OpKind op : config.ops) {
-    const auto shapes =
-        op == blas::OpKind::kSyrk
-            ? sampling::SyrkDomainSampler(config.domain)
-                  .sample(config.n_samples)
-            : sampling::GemmDomainSampler(config.domain)
-                  .sample(config.n_samples);
+    const auto shapes = sample_shapes(op, config.domain, config.n_samples);
     for (const auto& shape : shapes) {
       GatherRecord rec;
       rec.shape = shape;

@@ -4,9 +4,11 @@
 // sequence, times each shape at every thread count of a probe grid, and
 // keeps the full per-shape runtime curves. Since the operation-aware gather
 // (PR 2) a campaign can cover several level-3 operations: GEMM shapes come
-// from the 3-D (m, k, n) domain, SYRK shapes from the 2-D (n, k) family
-// (stored with m == n), and every record is tagged with the operation and
-// the micro-kernel variant active while it was timed.
+// from the 3-D (m, k, n) domain, and the SYRK (n, k) / TRSM (n, m) /
+// SYMM (n, m) families from their 2-D samplers (stored as equivalent-GEMM
+// shapes: SYRK m == n, TRSM/SYMM m == k; see docs/OPERATIONS.md). Every
+// record is tagged with the operation and the micro-kernel variant active
+// while it was timed.
 //
 // The curves serve two purposes: rows (shape x thread-count -> runtime)
 // become the ML training set — flattened by to_dataset() into the op-aware
@@ -48,8 +50,8 @@ struct GatherConfig {
   std::vector<int> thread_grid;  ///< empty -> default_thread_grid(max)
   sampling::DomainConfig domain;
   /// Operations to cover, each over the same domain config. The default
-  /// keeps the PR-1 behaviour (GEMM only); append kSyrk for an op-aware
-  /// campaign.
+  /// keeps the PR-1 behaviour (GEMM only); append any of kSyrk / kTrsm /
+  /// kSymm (or blas::all_ops()) for an op-aware campaign.
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
 };
 

@@ -30,9 +30,12 @@ std::size_t predict_best_grid_index(const ml::Regressor& model,
                                     std::span<const int> thread_grid,
                                     blas::OpKind op,
                                     blas::kernels::Variant variant) {
-  const bool op_aware =
-      pipeline.n_input_features() >= preprocess::kNumOpAwareFeatures;
-  if (op_aware && variant == blas::kernels::Variant::kAuto) {
+  // The fitted input width decides the raw-row layout (current 23-column
+  // schema, PR-2-era 21 columns, or the PR-1 numeric-only 17); the schema
+  // tiers live in preprocess::make_query_features.
+  const std::size_t width = pipeline.n_input_features();
+  if (width > preprocess::kNumFeatures &&
+      variant == blas::kernels::Variant::kAuto) {
     variant = blas::kernels::active_variant();
   }
   std::size_t best = 0;
@@ -42,12 +45,8 @@ std::size_t predict_best_grid_index(const ml::Regressor& model,
     const double k = static_cast<double>(shape.k);
     const double n = static_cast<double>(shape.n);
     const double p = static_cast<double>(thread_grid[t]);
-    const auto x =
-        op_aware ? pipeline.transform_row(
-                       preprocess::make_op_aware_features(m, k, n, p, op,
-                                                          variant))
-                 : pipeline.transform_row(
-                       preprocess::make_features(m, k, n, p));
+    const auto x = pipeline.transform_row(
+        preprocess::make_query_features(m, k, n, p, op, variant, width));
     const double pred = model.predict_one(x);
     if (t == 0 || pred < best_pred) {
       best_pred = pred;

@@ -67,11 +67,13 @@ TrainOutput train_and_select(const GatherData& gathered,
 /// AdsalaGemm). Returns the grid index of the argmin.
 ///
 /// The raw feature row is built to match the pipeline's fitted input width
-/// (see preprocess/features.h): an op-aware pipeline gets the op / kernel
-/// one-hot columns from `op` and `variant` (kAuto resolves to the active
-/// dispatch), while a PR-1-era 17-column pipeline ignores them — a SYRK
-/// query then degrades to the GEMM-proxy heuristic, since its shape already
-/// carries the equivalent-GEMM (n, k, n).
+/// (preprocess::make_query_features): a current 23-column pipeline gets the
+/// full op / kernel one-hot block from `op` and `variant` (kAuto resolves to
+/// the active dispatch); a PR-2-era 21-column pipeline sees gemm/syrk
+/// one-hots only, with TRSM/SYMM proxied as GEMM; a PR-1-era 17-column
+/// pipeline ignores the one-hots entirely — every non-GEMM query then
+/// degrades to the GEMM-proxy heuristic, since its shape already carries the
+/// equivalent-GEMM dimensions.
 std::size_t predict_best_grid_index(
     const ml::Regressor& model, const preprocess::Pipeline& pipeline,
     const simarch::GemmShape& shape, std::span<const int> thread_grid,

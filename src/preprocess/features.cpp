@@ -2,6 +2,26 @@
 
 namespace adsala::preprocess {
 
+namespace {
+
+// The op one-hot block is indexed by op code; the table codes must stay
+// contiguous from 0 for that to hold.
+static_assert([] {
+  int code = 0;
+  for (const auto op : blas::all_ops()) {
+    if (blas::op_code(op) != code++) return false;
+  }
+  return true;
+}());
+
+/// Kernel-variant one-hot pair appended after the op block.
+void set_kernel_onehots(blas::kernels::Variant variant, double* dst) {
+  dst[0] = variant == blas::kernels::Variant::kGeneric ? 1.0 : 0.0;
+  dst[1] = variant == blas::kernels::Variant::kAvx2 ? 1.0 : 0.0;
+}
+
+}  // namespace
+
 const std::vector<std::string>& feature_names() {
   static const std::vector<std::string> names = {
       // Group 1: serial-runtime terms.
@@ -16,8 +36,10 @@ const std::vector<std::string>& feature_names() {
 const std::vector<std::string>& op_aware_feature_names() {
   static const std::vector<std::string> names = [] {
     std::vector<std::string> all = feature_names();
-    all.insert(all.end(),
-               {"op_gemm", "op_syrk", "kernel_generic", "kernel_avx2"});
+    for (const auto op : blas::all_ops()) {
+      all.push_back(std::string("op_") + blas::op_name(op));
+    }
+    all.insert(all.end(), {"kernel_generic", "kernel_avx2"});
     return all;
   }();
   return names;
@@ -53,11 +75,32 @@ std::array<double, kNumOpAwareFeatures> make_op_aware_features(
   const auto base = make_features(m, k, n, t);
   std::array<double, kNumOpAwareFeatures> out{};
   for (std::size_t j = 0; j < kNumFeatures; ++j) out[j] = base[j];
-  out[kNumFeatures + 0] = op == blas::OpKind::kGemm ? 1.0 : 0.0;
-  out[kNumFeatures + 1] = op == blas::OpKind::kSyrk ? 1.0 : 0.0;
-  out[kNumFeatures + 2] =
-      variant == blas::kernels::Variant::kGeneric ? 1.0 : 0.0;
-  out[kNumFeatures + 3] = variant == blas::kernels::Variant::kAvx2 ? 1.0 : 0.0;
+  out[kNumFeatures + static_cast<std::size_t>(blas::op_code(op))] = 1.0;
+  set_kernel_onehots(variant, out.data() + kNumFeatures + blas::kNumOps);
+  return out;
+}
+
+std::vector<double> make_query_features(double m, double k, double n,
+                                        double t, blas::OpKind op,
+                                        blas::kernels::Variant variant,
+                                        std::size_t pipeline_width) {
+  if (pipeline_width >= kNumOpAwareFeatures) {
+    const auto full = make_op_aware_features(m, k, n, t, op, variant);
+    return {full.begin(), full.end()};
+  }
+  const auto base = make_features(m, k, n, t);
+  std::vector<double> out(base.begin(), base.end());
+  if (pipeline_width >= kNumLegacyOpAwareFeatures) {
+    // PR-2 layout: op_gemm, op_syrk, kernel_generic, kernel_avx2. The
+    // operations that schema never saw are proxied as GEMM rows (their
+    // stored shape already carries the equivalent-GEMM dimensions).
+    const bool syrk = op == blas::OpKind::kSyrk;
+    out.push_back(syrk ? 0.0 : 1.0);
+    out.push_back(syrk ? 1.0 : 0.0);
+    double kernel[kNumKernelFeatures];
+    set_kernel_onehots(variant, kernel);
+    out.insert(out.end(), kernel, kernel + kNumKernelFeatures);
+  }
   return out;
 }
 

@@ -21,23 +21,40 @@
 // per-thread parallel terms; the order above is the canonical feature order
 // for every dataset in the project.
 //
-// == Op-aware schema (21 columns) =============================================
+// == Op-aware schema (23 columns) =============================================
 //
-// Since the operation-aware gather (PR 2), datasets append four one-hot
-// categorical columns after the 17 numeric ones:
+// Since the operation-aware gather (PR 2), datasets append one-hot
+// categorical columns after the 17 numeric ones — one column per registered
+// operation (blas/op.h table order == op code order) plus one per kernel
+// variant:
 //
 //   17  op_gemm          1 when the row timed a GEMM call
 //   18  op_syrk          1 when the row timed a SYRK call (m == n equivalent
 //                        shape: features 0-16 are computed from (n, k, n))
-//   19  kernel_generic   1 when the portable micro-kernel produced the timing
-//   20  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
+//   19  op_trsm          1 when the row timed a TRSM call (m == k equivalent
+//                        shape (n, n, rhs_cols))
+//   20  op_symm          1 when the row timed a SYMM call (same m == k
+//                        convention as TRSM)
+//   21  kernel_generic   1 when the portable micro-kernel produced the timing
+//   22  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
 //
 // Categorical columns are passed through the preprocessing pipeline
 // untransformed (no Yeo-Johnson, no standardisation; see
 // preprocess::PipelineConfig::categorical) and columns that are constant over
 // the training rows are dropped at fit time — a GEMM-only campaign therefore
 // reduces to the base behaviour, and a model trained without the op columns
-// answers SYRK queries through the GEMM-proxy shape exactly as before.
+// answers family queries through the GEMM-proxy shape exactly as before.
+//
+// == Backwards compatibility ==================================================
+//
+// Older artefacts keep loading because the pipeline persists its fitted
+// input width (`feature_names` in config.json) and queries are built to
+// match it via make_query_features:
+//   17 columns  PR-1-era base schema — numeric features only, every
+//               operation served through the GEMM proxy;
+//   21 columns  PR-2-era op-aware schema (gemm/syrk one-hots only) — TRSM
+//               and SYMM queries are proxied as GEMM rows;
+//   23 columns  current schema, all four operations first-class.
 #pragma once
 
 #include <array>
@@ -52,12 +69,21 @@ namespace adsala::preprocess {
 /// Number of numeric Table-II features (base schema).
 inline constexpr std::size_t kNumFeatures = 17;
 
-/// One-hot categorical columns appended by the op-aware schema.
-inline constexpr std::size_t kNumCategoricalFeatures = 4;
+/// One-hot kernel-variant columns (generic, avx2).
+inline constexpr std::size_t kNumKernelFeatures = 2;
+
+/// One-hot categorical columns appended by the op-aware schema: one per
+/// registered operation (blas/op.h) plus the kernel-variant pair.
+inline constexpr std::size_t kNumCategoricalFeatures =
+    blas::kNumOps + kNumKernelFeatures;
 
 /// Total width of the op-aware schema.
 inline constexpr std::size_t kNumOpAwareFeatures =
     kNumFeatures + kNumCategoricalFeatures;
+
+/// Width of the PR-2-era op-aware schema (gemm/syrk one-hots only); kept so
+/// the runtime can build width-matched queries for old artefacts.
+inline constexpr std::size_t kNumLegacyOpAwareFeatures = 21;
 
 /// Canonical base feature names, Group 1 then Group 2 (paper Table II).
 const std::vector<std::string>& feature_names();
@@ -77,11 +103,22 @@ std::array<double, kNumFeatures> make_features(double m, double k, double n,
                                                double n_threads);
 
 /// Computes the full op-aware row: numeric features plus the op / kernel
-/// one-hots. For SYRK pass the equivalent-GEMM shape (m == n). `variant`
-/// must be concrete (resolve kAuto via blas::kernels::active_variant()
-/// first); kAuto leaves both kernel columns zero.
+/// one-hots. For non-GEMM operations pass the equivalent-GEMM shape (SYRK:
+/// m == n; TRSM/SYMM: m == k). `variant` must be concrete (resolve kAuto via
+/// blas::kernels::active_variant() first); kAuto leaves both kernel columns
+/// zero.
 std::array<double, kNumOpAwareFeatures> make_op_aware_features(
     double m, double k, double n, double n_threads, blas::OpKind op,
     blas::kernels::Variant variant);
+
+/// Builds a query row matched to a fitted pipeline's input width (see the
+/// backwards-compatibility table above): 23 -> current schema, 21 -> PR-2
+/// legacy (TRSM/SYMM proxied as GEMM), anything else -> the 17 numeric
+/// features. This is the single entry point the prediction path uses, so a
+/// schema change is invisible to trainer / runtime code.
+std::vector<double> make_query_features(double m, double k, double n,
+                                        double n_threads, blas::OpKind op,
+                                        blas::kernels::Variant variant,
+                                        std::size_t pipeline_width);
 
 }  // namespace adsala::preprocess

@@ -58,6 +58,24 @@ std::vector<simarch::GemmShape> sample_rejection(
   return out;
 }
 
+/// First two configured Halton bases (defaults 2, 3): shared by every 2-D
+/// family sampler.
+std::vector<unsigned> first_two_bases(const DomainConfig& config) {
+  return {config.bases.size() > 0 ? config.bases[0] : 2u,
+          config.bases.size() > 1 ? config.bases[1] : 3u};
+}
+
+/// Cranley-Patterson rotation stream; each sampler passes its own salt so a
+/// mixed-op campaign with one DomainConfig never times two operations on
+/// identical diagonals.
+std::vector<double> make_rotation(std::uint64_t seed, std::uint64_t salt,
+                                  std::size_t dims) {
+  Rng rng(seed ^ salt);
+  std::vector<double> rot(dims);
+  for (auto& r : rot) r = rng.uniform();
+  return rot;
+}
+
 }  // namespace
 
 GemmDomainSampler::GemmDomainSampler(DomainConfig config)
@@ -98,15 +116,9 @@ std::vector<simarch::GemmShape> GemmDomainSampler::sample(std::size_t count) {
 
 SyrkDomainSampler::SyrkDomainSampler(DomainConfig config)
     : config_(std::move(config)),
-      sequence_({config_.bases.size() > 0 ? config_.bases[0] : 2u,
-                 config_.bases.size() > 1 ? config_.bases[1] : 3u},
-                config_.seed) {
+      sequence_(first_two_bases(config_), config_.seed) {
   check_bounds(config_, "SyrkDomainSampler");
-  // Distinct salt from the GEMM sampler: a mixed-op campaign with one
-  // DomainConfig must not time both operations on identical diagonals.
-  Rng rng(config_.seed ^ 0x5a9c0d17ull);
-  rotation_.resize(2);
-  for (auto& r : rotation_) r = rng.uniform();
+  rotation_ = make_rotation(config_.seed, 0x5a9c0d17ull, 2);
 }
 
 simarch::GemmShape SyrkDomainSampler::map_point(
@@ -133,6 +145,76 @@ bool SyrkDomainSampler::in_domain(const simarch::GemmShape& shape) const {
 std::vector<simarch::GemmShape> SyrkDomainSampler::sample(std::size_t count) {
   return sample_rejection(
       sequence_, rotation_, count, "SyrkDomainSampler",
+      [this](const std::vector<double>& u) { return map_point(u); },
+      [this](const simarch::GemmShape& s) { return in_domain(s); });
+}
+
+TrsmDomainSampler::TrsmDomainSampler(DomainConfig config)
+    : config_(std::move(config)),
+      sequence_(first_two_bases(config_), config_.seed) {
+  check_bounds(config_, "TrsmDomainSampler");
+  rotation_ = make_rotation(config_.seed, 0x7c31e8a5ull, 2);
+}
+
+simarch::GemmShape TrsmDomainSampler::map_point(
+    const std::vector<double>& u) const {
+  simarch::GemmShape shape;
+  shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);  // triangle n
+  shape.n = sqrt_scale(u[1], config_.dim_min, config_.dim_max);  // RHS cols m
+  shape.k = shape.m;  // equivalent-GEMM convention for the (n, m) families
+  shape.elem_bytes = config_.elem_bytes;
+  return shape;
+}
+
+bool TrsmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
+  const double footprint =
+      static_cast<double>(shape.elem_bytes) *
+      (static_cast<double>(shape.m) * shape.m +
+       static_cast<double>(shape.m) * shape.n);
+  return shape.m == shape.k &&
+         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
+         shape.m >= config_.dim_min && shape.m <= config_.dim_max &&
+         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
+}
+
+std::vector<simarch::GemmShape> TrsmDomainSampler::sample(std::size_t count) {
+  return sample_rejection(
+      sequence_, rotation_, count, "TrsmDomainSampler",
+      [this](const std::vector<double>& u) { return map_point(u); },
+      [this](const simarch::GemmShape& s) { return in_domain(s); });
+}
+
+SymmDomainSampler::SymmDomainSampler(DomainConfig config)
+    : config_(std::move(config)),
+      sequence_(first_two_bases(config_), config_.seed) {
+  check_bounds(config_, "SymmDomainSampler");
+  rotation_ = make_rotation(config_.seed, 0x19f4b26dull, 2);
+}
+
+simarch::GemmShape SymmDomainSampler::map_point(
+    const std::vector<double>& u) const {
+  simarch::GemmShape shape;
+  shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);  // symmetric n
+  shape.n = sqrt_scale(u[1], config_.dim_min, config_.dim_max);  // B/C cols m
+  shape.k = shape.m;
+  shape.elem_bytes = config_.elem_bytes;
+  return shape;
+}
+
+bool SymmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
+  const double footprint =
+      static_cast<double>(shape.elem_bytes) *
+      (static_cast<double>(shape.m) * shape.m +
+       2.0 * static_cast<double>(shape.m) * shape.n);
+  return shape.m == shape.k &&
+         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
+         shape.m >= config_.dim_min && shape.m <= config_.dim_max &&
+         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
+}
+
+std::vector<simarch::GemmShape> SymmDomainSampler::sample(std::size_t count) {
+  return sample_rejection(
+      sequence_, rotation_, count, "SymmDomainSampler",
       [this](const std::vector<double>& u) { return map_point(u); },
       [this](const simarch::GemmShape& s) { return in_domain(s); });
 }

@@ -1,4 +1,4 @@
-// Memory-capped GEMM / SYRK shape domain samplers.
+// Memory-capped shape domain samplers for the served operation family.
 //
 // GemmDomainSampler maps scrambled-Halton points in [0,1)^3 to (m, k, n)
 // triples whose aggregate operand footprint elem_bytes*(mk + kn + mn) stays
@@ -8,10 +8,17 @@
 // represented as square ones; points over the cap are rejected and the
 // sequence advanced.
 //
-// SyrkDomainSampler is the two-dimensional sibling for the SYRK family
-// (n, k): A is n x k, C is n x n, footprint elem_bytes*(nk + nn). It shares
-// the cap, bounds, and sqrt scale of the GEMM domain so an operation-aware
-// gathering campaign covers both operations over the same territory.
+// The two-dimensional siblings cover the rest of the family, each under the
+// same cap, bounds, and sqrt scale so an operation-aware gathering campaign
+// probes every operation over the same territory (stored-shape conventions
+// in docs/OPERATIONS.md):
+//   SyrkDomainSampler  (n, k): A n x k, C n x n; stored with m == n;
+//                      footprint elem_bytes*(nk + nn).
+//   TrsmDomainSampler  (n, m): A n x n triangular, B n x m right-hand
+//                      sides; stored with m == k == n; footprint
+//                      elem_bytes*(nn + nm).
+//   SymmDomainSampler  (n, m): A n x n symmetric, B and C n x m; stored
+//                      with m == k == n; footprint elem_bytes*(nn + 2nm).
 #pragma once
 
 #include <cstdint>
@@ -74,6 +81,51 @@ class SyrkDomainSampler {
   simarch::GemmShape map_point(const std::vector<double>& u) const;
 
   /// In-domain test on the SYRK footprint elem_bytes*(nk + nn).
+  bool in_domain(const simarch::GemmShape& shape) const;
+
+  const DomainConfig& config() const { return config_; }
+
+ private:
+  DomainConfig config_;
+  ScrambledHalton sequence_;
+  std::vector<double> rotation_;
+};
+
+/// Samples the TRSM (n, m) family: A is an n x n triangle, B carries m
+/// right-hand-side columns. Returned shapes use the equivalent-GEMM
+/// convention GemmShape{m = n_tri, k = n_tri, n = m_rhs} (m == k marks the
+/// triangular families); rotation stream decorrelated from every sibling.
+class TrsmDomainSampler {
+ public:
+  explicit TrsmDomainSampler(DomainConfig config);
+
+  std::vector<simarch::GemmShape> sample(std::size_t count);
+
+  /// Maps one [0,1)^2 point to a (possibly out-of-cap) shape with m == k.
+  simarch::GemmShape map_point(const std::vector<double>& u) const;
+
+  /// In-domain test on the TRSM footprint elem_bytes*(nn + nm).
+  bool in_domain(const simarch::GemmShape& shape) const;
+
+  const DomainConfig& config() const { return config_; }
+
+ private:
+  DomainConfig config_;
+  ScrambledHalton sequence_;
+  std::vector<double> rotation_;
+};
+
+/// Samples the SYMM (n, m) family: A is a symmetric n x n matrix, B and C
+/// are n x m. Same stored-shape convention as TRSM (m == k); in-domain test
+/// uses the SYMM footprint elem_bytes*(nn + 2nm).
+class SymmDomainSampler {
+ public:
+  explicit SymmDomainSampler(DomainConfig config);
+
+  std::vector<simarch::GemmShape> sample(std::size_t count);
+
+  simarch::GemmShape map_point(const std::vector<double>& u) const;
+
   bool in_domain(const simarch::GemmShape& shape) const;
 
   const DomainConfig& config() const { return config_; }

@@ -11,6 +11,13 @@ namespace {
 
 double ceil_div(double a, double b) { return std::ceil(a / b); }
 
+/// Per-core FLOPs per cycle for an element size (fp64 runs at half the fp32
+/// vector rate) — the one place this rule lives.
+double fp_per_cycle(const CpuTopology& topo, int elem_bytes) {
+  return elem_bytes == 4 ? topo.fp32_flops_per_cycle
+                         : topo.fp32_flops_per_cycle / 2.0;
+}
+
 /// Stable mix of the model seed with the experiment coordinates so noise is
 /// reproducible yet uncorrelated across configurations and iterations.
 std::uint64_t mix_seed(std::uint64_t seed, long m, long k, long n, int p,
@@ -96,13 +103,11 @@ TimingBreakdown MachineModel::time_gemm(const GemmShape& shape,
 
   // ---- kernel: FLOP roofline ---------------------------------------------
   const double flops = shape.flops();
-  const double fp_per_cycle = shape.elem_bytes == 4
-                                  ? topo_.fp32_flops_per_cycle
-                                  : topo_.fp32_flops_per_cycle / 2.0;
   const double smt_factor =
       1.0 + topo_.smt_marginal * (threads_per_core - 1.0);
-  const double rate = cores_used * topo_.freq_ghz * 1e9 * fp_per_cycle *
-                      smt_factor * topo_.peak_frac;
+  const double rate = cores_used * topo_.freq_ghz * 1e9 *
+                      fp_per_cycle(topo_, shape.elem_bytes) * smt_factor *
+                      topo_.peak_frac;
 
   // SIMD-tile utilisation: skinny m/n waste vector lanes, short k pays the
   // pipeline ramp (why the paper's m=64 shapes run far below peak).
@@ -194,6 +199,43 @@ TimingBreakdown MachineModel::time_syrk(const GemmShape& shape,
   return out;
 }
 
+TimingBreakdown MachineModel::time_trsm(const GemmShape& shape,
+                                        const ExecPolicy& policy) const {
+  TimingBreakdown out = time_gemm(shape, policy);
+  if (shape.m <= 0) return out;
+  const double n = static_cast<double>(shape.m);  // triangle dimension
+  const double r = static_cast<double>(shape.n);  // right-hand-side columns
+  // Trailing GEMM updates only touch the triangle of A: half the equivalent
+  // GEMM's FLOPs, same (n + 1) / (2n) scaling as SYRK.
+  out.kernel_s *= (n + 1.0) / (2.0 * n);
+  // The diagonal-block solves (one model_kc-deep triangle per panel of the
+  // chain, ~kc*n*r multiply-adds in total) cannot be spread over the team:
+  // each block needs every earlier block's solution. Charge their FLOPs at
+  // the single-thread rate, minus the share already counted inside the
+  // parallel kernel term (the (p-1)/p factor keeps p = 1 exact).
+  const int p = resolve_threads(policy);
+  const double serial_rate = topo_.freq_ghz * 1e9 *
+                             fp_per_cycle(topo_, shape.elem_bytes) *
+                             topo_.peak_frac;
+  const double serial_flops =
+      std::min(2.0 * topo_.model_kc * n, 2.0 * n * n) * r / 2.0;
+  out.kernel_s += serial_flops / serial_rate * (p - 1.0) / p;
+  // The dependency chain re-joins the team after every panel: one extra
+  // barrier sweep on top of GEMM's schedule.
+  out.sync_s *= 2.0;
+  return out;
+}
+
+TimingBreakdown MachineModel::time_symm(const GemmShape& shape,
+                                        const ExecPolicy& policy) const {
+  TimingBreakdown out = time_gemm(shape, policy);
+  // Same FLOP volume as the equivalent GEMM; the packing stream is slower
+  // because the mirrored half of every packed A block is read transposed
+  // (strided) out of the stored triangle.
+  out.copy_s *= 1.3;
+  return out;
+}
+
 namespace {
 
 /// Mean of `iterations` noisy draws around an analytical base time.
@@ -215,8 +257,10 @@ double noisy_mean(const TimingBreakdown& base, std::uint64_t seed,
   return sum / iterations;
 }
 
-/// Salt decorrelating the SYRK noise stream from the GEMM one.
+/// Salts decorrelating each operation's noise stream from the GEMM one.
 constexpr std::uint64_t kSyrkNoiseSalt = 0x53595246ull;  // "SYRK"
+constexpr std::uint64_t kTrsmNoiseSalt = 0x5452534dull;  // "TRSM"
+constexpr std::uint64_t kSymmNoiseSalt = 0x53594d4dull;  // "SYMM"
 
 }  // namespace
 
@@ -231,6 +275,22 @@ double MachineModel::measure_syrk(const GemmShape& shape,
                                   const ExecPolicy& policy,
                                   int iterations) const {
   return noisy_mean(time_syrk(shape, policy), noise_seed_ ^ kSyrkNoiseSalt,
+                    noise_sigma_, shape, policy, resolve_threads(policy),
+                    iterations);
+}
+
+double MachineModel::measure_trsm(const GemmShape& shape,
+                                  const ExecPolicy& policy,
+                                  int iterations) const {
+  return noisy_mean(time_trsm(shape, policy), noise_seed_ ^ kTrsmNoiseSalt,
+                    noise_sigma_, shape, policy, resolve_threads(policy),
+                    iterations);
+}
+
+double MachineModel::measure_symm(const GemmShape& shape,
+                                  const ExecPolicy& policy,
+                                  int iterations) const {
+  return noisy_mean(time_symm(shape, policy), noise_seed_ ^ kSymmNoiseSalt,
                     noise_sigma_, shape, policy, resolve_threads(policy),
                     iterations);
 }

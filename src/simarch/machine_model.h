@@ -91,6 +91,32 @@ class MachineModel {
   double measure_syrk(const GemmShape& shape, const ExecPolicy& policy,
                       int iterations = 10) const;
 
+  /// Noise-free breakdown of one left-side TRSM, given as the
+  /// equivalent-GEMM shape (m == k == triangle n; shape.n = RHS columns).
+  /// The trailing updates are plain GEMMs over the triangle (kernel scales
+  /// by (n + 1) / (2n) like SYRK), but the diagonal-block solves form a
+  /// sequential dependency chain: their work runs at single-thread rate no
+  /// matter the team size, and the chain inserts an extra barrier sweep per
+  /// panel (sync doubles). Both push the TRSM optimum below the GEMM one.
+  TimingBreakdown time_trsm(const GemmShape& shape,
+                            const ExecPolicy& policy) const;
+
+  /// Noise-free breakdown of one left-side SYMM, equivalent-GEMM shape
+  /// (m == k == symmetric n; shape.n = B/C columns). Same FLOPs as GEMM;
+  /// the packing stream pays for the symmetric expansion (the mirrored half
+  /// of every packed A block is a strided transposed read), so the copy
+  /// component carries a constant surcharge.
+  TimingBreakdown time_symm(const GemmShape& shape,
+                            const ExecPolicy& policy) const;
+
+  /// TRSM sibling of measure_gemm (decorrelated noise stream).
+  double measure_trsm(const GemmShape& shape, const ExecPolicy& policy,
+                      int iterations = 10) const;
+
+  /// SYMM sibling of measure_gemm (decorrelated noise stream).
+  double measure_symm(const GemmShape& shape, const ExecPolicy& policy,
+                      int iterations = 10) const;
+
   /// Exhaustive argmin of measure_gemm over 1..max_threads. Returns the
   /// optimal thread count; if best_time is non-null stores its runtime.
   int optimal_threads(const GemmShape& shape, ExecPolicy policy,

@@ -8,7 +8,10 @@
 
 #include "blas/gemm.h"
 #include "blas/kernels/dispatch.h"
+#include "blas/op.h"
+#include "blas/symm.h"
 #include "blas/syrk.h"
+#include "blas/trsm.h"
 #include "common/rng.h"
 
 namespace adsala::blas {
@@ -378,6 +381,146 @@ TEST_P(KernelVariantTest, SyrkSpansMultipleCacheBlocks) {
                                         1.0, 1.0, 4, tuning);
 }
 
+template <typename T>
+void expect_trsm_matches_reference(Uplo uplo, Trans trans, Diag diag, int n,
+                                   int m, T alpha, int nthreads,
+                                   const GemmTuning& tuning) {
+  // Diagonally dominant triangle keeps the solve well-conditioned, so the
+  // forward/backward error stays near the reference's.
+  auto a = random_matrix<T>(std::max(1, n), std::max(1, n), 11);
+  for (int i = 0; i < n; ++i) a[i * n + i] = T(n + 2);
+  auto b = random_matrix<T>(std::max(1, n), std::max(1, m), 12);
+  auto b_ref = b;
+
+  trsm<T>(uplo, trans, diag, n, m, alpha, a.data(), n, b.data(), m, nthreads,
+          tuning);
+  reference_trsm<T>(uplo, trans, diag, n, m, alpha, a.data(), n, b_ref.data(),
+                    m);
+
+  // Unit-diagonal solves of random triangles are ill-conditioned (solution
+  // magnitude grows with n), so the tolerance scales with the result.
+  double magnitude = 1.0;
+  for (int i = 0; i < n * m; ++i) {
+    magnitude = std::max(magnitude, std::abs(static_cast<double>(b_ref[i])));
+  }
+  const double tol =
+      (std::is_same_v<T, float> ? 1e-4 : 1e-11) * std::max(1, n) * magnitude;
+  for (int i = 0; i < n * m; ++i) {
+    ASSERT_NEAR(static_cast<double>(b[i]), static_cast<double>(b_ref[i]), tol)
+        << "mismatch at linear index " << i << " (n=" << n << " m=" << m
+        << ")";
+  }
+}
+
+TEST_P(KernelVariantTest, TrsmFringeSweepFloat) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const auto [n, m] : {std::tuple{1, 1}, std::tuple{17, 23},
+                                std::tuple{31, 7}, std::tuple{53, 29}}) {
+        expect_trsm_matches_reference<float>(uplo, trans, Diag::kNonUnit, n,
+                                             m, 1.5f, 3, tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, TrsmFringeSweepDouble) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const Diag diag : {Diag::kNonUnit, Diag::kUnit}) {
+        expect_trsm_matches_reference<double>(uplo, trans, diag, 37, 19, -0.5,
+                                              3, tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, TrsmCrossesBlockBoundaries) {
+  // kc/4 = 16-row diagonal blocks: 61 rows span four blocks with a fringe.
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  tuning.kc = 64;
+  expect_trsm_matches_reference<float>(Uplo::kLower, Trans::kNo,
+                                       Diag::kNonUnit, 61, 43, 1.0f, 4,
+                                       tuning);
+  expect_trsm_matches_reference<double>(Uplo::kUpper, Trans::kYes,
+                                        Diag::kUnit, 61, 43, 1.0, 4, tuning);
+}
+
+template <typename T>
+void expect_symm_matches_reference(Uplo uplo, int n, int m, T alpha, T beta,
+                                   int nthreads, const GemmTuning& tuning) {
+  const auto a = random_matrix<T>(std::max(1, n), std::max(1, n), 13);
+  const auto b = random_matrix<T>(std::max(1, n), std::max(1, m), 14);
+  auto c = random_matrix<T>(std::max(1, n), std::max(1, m), 15);
+  auto c_ref = c;
+
+  symm<T>(uplo, n, m, alpha, a.data(), n, b.data(), m, beta, c.data(), m,
+          nthreads, tuning);
+  reference_symm<T>(uplo, n, m, alpha, a.data(), n, b.data(), m, beta,
+                    c_ref.data(), m);
+
+  const double tol =
+      (std::is_same_v<T, float> ? 1e-4 : 1e-11) * std::max(1, n);
+  for (int i = 0; i < n * m; ++i) {
+    ASSERT_NEAR(static_cast<double>(c[i]), static_cast<double>(c_ref[i]), tol)
+        << "mismatch at linear index " << i << " (n=" << n << " m=" << m
+        << ")";
+  }
+}
+
+TEST_P(KernelVariantTest, SymmFringeSweepFloat) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const auto [n, m] : {std::tuple{1, 1}, std::tuple{17, 23},
+                              std::tuple{31, 7}, std::tuple{53, 29}}) {
+      for (const float beta : {0.0f, 1.0f, 2.0f}) {
+        expect_symm_matches_reference<float>(uplo, n, m, 1.25f, beta, 3,
+                                             tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, SymmFringeSweepDouble) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const auto [n, m] : {std::tuple{17, 23}, std::tuple{53, 29}}) {
+      for (const double beta : {0.0, 1.0, 2.0}) {
+        expect_symm_matches_reference<double>(uplo, n, m, -0.5, beta, 3,
+                                              tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, SymmSpansMultipleCacheBlocks) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  tuning.mc = 12;
+  tuning.kc = 7;
+  tuning.nc = 16;
+  expect_symm_matches_reference<float>(Uplo::kLower, 61, 43, 1.0f, 1.0f, 4,
+                                       tuning);
+  expect_symm_matches_reference<double>(Uplo::kUpper, 61, 43, 1.0, 1.0, 4,
+                                        tuning);
+}
+
+TEST_P(KernelVariantTest, SymmAlphaZeroIsBetaPass) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  expect_symm_matches_reference<float>(Uplo::kLower, 9, 13, 0.0f, 0.5f, 2,
+                                       tuning);
+  expect_symm_matches_reference<double>(Uplo::kUpper, 9, 13, 0.0, 0.0, 2,
+                                        tuning);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Dispatched, KernelVariantTest,
     ::testing::ValuesIn(kernels::supported_variants()),
@@ -416,6 +559,57 @@ TEST(KernelDispatch, Avx2GeometryWhenSupported) {
   EXPECT_EQ(f32.nr, 16);
   EXPECT_EQ(f64.mr, 6);
   EXPECT_EQ(f64.nr, 8);
+}
+
+// ------------------------------------------------------- operation table --
+// op.h is table-driven: name, code, and parsing all derive from one row per
+// operation. The round-trip must hold for every registered op so that a new
+// table row automatically gets CSV persistence and CLI parsing right.
+
+TEST(OpKind, TableRoundTripsEveryRegisteredOp) {
+  static_assert(all_ops().size() == kNumOps);
+  for (const OpKind op : all_ops()) {
+    const auto from_name = parse_op(op_name(op));
+    ASSERT_TRUE(from_name.has_value()) << op_name(op);
+    EXPECT_EQ(*from_name, op);
+    const auto from_code = op_from_code(op_code(op));
+    ASSERT_TRUE(from_code.has_value()) << op_name(op);
+    EXPECT_EQ(*from_code, op);
+  }
+}
+
+TEST(OpKind, NamesAndCodesAreDistinct) {
+  const auto ops = all_ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      EXPECT_STRNE(op_name(ops[i]), op_name(ops[j]));
+      EXPECT_NE(op_code(ops[i]), op_code(ops[j]));
+    }
+  }
+  // Codes are contiguous from 0 in table order — the op-aware feature
+  // schema indexes one-hot columns by code.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(op_code(ops[i]), static_cast<int>(i));
+  }
+}
+
+TEST(OpKind, UnknownInputsAreRejected) {
+  EXPECT_FALSE(op_from_code(-1).has_value());
+  EXPECT_FALSE(op_from_code(static_cast<int>(kNumOps)).has_value());
+  EXPECT_FALSE(parse_op("").has_value());
+  EXPECT_FALSE(parse_op("gemv").has_value());
+  EXPECT_FALSE(parse_op("GEMM").has_value()) << "names are case-sensitive";
+}
+
+TEST(OpKind, KnownSpellings) {
+  // The CSV codes are a persistence format: spell them out so a table edit
+  // that silently renumbers existing ops fails here.
+  EXPECT_EQ(op_code(OpKind::kGemm), 0);
+  EXPECT_EQ(op_code(OpKind::kSyrk), 1);
+  EXPECT_EQ(op_code(OpKind::kTrsm), 2);
+  EXPECT_EQ(op_code(OpKind::kSymm), 3);
+  EXPECT_STREQ(op_name(OpKind::kTrsm), "trsm");
+  EXPECT_STREQ(op_name(OpKind::kSymm), "symm");
 }
 
 TEST(GemmHelpers, MemoryBytes) {

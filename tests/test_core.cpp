@@ -70,6 +70,16 @@ TEST(Executor, NativeMeasuresPositiveTime) {
   EXPECT_LT(t, 1.0) << "a 64^3 SGEMM cannot take a second";
 }
 
+TEST(Executor, NativeMeasuresEveryRegisteredOp) {
+  NativeExecutor ex(4);
+  const simarch::GemmShape s{96, 96, 48, 4};  // valid for every convention
+  for (const blas::OpKind op : blas::all_ops()) {
+    const double t = ex.measure_op(op, s, 2, 2);
+    EXPECT_GT(t, 0.0) << blas::op_name(op);
+    EXPECT_LT(t, 1.0) << blas::op_name(op);
+  }
+}
+
 // ------------------------------------------------------------------ Gather
 
 TEST(Gather, RecordsFullCurves) {
@@ -122,6 +132,28 @@ TEST(Gather, SyrkCampaignTagsRecords) {
   EXPECT_EQ(n_syrk, 12u);
 }
 
+TEST(Gather, FourOpCampaignCoversEveryFamily) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(6);
+  const auto ops = blas::all_ops();
+  cfg.ops.assign(ops.begin(), ops.end());
+  const auto data = gather_timings(ex, cfg);
+  ASSERT_EQ(data.records.size(), 6u * blas::kNumOps);
+  std::size_t per_op[blas::kNumOps] = {};
+  for (const auto& rec : data.records) {
+    ++per_op[static_cast<std::size_t>(blas::op_code(rec.op))];
+    for (double t : rec.runtime) EXPECT_GT(t, 0.0);
+    if (rec.op == blas::OpKind::kSyrk) {
+      EXPECT_EQ(rec.shape.m, rec.shape.n) << "syrk stores (n, k, n)";
+    }
+    if (rec.op == blas::OpKind::kTrsm || rec.op == blas::OpKind::kSymm) {
+      EXPECT_EQ(rec.shape.m, rec.shape.k)
+          << "triangular families store (n, n, m)";
+    }
+  }
+  for (std::size_t count : per_op) EXPECT_EQ(count, 6u);
+}
+
 TEST(Gather, SyrkIsFasterThanEquivalentGemm) {
   // Same (n, k, n) shape, same threads: the simulated SYRK does roughly half
   // the kernel work, so it cannot be slower than the GEMM it proxies.
@@ -161,7 +193,8 @@ TEST(Gather, CsvRoundTrip) {
 TEST(Gather, CsvRoundTripKeepsOpAndVariantColumns) {
   auto ex = tiny_executor();
   GatherConfig cfg = tiny_gather_config(8);
-  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto ops = blas::all_ops();
+  cfg.ops.assign(ops.begin(), ops.end());  // all four ops survive the disk
   const auto data = gather_timings(ex, cfg);
   const std::string path = "/tmp/adsala_test_gather_op.csv";
   data.save_csv(path);
@@ -179,7 +212,8 @@ TEST(Gather, CsvRoundTripKeepsOpAndVariantColumns) {
 
 TEST(Gather, LegacySixColumnCsvLoadsAsGemm) {
   // PR-1-era files carry no op/variant columns; loading must default every
-  // row to a generic-kernel GEMM record.
+  // row to a generic-kernel GEMM record — also now that four operations are
+  // registered (absent columns mean "gemm", not "unknown op").
   CsvTable legacy;
   legacy.header = {"m", "k", "n", "elem_bytes", "threads", "runtime"};
   legacy.rows = {{100, 200, 300, 4, 1, 0.5},
@@ -269,12 +303,13 @@ TEST(Trainer, TooFewShapesThrows) {
 
 // -------------------------------------------------------------- AdsalaGemm
 
-/// Trains a small op-aware runtime (mixed GEMM + SYRK campaign) on the tiny
-/// simulated platform.
-AdsalaGemm op_aware_runtime(std::size_t n_samples = 60) {
+/// Trains a small op-aware runtime (campaign over every registered
+/// operation) on the tiny simulated platform.
+AdsalaGemm op_aware_runtime(std::size_t n_samples = 40) {
   auto ex = tiny_executor();
   GatherConfig cfg = tiny_gather_config(n_samples);
-  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto ops = blas::all_ops();
+  cfg.ops.assign(ops.begin(), ops.end());
   TrainOptions opts;
   opts.candidates = {"xgboost"};
   opts.tune = false;
@@ -328,8 +363,104 @@ TEST(AdsalaGemm, OpAwareArtefactsSurviveSaveLoad) {
   for (long n : {64L, 300L, 900L}) {
     EXPECT_EQ(restored.select_threads_syrk(n, 2 * n),
               original.select_threads_syrk(n, 2 * n));
+    EXPECT_EQ(restored.select_threads_trsm(n, 2 * n),
+              original.select_threads_trsm(n, 2 * n));
+    EXPECT_EQ(restored.select_threads_symm(n, 2 * n),
+              original.select_threads_symm(n, 2 * n));
     EXPECT_EQ(restored.select_threads(n, n, n),
               original.select_threads(n, n, n));
+  }
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(config_path);
+}
+
+TEST(AdsalaGemm, FourOpModelServesTrsmAndSymmFirstClass) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(40);
+  const auto ops = blas::all_ops();
+  cfg.ops.assign(ops.begin(), ops.end());
+  const auto data = gather_timings(ex, cfg);
+  TrainOptions opts;
+  opts.candidates = {"xgboost"};
+  opts.tune = false;
+  AdsalaGemm adsala(train_and_select(data, opts));
+  ASSERT_TRUE(adsala.op_aware());
+
+  // Over the gathered trsm/symm families the op-aware answer must be in
+  // range everywhere and differ from the GEMM proxy somewhere (the model's
+  // TRSM serial chain / SYMM copy surcharge move the optimum).
+  int n_trsm_diff = 0, n_symm_diff = 0;
+  for (const auto& rec : data.records) {
+    if (rec.op == blas::OpKind::kTrsm) {
+      const int p = adsala.select_threads_trsm(rec.shape.m, rec.shape.n);
+      EXPECT_GE(p, 1);
+      EXPECT_LE(p, 16);
+      n_trsm_diff +=
+          (p != adsala.select_threads(rec.shape.m, rec.shape.m, rec.shape.n));
+    }
+    if (rec.op == blas::OpKind::kSymm) {
+      const int p = adsala.select_threads_symm(rec.shape.m, rec.shape.n);
+      EXPECT_GE(p, 1);
+      EXPECT_LE(p, 16);
+      n_symm_diff +=
+          (p != adsala.select_threads(rec.shape.m, rec.shape.m, rec.shape.n));
+    }
+  }
+  EXPECT_GT(n_trsm_diff + n_symm_diff, 0)
+      << "trsm/symm-family rows must influence thread selection";
+}
+
+TEST(AdsalaGemm, Pr2EraArtefactsProxyTrsmAndSymmAsGemm) {
+  // Emulate a PR-2-era artefact: 21-column op-aware schema with gemm/syrk
+  // one-hots only. Build the dataset by hand (the current builders emit 23
+  // columns) from a mixed gemm+syrk campaign.
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(50);
+  cfg.ops = {blas::OpKind::kGemm, blas::OpKind::kSyrk};
+  const auto data = gather_timings(ex, cfg);
+
+  std::vector<std::string> names = preprocess::feature_names();
+  names.insert(names.end(),
+               {"op_gemm", "op_syrk", "kernel_generic", "kernel_avx2"});
+  ml::Dataset legacy_rows(names);
+  for (const auto& rec : data.records) {
+    for (std::size_t t = 0; t < rec.threads.size(); ++t) {
+      const auto base = preprocess::make_features(
+          static_cast<double>(rec.shape.m), static_cast<double>(rec.shape.k),
+          static_cast<double>(rec.shape.n),
+          static_cast<double>(rec.threads[t]));
+      std::vector<double> row(base.begin(), base.end());
+      const bool syrk = rec.op == blas::OpKind::kSyrk;
+      row.insert(row.end(), {syrk ? 0.0 : 1.0, syrk ? 1.0 : 0.0, 1.0, 0.0});
+      legacy_rows.add_row(row, rec.runtime[t]);
+    }
+  }
+  TrainOutput legacy;
+  legacy.selected = "decision_tree";
+  legacy.thread_grid = data.thread_grid;
+  legacy.max_threads = data.max_threads;
+  legacy.platform = data.platform;
+  preprocess::PipelineConfig pipe_cfg;
+  pipe_cfg.categorical = {17, 18, 19, 20};
+  legacy.pipeline = preprocess::Pipeline(pipe_cfg);
+  const auto train_set = legacy.pipeline.fit_transform(legacy_rows);
+  legacy.model = ml::make_model("decision_tree");
+  legacy.model->fit(train_set);
+
+  const std::string model_path = "/tmp/adsala_test_pr2_model.json";
+  const std::string config_path = "/tmp/adsala_test_pr2_config.json";
+  AdsalaGemm(std::move(legacy)).save(model_path, config_path);
+
+  AdsalaGemm runtime(model_path, config_path);
+  EXPECT_TRUE(runtime.op_aware()) << "gemm/syrk one-hots are informative";
+  ASSERT_EQ(runtime.pipeline().n_input_features(),
+            preprocess::kNumLegacyOpAwareFeatures);
+  // TRSM and SYMM queries build op_gemm = 1 rows for this schema tier, so
+  // they must agree with the explicit GEMM query of the equivalent shape.
+  for (long n : {64L, 256L, 700L}) {
+    const int p_gemm = runtime.select_threads(n, n, 3 * n);
+    EXPECT_EQ(runtime.select_threads_trsm(n, 3 * n), p_gemm);
+    EXPECT_EQ(runtime.select_threads_symm(n, 3 * n), p_gemm);
   }
   std::filesystem::remove(model_path);
   std::filesystem::remove(config_path);
@@ -401,6 +532,19 @@ TEST(AdsalaGemm, MemoInvalidatesAcrossOpsAndElemSizes) {
   EXPECT_EQ(adsala.select_threads_syrk(n, k, 4), syrk4);
   EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);
   EXPECT_EQ(adsala.select_threads(n, k, n, 4), gemm4);  // memo fast path
+
+  // TRSM and SYMM share the equivalent-GEMM shape (n, n, k): only the op
+  // field of the memo key tells them apart.
+  auto fresh_tri = [&](blas::OpKind op) {
+    const simarch::GemmShape shape{n, n, k, 4};
+    return adsala.thread_grid()[predict_best_grid_index(
+        adsala.model(), adsala.pipeline(), shape, adsala.thread_grid(), op)];
+  };
+  const int trsm4 = fresh_tri(blas::OpKind::kTrsm);
+  const int symm4 = fresh_tri(blas::OpKind::kSymm);
+  EXPECT_EQ(adsala.select_threads_trsm(n, k, 4), trsm4);
+  EXPECT_EQ(adsala.select_threads_symm(n, k, 4), symm4);
+  EXPECT_EQ(adsala.select_threads_trsm(n, k, 4), trsm4);
 }
 
 TEST(AdsalaGemm, SelectThreadsMemoisesLastQuery) {
@@ -485,6 +629,34 @@ TEST(AdsalaGemm, SsyrkAndDsyrkComputeCorrectUpdate) {
   blas::reference_syrk<double>(blas::Uplo::kUpper, blas::Trans::kNo, n, k,
                                1.0, ad.data(), k, 0.0, cd_ref.data(), n);
   for (int i = 0; i < n * n; ++i) EXPECT_NEAR(cd[i], cd_ref[i], 1e-10);
+}
+
+TEST(AdsalaGemm, StrsmAndDsymmComputeCorrectResults) {
+  AdsalaGemm adsala = op_aware_runtime();
+  const int n = 15, m = 9;
+
+  std::vector<float> a(n * n);
+  for (int i = 0; i < n * n; ++i) a[i] = static_cast<float>(i % 7) - 3.0f;
+  for (int i = 0; i < n; ++i) a[i * n + i] = static_cast<float>(n + 2);
+  std::vector<float> b(n * m);
+  for (int i = 0; i < n * m; ++i) b[i] = static_cast<float>(i % 5) - 2.0f;
+  auto b_ref = b;
+  adsala.strsm(blas::Uplo::kLower, blas::Trans::kNo, blas::Diag::kNonUnit, n,
+               m, 1.0f, a.data(), n, b.data(), m);
+  blas::reference_trsm<float>(blas::Uplo::kLower, blas::Trans::kNo,
+                              blas::Diag::kNonUnit, n, m, 1.0f, a.data(), n,
+                              b_ref.data(), m);
+  for (int i = 0; i < n * m; ++i) EXPECT_NEAR(b[i], b_ref[i], 1e-4);
+
+  std::vector<double> ad(n * n), bd(n * m);
+  for (int i = 0; i < n * n; ++i) ad[i] = static_cast<double>(i % 7) - 3.0;
+  for (int i = 0; i < n * m; ++i) bd[i] = static_cast<double>(i % 5) - 2.0;
+  std::vector<double> cd(n * m, 0.0), cd_ref(n * m, 0.0);
+  adsala.dsymm(blas::Uplo::kUpper, n, m, 1.0, ad.data(), n, bd.data(), m, 0.0,
+               cd.data(), m);
+  blas::reference_symm<double>(blas::Uplo::kUpper, n, m, 1.0, ad.data(), n,
+                               bd.data(), m, 0.0, cd_ref.data(), m);
+  for (int i = 0; i < n * m; ++i) EXPECT_NEAR(cd[i], cd_ref[i], 1e-10);
 }
 
 // ----------------------------------------------------------------- Install

@@ -272,10 +272,12 @@ TEST(Features, OpAwareSchemaAppendsOneHots) {
             feature_names());
   EXPECT_EQ(names[17], "op_gemm");
   EXPECT_EQ(names[18], "op_syrk");
-  EXPECT_EQ(names[19], "kernel_generic");
-  EXPECT_EQ(names[20], "kernel_avx2");
+  EXPECT_EQ(names[19], "op_trsm");
+  EXPECT_EQ(names[20], "op_symm");
+  EXPECT_EQ(names[21], "kernel_generic");
+  EXPECT_EQ(names[22], "kernel_avx2");
   EXPECT_EQ(categorical_indices(),
-            (std::vector<std::size_t>{17, 18, 19, 20}));
+            (std::vector<std::size_t>{17, 18, 19, 20, 21, 22}));
 }
 
 TEST(Features, OpAwareValuesEncodeOpAndVariant) {
@@ -287,15 +289,68 @@ TEST(Features, OpAwareValuesEncodeOpAndVariant) {
   }
   EXPECT_DOUBLE_EQ(f[17], 0.0);  // op_gemm
   EXPECT_DOUBLE_EQ(f[18], 1.0);  // op_syrk
-  EXPECT_DOUBLE_EQ(f[19], 0.0);  // kernel_generic
-  EXPECT_DOUBLE_EQ(f[20], 1.0);  // kernel_avx2
+  EXPECT_DOUBLE_EQ(f[19], 0.0);  // op_trsm
+  EXPECT_DOUBLE_EQ(f[20], 0.0);  // op_symm
+  EXPECT_DOUBLE_EQ(f[21], 0.0);  // kernel_generic
+  EXPECT_DOUBLE_EQ(f[22], 1.0);  // kernel_avx2
 
   const auto g = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kGemm,
                                         blas::kernels::Variant::kGeneric);
   EXPECT_DOUBLE_EQ(g[17], 1.0);
   EXPECT_DOUBLE_EQ(g[18], 0.0);
-  EXPECT_DOUBLE_EQ(g[19], 1.0);
-  EXPECT_DOUBLE_EQ(g[20], 0.0);
+  EXPECT_DOUBLE_EQ(g[21], 1.0);
+  EXPECT_DOUBLE_EQ(g[22], 0.0);
+
+  // Every registered op sets exactly its own indicator — table order.
+  for (const blas::OpKind op : blas::all_ops()) {
+    const auto row = make_op_aware_features(2, 3, 4, 8, op,
+                                            blas::kernels::Variant::kGeneric);
+    for (const blas::OpKind other : blas::all_ops()) {
+      const std::size_t col =
+          kNumFeatures + static_cast<std::size_t>(blas::op_code(other));
+      EXPECT_DOUBLE_EQ(row[col], op == other ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Features, QueryRowsMatchEverySchemaTier) {
+  using blas::kernels::Variant;
+  // Current 23-column tier reproduces make_op_aware_features.
+  const auto full = make_query_features(2, 3, 4, 8, blas::OpKind::kTrsm,
+                                        Variant::kAvx2, kNumOpAwareFeatures);
+  const auto expect = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kTrsm,
+                                             Variant::kAvx2);
+  ASSERT_EQ(full.size(), kNumOpAwareFeatures);
+  for (std::size_t j = 0; j < kNumOpAwareFeatures; ++j) {
+    EXPECT_DOUBLE_EQ(full[j], expect[j]);
+  }
+
+  // PR-2 21-column tier: gemm/syrk one-hots only; TRSM and SYMM are proxied
+  // as GEMM rows.
+  for (const blas::OpKind op :
+       {blas::OpKind::kGemm, blas::OpKind::kTrsm, blas::OpKind::kSymm}) {
+    const auto legacy = make_query_features(2, 3, 4, 8, op, Variant::kGeneric,
+                                            kNumLegacyOpAwareFeatures);
+    ASSERT_EQ(legacy.size(), kNumLegacyOpAwareFeatures);
+    EXPECT_DOUBLE_EQ(legacy[17], 1.0) << "op_gemm (proxy)";
+    EXPECT_DOUBLE_EQ(legacy[18], 0.0) << "op_syrk";
+    EXPECT_DOUBLE_EQ(legacy[19], 1.0) << "kernel_generic";
+    EXPECT_DOUBLE_EQ(legacy[20], 0.0) << "kernel_avx2";
+  }
+  const auto legacy_syrk = make_query_features(
+      2, 3, 4, 8, blas::OpKind::kSyrk, Variant::kGeneric,
+      kNumLegacyOpAwareFeatures);
+  EXPECT_DOUBLE_EQ(legacy_syrk[17], 0.0);
+  EXPECT_DOUBLE_EQ(legacy_syrk[18], 1.0);
+
+  // PR-1 17-column tier: numeric features only.
+  const auto base17 = make_query_features(2, 3, 4, 8, blas::OpKind::kSymm,
+                                          Variant::kGeneric, kNumFeatures);
+  const auto base = make_features(2, 3, 4, 8);
+  ASSERT_EQ(base17.size(), kNumFeatures);
+  for (std::size_t j = 0; j < kNumFeatures; ++j) {
+    EXPECT_DOUBLE_EQ(base17[j], base[j]);
+  }
 }
 
 // ---------------------------------------------------------------- Pipeline

@@ -253,5 +253,82 @@ TEST(SyrkDomain, ImpossibleCapThrowsOnSample) {
   EXPECT_THROW(sampler.sample(10), std::runtime_error);
 }
 
+// ------------------------------------------------- TrsmDomain / SymmDomain
+
+TEST(TrsmDomain, ShapesCarryEquivalentGemmConvention) {
+  DomainConfig cfg;
+  cfg.memory_cap_bytes = 100ull * 1024 * 1024;
+  cfg.dim_max = 40000;
+  TrsmDomainSampler sampler(cfg);
+  for (const auto& s : sampler.sample(200)) {
+    EXPECT_EQ(s.m, s.k) << "trsm family shapes are (n, m) with m == k";
+    // TRSM footprint: A triangle (n x n) + B (n x m).
+    const double footprint =
+        static_cast<double>(s.elem_bytes) *
+        (static_cast<double>(s.m) * s.m + static_cast<double>(s.m) * s.n);
+    EXPECT_LE(footprint, static_cast<double>(cfg.memory_cap_bytes));
+    EXPECT_GE(s.m, cfg.dim_min);
+    EXPECT_LE(s.m, cfg.dim_max);
+    EXPECT_GE(s.n, cfg.dim_min);
+    EXPECT_LE(s.n, cfg.dim_max);
+  }
+}
+
+TEST(SymmDomain, ShapesRespectTheLargerFootprint) {
+  DomainConfig cfg;
+  cfg.memory_cap_bytes = 100ull * 1024 * 1024;
+  cfg.dim_max = 40000;
+  SymmDomainSampler sampler(cfg);
+  for (const auto& s : sampler.sample(200)) {
+    EXPECT_EQ(s.m, s.k) << "symm family shapes are (n, m) with m == k";
+    // SYMM footprint: A (n x n) + B and C (n x m each).
+    const double footprint =
+        static_cast<double>(s.elem_bytes) *
+        (static_cast<double>(s.m) * s.m +
+         2.0 * static_cast<double>(s.m) * s.n);
+    EXPECT_LE(footprint, static_cast<double>(cfg.memory_cap_bytes));
+  }
+}
+
+TEST(TrsmDomain, DeterministicForFixedSeed) {
+  DomainConfig cfg;
+  cfg.seed = 42;
+  TrsmDomainSampler a(cfg), b(cfg);
+  const auto sa = a.sample(50), sb = b.sample(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sa[i].m, sb[i].m);
+    EXPECT_EQ(sa[i].n, sb[i].n);
+  }
+}
+
+TEST(TrsmDomain, DecorrelatedFromSiblingSamplers) {
+  // One DomainConfig drives every sub-campaign of a mixed gather; the four
+  // family samplers must not walk the same diagonals.
+  DomainConfig cfg;
+  cfg.seed = 1234;
+  SyrkDomainSampler syrk(cfg);
+  TrsmDomainSampler trsm(cfg);
+  SymmDomainSampler symm(cfg);
+  const auto ss = syrk.sample(30);
+  const auto ts = trsm.sample(30);
+  const auto ms = symm.sample(30);
+  int syrk_trsm = 0, trsm_symm = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    syrk_trsm += (ss[i].n == ts[i].m && ss[i].k == ts[i].n);
+    trsm_symm += (ts[i].m == ms[i].m && ts[i].n == ms[i].n);
+  }
+  EXPECT_LT(syrk_trsm, 5);
+  EXPECT_LT(trsm_symm, 5);
+}
+
+TEST(TrsmDomain, ImpossibleCapThrowsOnSample) {
+  DomainConfig cfg;
+  cfg.memory_cap_bytes = 1;
+  TrsmDomainSampler trsm(cfg);
+  EXPECT_THROW(trsm.sample(10), std::runtime_error);
+  SymmDomainSampler symm(cfg);
+  EXPECT_THROW(symm.sample(10), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace adsala::sampling

@@ -150,6 +150,63 @@ TEST(MachineModel, SyrkMeasurementDeterministicAndDecorrelated) {
   EXPECT_LT(ratio, 1.0) << "syrk does half the kernel work";
 }
 
+TEST(MachineModel, TrsmPaysSerialChainAndExtraSync) {
+  MachineModel model(gadi_topology());
+  const GemmShape s{800, 800, 400, 4};  // triangle n = 800, 400 RHS columns
+  const ExecPolicy policy{.nthreads = 8};
+  const auto gemm = model.time_gemm(s, policy);
+  const auto trsm = model.time_trsm(s, policy);
+  // Kernel: triangle fraction of the GEMM work plus the single-thread
+  // diagonal-solve chain — strictly above the pure triangle scaling, but
+  // (for a multi-thread team) the chain term must actually show up.
+  EXPECT_GT(trsm.kernel_s, gemm.kernel_s * (800.0 + 1.0) / 1600.0);
+  // Dependency chain re-joins per panel: sync doubles, copy/spawn unchanged.
+  EXPECT_DOUBLE_EQ(trsm.sync_s, 2.0 * gemm.sync_s);
+  EXPECT_DOUBLE_EQ(trsm.copy_s, gemm.copy_s);
+  EXPECT_DOUBLE_EQ(trsm.spawn_s, gemm.spawn_s);
+}
+
+TEST(MachineModel, TrsmSingleThreadHasNoSerialSurcharge) {
+  // At p = 1 everything is serial anyway; the Amdahl term must vanish and
+  // leave the pure triangle scaling.
+  MachineModel model(gadi_topology());
+  const GemmShape s{600, 600, 300, 4};
+  const ExecPolicy policy{.nthreads = 1};
+  const auto gemm = model.time_gemm(s, policy);
+  const auto trsm = model.time_trsm(s, policy);
+  EXPECT_NEAR(trsm.kernel_s, gemm.kernel_s * (600.0 + 1.0) / 1200.0,
+              1e-12 * gemm.kernel_s);
+}
+
+TEST(MachineModel, SymmChargesThePackingStream) {
+  MachineModel model(gadi_topology());
+  const GemmShape s{800, 800, 400, 4};
+  const ExecPolicy policy{.nthreads = 8};
+  const auto gemm = model.time_gemm(s, policy);
+  const auto symm = model.time_symm(s, policy);
+  // Same FLOPs as GEMM; only the symmetric-expansion copy surcharge moves.
+  EXPECT_DOUBLE_EQ(symm.kernel_s, gemm.kernel_s);
+  EXPECT_GT(symm.copy_s, gemm.copy_s);
+  EXPECT_DOUBLE_EQ(symm.sync_s, gemm.sync_s);
+}
+
+TEST(MachineModel, FamilyMeasurementsDeterministicAndDecorrelated) {
+  MachineModel model(gadi_topology(), 42);
+  const GemmShape s{500, 500, 500, 4};
+  const ExecPolicy policy{.nthreads = 16};
+  EXPECT_DOUBLE_EQ(model.measure_trsm(s, policy),
+                   model.measure_trsm(s, policy));
+  EXPECT_DOUBLE_EQ(model.measure_symm(s, policy),
+                   model.measure_symm(s, policy));
+  // Distinct noise streams: measured ratios differ from the noise-free ones.
+  EXPECT_NE(model.measure_trsm(s, policy) / model.measure_gemm(s, policy),
+            model.time_trsm(s, policy).total() /
+                model.time_gemm(s, policy).total());
+  EXPECT_NE(model.measure_symm(s, policy) / model.measure_trsm(s, policy),
+            model.time_symm(s, policy).total() /
+                model.time_trsm(s, policy).total());
+}
+
 TEST(MachineModel, MeasurementIsDeterministic) {
   MachineModel a(setonix_topology(), 42), b(setonix_topology(), 42);
   const GemmShape s = shape(333, 222, 111);

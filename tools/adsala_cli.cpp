@@ -1,16 +1,19 @@
 // adsala — command-line interface to the ADSALA workflow.
 //
 //   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
-//                    [--out DIR] [--cap-mb MB] [--no-tune] [--ops gemm,syrk]
+//                    [--out DIR] [--cap-mb MB] [--no-tune]
+//                    [--ops gemm,syrk,trsm,symm]
 //   adsala predict   --dir DIR [--shape MxKxN ...] [--syrk NxK ...]
+//                    [--trsm NxM ...] [--symm NxM ...]
 //   adsala inspect   --dir DIR
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //
 // `install` runs the full installation workflow and writes model.json /
-// config.json / timings.csv; `--ops gemm,syrk` gathers an operation-aware
-// campaign (one sub-campaign per operation over the same domain). `predict`
-// loads those artefacts and prints the selected thread count per GEMM shape
-// / SYRK (n, k) family member. `inspect` summarises the artefacts. `time`
+// config.json / timings.csv; `--ops gemm,syrk,trsm,symm` gathers an
+// operation-aware campaign (one sub-campaign per operation over the same
+// domain). `predict` loads those artefacts and prints the selected thread
+// count per GEMM shape / SYRK (n, k) / TRSM (n, m) / SYMM (n, m) family
+// member. `inspect` summarises the artefacts. `time`
 // measures one GEMM on the chosen backend at a given thread count (or
 // sweeps the default grid when --threads is omitted).
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include "blas/op.h"
 #include "core/adsala.h"
 #include "core/install.h"
+#include "preprocess/features.h"
 
 using namespace adsala;
 
@@ -39,6 +43,8 @@ struct Args {
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   std::vector<simarch::GemmShape> shapes;
   std::vector<simarch::GemmShape> syrk_shapes;  ///< m == n convention
+  std::vector<simarch::GemmShape> trsm_shapes;  ///< m == k convention
+  std::vector<simarch::GemmShape> symm_shapes;  ///< m == k convention
 };
 
 [[noreturn]] void usage(const char* why = nullptr) {
@@ -47,9 +53,9 @@ struct Args {
                "usage:\n"
                "  adsala install --platform <native|setonix|gadi|tiny> "
                "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune] "
-               "[--ops gemm,syrk]\n"
+               "[--ops gemm,syrk,trsm,symm]\n"
                "  adsala predict --dir DIR [--shape MxKxN ...] "
-               "[--syrk NxK ...]\n"
+               "[--syrk NxK ...] [--trsm NxM ...] [--symm NxM ...]\n"
                "  adsala inspect --dir DIR\n"
                "  adsala time    --platform <...> --shape MxKxN "
                "[--threads P]\n");
@@ -100,6 +106,18 @@ Args parse(int argc, char** argv) {
       }
       shape.m = shape.n;
       args.syrk_shapes.push_back(shape);
+    } else if (flag == "--trsm" || flag == "--symm") {
+      // (n, m) families: n x n triangle / symmetric A, m RHS columns;
+      // stored as the equivalent-GEMM (n, n, m) with m == k.
+      simarch::GemmShape shape;
+      shape.elem_bytes = 4;
+      if (std::sscanf(value().c_str(), "%ldx%ld", &shape.m, &shape.n) != 2 ||
+          shape.m < 1 || shape.n < 1) {
+        usage((flag + " expects NxM with positive integers").c_str());
+      }
+      shape.k = shape.m;
+      (flag == "--trsm" ? args.trsm_shapes : args.symm_shapes)
+          .push_back(shape);
     } else if (flag == "--ops") {
       args.ops.clear();
       std::string list = value();
@@ -110,7 +128,7 @@ Args parse(int argc, char** argv) {
             list.substr(start, comma == std::string::npos ? std::string::npos
                                                           : comma - start);
         const auto op = blas::parse_op(token);
-        if (!op) usage("--ops expects a comma list of gemm|syrk");
+        if (!op) usage("--ops expects a comma list of gemm|syrk|trsm|symm");
         args.ops.push_back(*op);
         if (comma == std::string::npos) break;
         start = comma + 1;
@@ -180,8 +198,9 @@ int cmd_install(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
-  if (args.shapes.empty() && args.syrk_shapes.empty()) {
-    usage("predict needs at least one --shape or --syrk");
+  if (args.shapes.empty() && args.syrk_shapes.empty() &&
+      args.trsm_shapes.empty() && args.symm_shapes.empty()) {
+    usage("predict needs at least one --shape, --syrk, --trsm or --symm");
   }
   core::AdsalaGemm runtime(args.dir + "/model.json",
                            args.dir + "/config.json");
@@ -192,10 +211,28 @@ int cmd_predict(const Args& args) {
     std::printf("gemm %ldx%ldx%ld -> %d threads\n", s.m, s.k, s.n,
                 runtime.select_threads(s.m, s.k, s.n));
   }
+  // The proxy marker is per schema tier: a PR-2-era 21-column artefact
+  // serves SYRK first-class but still proxies TRSM/SYMM as GEMM rows.
+  const std::size_t width = runtime.pipeline().n_input_features();
+  const bool aware = runtime.op_aware();
+  const char* syrk_fb =
+      aware && width >= preprocess::kNumLegacyOpAwareFeatures
+          ? ""
+          : " (gemm-proxy fallback)";
+  const char* tri_fb = aware && width >= preprocess::kNumOpAwareFeatures
+                           ? ""
+                           : " (gemm-proxy fallback)";
   for (const auto& s : args.syrk_shapes) {
     std::printf("syrk n=%ld k=%ld -> %d threads%s\n", s.n, s.k,
-                runtime.select_threads_syrk(s.n, s.k),
-                runtime.op_aware() ? "" : " (gemm-proxy fallback)");
+                runtime.select_threads_syrk(s.n, s.k), syrk_fb);
+  }
+  for (const auto& s : args.trsm_shapes) {
+    std::printf("trsm n=%ld m=%ld -> %d threads%s\n", s.m, s.n,
+                runtime.select_threads_trsm(s.m, s.n), tri_fb);
+  }
+  for (const auto& s : args.symm_shapes) {
+    std::printf("symm n=%ld m=%ld -> %d threads%s\n", s.m, s.n,
+                runtime.select_threads_symm(s.m, s.n), tri_fb);
   }
   return 0;
 }
