@@ -123,11 +123,13 @@ inline core::AdsalaGemm trained_runtime(const std::string& platform,
 }
 
 /// Loads (or installs) the *operation-aware* artefact set for a platform:
-/// one model trained on a campaign covering every registered operation
-/// (gemm, syrk, trsm, symm) over the shared Halton domain. Cached under
-/// bench_artifacts/<platform>-op4, separately from the GEMM-only artefacts.
+/// one model trained on a campaign covering every registered operation over
+/// the shared Halton domain. Cached under bench_artifacts/<platform>-op<N>
+/// (N = registry size, so a grown registry never reuses a stale cache),
+/// separately from the GEMM-only artefacts.
 inline core::AdsalaGemm op_aware_runtime(const std::string& platform) {
-  const std::string dir = "bench_artifacts/" + platform + "-op4";
+  const std::string dir = "bench_artifacts/" + platform + "-op" +
+                          std::to_string(blas::kNumOps);
   const std::string model_path = dir + "/model.json";
   const std::string config_path = dir + "/config.json";
   if (std::filesystem::exists(model_path) &&
@@ -147,8 +149,9 @@ inline core::AdsalaGemm op_aware_runtime(const std::string& platform) {
   opts.output_dir = dir;
   apply_model_pin(opts);
   const auto report = core::install(executor, opts);
-  std::fprintf(stderr, "[bench] installed %s-op4: selected=%s\n",
-               platform.c_str(), report.trained.selected.c_str());
+  std::fprintf(stderr, "[bench] installed %s-op%zu: selected=%s\n",
+               platform.c_str(), blas::kNumOps,
+               report.trained.selected.c_str());
   return core::AdsalaGemm(model_path, config_path);
 }
 

@@ -1,8 +1,12 @@
-// Shared driver for the per-operation thread-selection benches
-// (bench_syrk_select, bench_trsm_select, bench_symm_select).
+// Shared driver for the per-operation thread-selection benches: ONE
+// data-driven harness — the per-op binaries (bench_<op>_select) are the same
+// bench/op_select_main.cpp compiled with a different op name, and every
+// family hook (test-set sampler, selection entry point, row labels) comes
+// from the op's registry row, so a newly registered op gets its select bench
+// by adding its name to the CMake list.
 //
 // For one operation family the driver samples an independent test set from
-// the family's domain, asks the four-op op-aware runtime (bench_util.h) for
+// the family's domain, asks the all-op op-aware runtime (bench_util.h) for
 // the thread count per shape, and compares the measured runtime at that
 // count against the platform-maximum default — the paper's speedup
 // criterion, per operation. It also counts how often the op-aware answer
@@ -11,7 +15,7 @@
 #pragma once
 
 #include "bench_util.h"
-#include "sampling/domain.h"
+#include "core/op_registry.h"
 
 namespace adsala::bench {
 
@@ -21,33 +25,15 @@ inline std::vector<simarch::GemmShape> op_test_shapes(blas::OpKind op,
                                                       std::size_t count) {
   sampling::DomainConfig domain = train_domain();
   domain.seed = 98765;  // disjoint scrambling from the training campaign
-  switch (op) {
-    case blas::OpKind::kSyrk:
-      return sampling::SyrkDomainSampler(domain).sample(count);
-    case blas::OpKind::kTrsm:
-      return sampling::TrsmDomainSampler(domain).sample(count);
-    case blas::OpKind::kSymm:
-      return sampling::SymmDomainSampler(domain).sample(count);
-    case blas::OpKind::kGemm:
-      break;
-  }
-  return sampling::GemmDomainSampler(domain).sample(count);
+  return core::op_traits(op).make_sampler(domain)->sample(count);
 }
 
-/// Family-specific selection entry point of the runtime class.
+/// Family selection through the generic runtime entry point.
 inline int select_threads_for(core::AdsalaGemm& runtime, blas::OpKind op,
                               const simarch::GemmShape& shape) {
-  switch (op) {
-    case blas::OpKind::kSyrk:
-      return runtime.select_threads_syrk(shape.n, shape.k);
-    case blas::OpKind::kTrsm:
-      return runtime.select_threads_trsm(shape.m, shape.n);
-    case blas::OpKind::kSymm:
-      return runtime.select_threads_symm(shape.m, shape.n);
-    case blas::OpKind::kGemm:
-      break;
-  }
-  return runtime.select_threads(shape.m, shape.k, shape.n);
+  long coords[3] = {0, 0, 0};
+  core::op_traits(op).from_shape(shape, &coords[0], &coords[1], &coords[2]);
+  return runtime.select_threads(op, coords[0], coords[1], coords[2]);
 }
 
 inline void run_op_select_platform(const std::string& platform,
@@ -77,11 +63,14 @@ inline void run_op_select_platform(const std::string& platform,
 
     JsonObject row;
     row["platform"] = Json(platform);
-    // Family coordinates: (n, k) for SYRK, (n, m) for TRSM / SYMM — both
-    // recoverable from the stored equivalent-GEMM shape.
-    row["n"] = Json(op == blas::OpKind::kSyrk ? shape.n : shape.m);
-    row[op == blas::OpKind::kSyrk ? "k" : "m"] =
-        Json(op == blas::OpKind::kSyrk ? shape.k : shape.n);
+    // Family coordinates under the registry's labels (e.g. (n, k) for SYRK,
+    // (n, m) for the triangular families).
+    const auto& traits = core::op_traits(op);
+    long coords[3] = {0, 0, 0};
+    traits.from_shape(shape, &coords[0], &coords[1], &coords[2]);
+    for (int d = 0; d < traits.family_dims; ++d) {
+      row[traits.coord_names[d]] = Json(coords[d]);
+    }
     row["selected_threads"] = Json(p);
     row["proxy_threads"] = Json(p_proxy);
     row["t_selected_s"] = Json(t_sel);
@@ -113,7 +102,7 @@ inline int run_op_select_bench(blas::OpKind op) {
   const std::string name = blas::op_name(op);
   bench::print_header(name +
                       " select | selected vs max-threads speedup "
-                      "(four-op op-aware model)");
+                      "(one op-aware model over every registered op)");
   bench::BenchJson json(name + "_select");
   json.meta("train_samples_per_op", Json(bench::train_samples()));
   json.meta("test_samples", Json(bench::test_samples()));

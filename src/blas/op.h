@@ -6,11 +6,13 @@
 // proxying everything through GEMM (paper future work: "extend ... to other
 // BLAS operations"). Stored in datasets / CSV as the integer code below.
 //
-// Adding an operation is ONE row in detail::kOpTable (plus the measure /
-// sampler / substrate plumbing listed in docs/OPERATIONS.md): name, code,
-// CSV persistence, one-hot feature column, and CLI parsing all derive from
-// the table. Codes must stay contiguous from 0 in table order — the op-aware
-// feature schema indexes its one-hot columns by code.
+// Adding an operation is ONE row in detail::kOpTable plus ONE OpTraits row
+// in the registry (core/op_registry.cpp) and its substrate kernel file —
+// see docs/OPERATIONS.md. Name, code, CSV persistence, one-hot feature
+// column, and CLI parsing all derive from the table; sampler, measure paths,
+// shape canonicalisation, and bench coverage derive from the traits row.
+// Codes must stay contiguous from 0 in table order — the op-aware feature
+// schema indexes its one-hot columns by code.
 #pragma once
 
 #include <array>
@@ -26,6 +28,7 @@ enum class OpKind {
   kSyrk = 1,  ///< C <- alpha*A*A^T + beta*C, shape family (n, k) with m == n
   kTrsm = 2,  ///< B <- alpha*inv(op(A))*B, shape family (n, m) with m == k
   kSymm = 3,  ///< C <- alpha*A*B + beta*C, A symmetric, family (n, m), m == k
+  kTrmm = 4,  ///< B <- alpha*op(A)*B, A triangular, family (n, m), m == k
 };
 
 namespace detail {
@@ -41,6 +44,7 @@ inline constexpr OpInfo kOpTable[] = {
     {OpKind::kSyrk, 1, "syrk"},
     {OpKind::kTrsm, 2, "trsm"},
     {OpKind::kSymm, 3, "symm"},
+    {OpKind::kTrmm, 4, "trmm"},
 };
 
 }  // namespace detail

@@ -86,6 +86,39 @@ void pack_a_sym(const T* a, int lda, bool lower_stored, int row0, int col0,
   }
 }
 
+/// Packs the mc x kc block of op(A) for a *triangular* A whose top-left
+/// logical element is (row0, col0): logical op(A)(i, p) is read from the
+/// stored triangle when (i, p) lies inside the effective triangle of op(A)
+/// (`lower_eff`; for op(A) = A^T pass trans = true and the *effective*
+/// orientation, i.e. the stored triangle flipped), 1 on the diagonal when
+/// `unit`, and 0 outside. Same micro-panel layout as pack_a. This is the
+/// triangular-expansion reuse of TRMM: the kernel streams a dense panel with
+/// the zero half materialised only inside the packed block, never in memory.
+template <typename T>
+void pack_a_tri(const T* a, int lda, bool trans, bool lower_eff, bool unit,
+                int row0, int col0, int mc, int kc, int mr, T* dst) {
+  for (int i0 = 0; i0 < mc; i0 += mr) {
+    const int rows = std::min(mr, mc - i0);
+    for (int p = 0; p < kc; ++p) {
+      const int gp = col0 + p;
+      int i = 0;
+      for (; i < rows; ++i) {
+        const int gi = row0 + i0 + i;
+        if (gi == gp && unit) {
+          dst[i] = T(1);
+        } else if (lower_eff ? gp <= gi : gp >= gi) {
+          dst[i] = trans ? a[static_cast<long>(gp) * lda + gi]
+                         : a[static_cast<long>(gi) * lda + gp];
+        } else {
+          dst[i] = T(0);
+        }
+      }
+      for (; i < mr; ++i) dst[i] = T(0);
+      dst += mr;
+    }
+  }
+}
+
 /// Packs rows [0,kc) x cols [0,nc) of `b` (row stride ldb) into nr-column
 /// micro-panels: panel q holds columns [q*nr, q*nr+nr), stored row-by-row
 /// (kc rows of nr contiguous elements). Columns beyond nc are zero-padded.

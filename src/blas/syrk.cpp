@@ -34,17 +34,9 @@ void scale_triangle_rows(Uplo uplo, int n, T beta, T* c, int ldc, int row_lo,
   }
 }
 
-/// Balanced row partition of a triangle: thread t's range carries ~1/p of
-/// the triangle's area, not of the rows (row i of a lower triangle costs
-/// i+1 column updates).
+/// Area-balanced triangle row partition (shared helper in gemm.h).
 int triangle_split(Uplo uplo, int n, std::size_t t, std::size_t p) {
-  const double frac = static_cast<double>(t) / static_cast<double>(p);
-  if (uplo == Uplo::kLower) {
-    // rows [0, r) hold fraction (r/n)^2 of the area.
-    return static_cast<int>(std::floor(n * std::sqrt(frac)));
-  }
-  // upper triangle: rows [0, r) hold 1 - ((n-r)/n)^2 of the area.
-  return static_cast<int>(std::floor(n * (1.0 - std::sqrt(1.0 - frac))));
+  return detail::triangle_split(uplo == Uplo::kLower, n, t, p);
 }
 
 /// Blocked rank-k update of rows [row_lo, row_hi) of the triangle, using the

@@ -1,0 +1,201 @@
+#include "blas/trmm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "blas/kernels/dispatch.h"
+#include "blas/pack.h"
+#include "common/aligned_buffer.h"
+#include "common/thread_pool.h"
+
+namespace adsala::blas {
+
+namespace {
+
+/// Blocked product over B rows [row_lo, row_hi): the GEMM macro-loop with A
+/// panels packed through the triangular expansion (pack_a_tri) and the
+/// pre-copied B packed straight. The caller zeroed the owned B rows, so the
+/// micro-kernels accumulate alpha * op(A) * B_copy into them slab by slab.
+/// Slabs entirely outside a row block's triangle extent contribute only
+/// zeros and are skipped, which is where TRMM's ~half-GEMM FLOP count comes
+/// from.
+template <typename T>
+void trmm_rows_blocked(const kernels::KernelSet<T>& ks, bool trans,
+                       bool lower_eff, bool unit, int n, int m, T alpha,
+                       const T* a, int lda, const T* b_copy, T* b, int ldb,
+                       int row_lo, int row_hi, int mc, int kc, int nc) {
+  if (row_lo >= row_hi) return;
+  const int mr = ks.mr;
+  const int nr = ks.nr;
+
+  AlignedBuffer<T> a_pack(static_cast<std::size_t>((mc + mr - 1) / mr) * mr *
+                          kc);
+  const int b_panels_max = (std::min(nc, m) + nr - 1) / nr;
+  AlignedBuffer<T> b_pack(static_cast<std::size_t>(b_panels_max) * kc * nr);
+
+  for (int jc = 0; jc < m; jc += nc) {
+    const int nc_eff = std::min(nc, m - jc);
+    const int nc_panels = (nc_eff + nr - 1) / nr;
+    for (int pc = 0; pc < n; pc += kc) {
+      const int kc_eff = std::min(kc, n - pc);
+      // Triangle extent of the owned rows: a lower op(A) only reads columns
+      // p <= row_hi - 1, an upper one only columns p >= row_lo.
+      if (lower_eff ? pc >= row_hi : pc + kc_eff <= row_lo) continue;
+
+      for (int q = 0; q < nc_panels; ++q) {
+        const int j0 = jc + q * nr;
+        const int cols = std::min(nr, m - j0);
+        detail::pack_b<T>(b_copy + static_cast<long>(pc) * m + j0, m, kc_eff,
+                          cols, nr,
+                          b_pack.data() + static_cast<long>(q) * kc_eff * nr);
+      }
+
+      for (int ic = row_lo; ic < row_hi; ic += mc) {
+        const int mc_eff = std::min(mc, row_hi - ic);
+        // Per-block triangle skip: this slab intersects rows [ic, ic+mc_eff)
+        // of the triangle only if some (i, p) with p in the slab is stored.
+        if (lower_eff ? pc >= ic + mc_eff : pc + kc_eff <= ic) continue;
+        detail::pack_a_tri<T>(a, lda, trans, lower_eff, unit, ic, pc, mc_eff,
+                              kc_eff, mr, a_pack.data());
+
+        for (int jr = 0; jr < nc_eff; jr += nr) {
+          const int cols = std::min(nr, nc_eff - jr);
+          const T* b_panel =
+              b_pack.data() + static_cast<long>(jr / nr) * kc_eff * nr;
+          for (int ir = 0; ir < mc_eff; ir += mr) {
+            const int rows = std::min(mr, mc_eff - ir);
+            const T* a_panel =
+                a_pack.data() + static_cast<long>(ir / mr) * kc_eff * mr;
+            T* c_tile = b + static_cast<long>(ic + ir) * ldb + jc + jr;
+            if (rows == mr && cols == nr) {
+              ks.full(kc_eff, alpha, a_panel, b_panel, c_tile, ldb);
+            } else {
+              ks.edge(kc_eff, alpha, a_panel, b_panel, c_tile, ldb, rows,
+                      cols);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+          const T* a, int lda, T* b, int ldb, int nthreads,
+          const GemmTuning& tuning) {
+  if (n < 0 || m < 0) throw std::invalid_argument("trmm: negative dimension");
+  if (lda < std::max(1, n) || ldb < std::max(1, m)) {
+    throw std::invalid_argument("trmm: leading dimension too small");
+  }
+  if (n == 0 || m == 0) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+
+  if (alpha == T(0)) {
+    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+      const int chunk = static_cast<int>((n + nt - 1) / nt);
+      const int lo = static_cast<int>(tid) * chunk;
+      const int hi = std::min(n, lo + chunk);
+      for (int i = lo; i < hi; ++i) {
+        std::fill(b + static_cast<long>(i) * ldb,
+                  b + static_cast<long>(i) * ldb + m, T(0));
+      }
+    });
+    return;
+  }
+
+  // op(A) is effectively lower triangular when the stored triangle and the
+  // transpose flag agree (same rule as TRSM).
+  const bool lower_eff = (uplo == Uplo::kLower) == (trans == Trans::kNo);
+
+  const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
+  const int mc = std::max(ks.mr, tuning.mc - tuning.mc % ks.mr);
+  const int kc = std::max(1, tuning.kc);
+  const int nc = std::max(ks.nr, tuning.nc - tuning.nc % ks.nr);
+
+  // In-place product: copy B densely (row stride m), then overwrite B with
+  // alpha * op(A) * B_copy. Each thread owns a contiguous run of B rows; the
+  // copy+zero pass and the accumulation need no cross-thread sync beyond the
+  // barrier between the two parallel regions.
+  AlignedBuffer<T> b_copy(static_cast<std::size_t>(n) * m);
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    const int lo = static_cast<int>(tid * static_cast<std::size_t>(n) / nt);
+    const int hi =
+        static_cast<int>((tid + 1) * static_cast<std::size_t>(n) / nt);
+    for (int i = lo; i < hi; ++i) {
+      T* src = b + static_cast<long>(i) * ldb;
+      std::copy(src, src + m, b_copy.data() + static_cast<long>(i) * m);
+      std::fill(src, src + m, T(0));
+    }
+  });
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    // Area-balanced partition: row i of an effective-lower product touches
+    // ~i+1 of the n k-columns, so an even row split would leave the last
+    // thread ~2x the mean micro-tile count (same load shape as SYRK's
+    // triangle, same fix).
+    const int lo = detail::triangle_split(lower_eff, n, tid, nt);
+    const int hi = detail::triangle_split(lower_eff, n, tid + 1, nt);
+    trmm_rows_blocked(ks, trans == Trans::kYes, lower_eff,
+                      diag == Diag::kUnit, n, m, alpha, a, lda, b_copy.data(),
+                      b, ldb, lo, hi, mc, kc, nc);
+  });
+}
+
+void strmm(Uplo uplo, Trans trans, Diag diag, int n, int m, float alpha,
+           const float* a, int lda, float* b, int ldb, int nthreads) {
+  trmm<float>(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, nthreads);
+}
+
+void dtrmm(Uplo uplo, Trans trans, Diag diag, int n, int m, double alpha,
+           const double* a, int lda, double* b, int ldb, int nthreads) {
+  trmm<double>(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, nthreads);
+}
+
+template <typename T>
+void reference_trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+                    const T* a, int lda, T* b, int ldb) {
+  const bool lower_eff = (uplo == Uplo::kLower) == (trans == Trans::kNo);
+  std::vector<T> copy(static_cast<std::size_t>(n) * m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      copy[static_cast<std::size_t>(i) * m + j] =
+          b[static_cast<long>(i) * ldb + j];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      T acc = T(0);
+      for (int p = 0; p < n; ++p) {
+        if (lower_eff ? p > i : p < i) continue;
+        T aip;
+        if (p == i && diag == Diag::kUnit) {
+          aip = T(1);
+        } else {
+          aip = trans == Trans::kYes ? a[static_cast<long>(p) * lda + i]
+                                     : a[static_cast<long>(i) * lda + p];
+        }
+        acc += aip * copy[static_cast<std::size_t>(p) * m + j];
+      }
+      b[static_cast<long>(i) * ldb + j] = alpha * acc;
+    }
+  }
+}
+
+template void trmm<float>(Uplo, Trans, Diag, int, int, float, const float*,
+                          int, float*, int, int, const GemmTuning&);
+template void trmm<double>(Uplo, Trans, Diag, int, int, double, const double*,
+                           int, double*, int, int, const GemmTuning&);
+template void reference_trmm<float>(Uplo, Trans, Diag, int, int, float,
+                                    const float*, int, float*, int);
+template void reference_trmm<double>(Uplo, Trans, Diag, int, int, double,
+                                     const double*, int, double*, int);
+
+}  // namespace adsala::blas

@@ -1,0 +1,49 @@
+// Triangular matrix-matrix multiply — fifth member of the served level-3
+// family, and the registry's proof-of-architecture op: landing it touched
+// only this kernel file, one blas/op.h table row, and one OpTraits row in
+// core/op_registry.cpp.
+//
+//   B <- alpha * op(A) * B        (left-side product, in place)
+//
+// with op(A) = A or A^T per `trans`, A an n x n triangular matrix (`uplo`
+// names the stored triangle, `diag` an implicit unit diagonal), and B an
+// n x m block updated in place. Row-major; ld* is the row stride.
+//
+// The implementation is the SYMM macro-loop over a *triangular-expansion*
+// packing (pack_a_tri in blas/pack.h): every packed A panel reads the stored
+// triangle and materialises the zero half only inside the micro-panels, so
+// the runtime-dispatched micro-kernel runs the identical inner loop as GEMM.
+// Because the product is in place, B is copied to a workspace first and the
+// macro-loop reads the copy; slabs that lie entirely outside a row block's
+// triangle extent are skipped, so only ~half the equivalent GEMM's
+// micro-tiles execute.
+#pragma once
+
+#include "blas/gemm.h"
+
+namespace adsala::blas {
+
+/// Multi-threaded blocked left-side TRMM, in place over B. nthreads <= 0
+/// selects the pool maximum. Throws std::invalid_argument on negative
+/// dimensions or bad strides.
+template <typename T>
+void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+          const T* a, int lda, T* b, int ldb, int nthreads = 0,
+          const GemmTuning& tuning = {});
+
+void strmm(Uplo uplo, Trans trans, Diag diag, int n, int m, float alpha,
+           const float* a, int lda, float* b, int ldb, int nthreads = 0);
+void dtrmm(Uplo uplo, Trans trans, Diag diag, int n, int m, double alpha,
+           const double* a, int lda, double* b, int ldb, int nthreads = 0);
+
+/// Naive triple loop reading A through the stored triangle; the correctness
+/// oracle in tests.
+template <typename T>
+void reference_trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
+                    const T* a, int lda, T* b, int ldb);
+
+/// FLOP count: n*n*m multiply-adds over the triangle (half the equivalent
+/// (n, n, m) GEMM's 2*n*n*m).
+inline double trmm_flops(double n, double m) { return n * n * m; }
+
+}  // namespace adsala::blas

@@ -1,6 +1,7 @@
 #include "core/adsala.h"
 
 #include "common/json.h"
+#include "core/op_registry.h"
 
 namespace adsala::core {
 
@@ -71,25 +72,30 @@ int AdsalaGemm::select_threads_impl(blas::OpKind op, long m, long k, long n,
   return last_threads_;
 }
 
+int AdsalaGemm::select_threads(blas::OpKind op, long x, long y, long z,
+                               int elem_bytes) {
+  // The registry canonicalises the family coordinates into the stored
+  // equivalent-GEMM shape, which serves every schema tier: an op-aware
+  // pipeline differentiates via the op_* one-hots, an older one sees the
+  // plain GEMM-proxy query of the same shape.
+  const simarch::GemmShape shape = op_traits(op).to_shape(x, y, z, elem_bytes);
+  return select_threads_impl(op, shape.m, shape.k, shape.n, elem_bytes);
+}
+
 int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
   return select_threads_impl(blas::OpKind::kGemm, m, k, n, elem_bytes);
 }
 
 int AdsalaGemm::select_threads_syrk(long n, long k, int elem_bytes) {
-  // The equivalent-GEMM shape (n, k, n) serves every schema tier: an
-  // op-aware pipeline differentiates via the op_* one-hots, an older one
-  // sees the plain GEMM-proxy query.
-  return select_threads_impl(blas::OpKind::kSyrk, n, k, n, elem_bytes);
+  return select_threads(blas::OpKind::kSyrk, n, k, 0, elem_bytes);
 }
 
 int AdsalaGemm::select_threads_trsm(long n, long m, int elem_bytes) {
-  // Equivalent-GEMM shape (n, n, m): the m == k convention of the
-  // triangular families (docs/OPERATIONS.md).
-  return select_threads_impl(blas::OpKind::kTrsm, n, n, m, elem_bytes);
+  return select_threads(blas::OpKind::kTrsm, n, m, 0, elem_bytes);
 }
 
 int AdsalaGemm::select_threads_symm(long n, long m, int elem_bytes) {
-  return select_threads_impl(blas::OpKind::kSymm, n, n, m, elem_bytes);
+  return select_threads(blas::OpKind::kSymm, n, m, 0, elem_bytes);
 }
 
 void AdsalaGemm::sgemm(int m, int n, int k, float alpha, const float* a,

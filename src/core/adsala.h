@@ -9,16 +9,13 @@
 // responsible class attributes without re-evaluation").
 //
 // Queries are built against the feature schema the installed pipeline was
-// fitted with (the single source of truth is preprocess/features.h):
-//   - current op-aware artefacts (23-column schema) answer SYRK / TRSM /
-//     SYMM queries from their own families' training rows via the op_*
-//     one-hot columns;
-//   - PR-2-era artefacts (21 columns: gemm/syrk one-hots only) still answer
-//     SYRK first-class, and proxy TRSM / SYMM as GEMM rows;
-//   - PR-1-era artefacts (17-column schema) fall back to the GEMM-proxy
-//     heuristic for everything — the model is queried with the
-//     equivalent-work shape (SYRK: (n, k, n); TRSM/SYMM: (n, n, m)), whose
-//     parallel structure transfers approximately.
+// fitted with (the single source of truth is preprocess/features.h): the
+// fitted input width says how many op one-hot columns the artefact carries,
+// and any operation registered *after* the artefact was trained — or every
+// operation, for a PR-1-era 17-column artefact — transparently degrades to
+// the GEMM-proxy heuristic: the model is queried with the equivalent-work
+// shape (SYRK: (n, k, n); TRSM/SYMM/TRMM: (n, n, m)), whose parallel
+// structure transfers approximately.
 #pragma once
 
 #include <memory>
@@ -44,24 +41,27 @@ class AdsalaGemm {
   AdsalaGemm(AdsalaGemm&&) = default;
   AdsalaGemm& operator=(AdsalaGemm&&) = default;
 
-  /// Predicted-optimal thread count for a GEMM shape (memoises the last
-  /// query; the memo key includes the operation and element size, so mixed
-  /// GEMM / SYRK / sgemm-dgemm call streams never reuse a stale decision).
+  /// Predicted-optimal thread count for any registered operation, queried
+  /// by its family coordinates (docs/OPERATIONS.md): GEMM takes (m, k, n),
+  /// the 2-D families (x, y) with z ignored. The op's registry row
+  /// canonicalises the coordinates into the stored equivalent-GEMM shape,
+  /// so a newly registered operation is served without touching this class.
+  /// With an op-aware model this selects from the op's own training rows;
+  /// older artefacts degrade to the GEMM proxy of the equivalent shape.
+  /// The last decision is memoised; the memo key includes the operation and
+  /// element size, so mixed op / sgemm-dgemm call streams never reuse a
+  /// stale decision.
+  int select_threads(blas::OpKind op, long x, long y, long z = 0,
+                     int elem_bytes = 4);
+
+  /// Predicted-optimal thread count for a GEMM shape.
   int select_threads(long m, long k, long n, int elem_bytes = 4);
 
-  /// Predicted-optimal thread count for a SYRK of the (n, k) family. With an
-  /// op-aware model this selects from syrk-tagged training rows; otherwise
-  /// it degrades to select_threads(n, k, n) (the GEMM proxy).
+  /// Compat wrappers over the generic entry point, one per pre-registry
+  /// family: SYRK (n, k); left-side TRSM (A n x n triangular, m right-hand
+  /// -side columns); left-side SYMM (A symmetric n x n, B/C n x m).
   int select_threads_syrk(long n, long k, int elem_bytes = 4);
-
-  /// Predicted-optimal thread count for a left-side TRSM (A n x n
-  /// triangular, m right-hand-side columns). Op-aware models select from
-  /// trsm-tagged rows; older artefacts degrade to the GEMM proxy
-  /// select_threads(n, n, m).
   int select_threads_trsm(long n, long m, int elem_bytes = 4);
-
-  /// Predicted-optimal thread count for a left-side SYMM (A symmetric
-  /// n x n, B/C n x m); GEMM-proxy fallback as for TRSM.
   int select_threads_symm(long n, long m, int elem_bytes = 4);
 
   /// Thread selection + the from-scratch BLAS, i.e. the paper's drop-in

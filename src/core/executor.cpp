@@ -2,169 +2,34 @@
 
 #include <algorithm>
 
-#include "blas/gemm.h"
-#include "blas/symm.h"
-#include "blas/syrk.h"
-#include "blas/trsm.h"
-#include "common/aligned_buffer.h"
-#include "common/rng.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
+#include "core/op_registry.h"
 
 namespace adsala::core {
+
+double SimulatedExecutor::measure_op(blas::OpKind op,
+                                     const simarch::GemmShape& shape,
+                                     int nthreads, int iterations) {
+  simarch::ExecPolicy policy = base_policy_;
+  policy.nthreads = nthreads;
+  return model_.measure_op(shape, policy, op_traits(op).cost, iterations);
+}
 
 NativeExecutor::NativeExecutor(int max_threads)
     : max_threads_(max_threads > 0
                        ? max_threads
                        : static_cast<int>(ThreadPool::global().max_threads())) {}
 
-namespace {
-
-template <typename T>
-double measure_typed(const simarch::GemmShape& shape, int nthreads,
-                     int iterations) {
-  const auto m = static_cast<int>(shape.m);
-  const auto k = static_cast<int>(shape.k);
-  const auto n = static_cast<int>(shape.n);
-  AlignedBuffer<T> a(static_cast<std::size_t>(m) * k);
-  AlignedBuffer<T> b(static_cast<std::size_t>(k) * n);
-  AlignedBuffer<T> c(static_cast<std::size_t>(m) * n);
-  Rng rng(0x5eedu + static_cast<std::uint64_t>(m * 131 + k * 17 + n));
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] = T(0);
-
-  // Warm-up: pulls operands into cache state comparable across runs and
-  // wakes the pool threads.
-  blas::gemm<T>(blas::Trans::kNo, blas::Trans::kNo, m, n, k, T(1), a.data(),
-                k, b.data(), n, T(0), c.data(), n, nthreads);
-
-  WallTimer timer;
-  for (int it = 0; it < iterations; ++it) {
-    blas::gemm<T>(blas::Trans::kNo, blas::Trans::kNo, m, n, k, T(1), a.data(),
-                  k, b.data(), n, T(0), c.data(), n, nthreads);
-  }
-  return timer.seconds() / std::max(iterations, 1);
-}
-
-template <typename T>
-double measure_syrk_typed(const simarch::GemmShape& shape, int nthreads,
-                          int iterations) {
-  const auto n = static_cast<int>(shape.n);
-  const auto k = static_cast<int>(shape.k);
-  AlignedBuffer<T> a(static_cast<std::size_t>(n) * k);
-  AlignedBuffer<T> c(static_cast<std::size_t>(n) * n);
-  Rng rng(0x5eedu + static_cast<std::uint64_t>(n * 131 + k * 17));
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] = T(0);
-
-  // Warm-up, mirroring the GEMM protocol (paper SS V-B.3).
-  blas::syrk<T>(blas::Uplo::kLower, blas::Trans::kNo, n, k, T(1), a.data(), k,
-                T(0), c.data(), n, nthreads);
-
-  WallTimer timer;
-  for (int it = 0; it < iterations; ++it) {
-    blas::syrk<T>(blas::Uplo::kLower, blas::Trans::kNo, n, k, T(1), a.data(),
-                  k, T(0), c.data(), n, nthreads);
-  }
-  return timer.seconds() / std::max(iterations, 1);
-}
-
-template <typename T>
-double measure_trsm_typed(const simarch::GemmShape& shape, int nthreads,
-                          int iterations) {
-  const auto n = static_cast<int>(shape.m);  // triangle dimension (m == k)
-  const auto r = static_cast<int>(shape.n);  // right-hand-side columns
-  AlignedBuffer<T> a(static_cast<std::size_t>(n) * n);
-  AlignedBuffer<T> b(static_cast<std::size_t>(n) * r);
-  Rng rng(0x5eedu + static_cast<std::uint64_t>(n * 131 + r * 17));
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  // Diagonally dominant triangle: repeated in-place solves stay bounded
-  // (||inv(A)|| < 1), so the timed iterations never drift into inf/denormal
-  // territory.
-  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i) * n + i] = T(n + 1);
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-
-  // Warm-up, mirroring the GEMM protocol (paper SS V-B.3).
-  blas::trsm<T>(blas::Uplo::kLower, blas::Trans::kNo, blas::Diag::kNonUnit, n,
-                r, T(1), a.data(), n, b.data(), r, nthreads);
-
-  WallTimer timer;
-  for (int it = 0; it < iterations; ++it) {
-    blas::trsm<T>(blas::Uplo::kLower, blas::Trans::kNo, blas::Diag::kNonUnit,
-                  n, r, T(1), a.data(), n, b.data(), r, nthreads);
-  }
-  return timer.seconds() / std::max(iterations, 1);
-}
-
-template <typename T>
-double measure_symm_typed(const simarch::GemmShape& shape, int nthreads,
-                          int iterations) {
-  const auto n = static_cast<int>(shape.m);  // symmetric dimension (m == k)
-  const auto r = static_cast<int>(shape.n);  // B/C columns
-  AlignedBuffer<T> a(static_cast<std::size_t>(n) * n);
-  AlignedBuffer<T> b(static_cast<std::size_t>(n) * r);
-  AlignedBuffer<T> c(static_cast<std::size_t>(n) * r);
-  Rng rng(0x5eedu + static_cast<std::uint64_t>(n * 131 + r * 17));
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
-  }
-  for (std::size_t i = 0; i < c.size(); ++i) c[i] = T(0);
-
-  blas::symm<T>(blas::Uplo::kLower, n, r, T(1), a.data(), n, b.data(), r,
-                T(0), c.data(), r, nthreads);
-
-  WallTimer timer;
-  for (int it = 0; it < iterations; ++it) {
-    blas::symm<T>(blas::Uplo::kLower, n, r, T(1), a.data(), n, b.data(), r,
-                  T(0), c.data(), r, nthreads);
-  }
-  return timer.seconds() / std::max(iterations, 1);
-}
-
-}  // namespace
-
 double NativeExecutor::measure(const simarch::GemmShape& shape, int nthreads,
                                int iterations) {
-  nthreads = std::clamp(nthreads, 1, max_threads_);
-  if (shape.elem_bytes == 8) {
-    return measure_typed<double>(shape, nthreads, iterations);
-  }
-  return measure_typed<float>(shape, nthreads, iterations);
+  return measure_op(blas::OpKind::kGemm, shape, nthreads, iterations);
 }
 
 double NativeExecutor::measure_op(blas::OpKind op,
                                   const simarch::GemmShape& shape,
                                   int nthreads, int iterations) {
   nthreads = std::clamp(nthreads, 1, max_threads_);
-  const bool f64 = shape.elem_bytes == 8;
-  switch (op) {
-    case blas::OpKind::kSyrk:
-      return f64 ? measure_syrk_typed<double>(shape, nthreads, iterations)
-                 : measure_syrk_typed<float>(shape, nthreads, iterations);
-    case blas::OpKind::kTrsm:
-      return f64 ? measure_trsm_typed<double>(shape, nthreads, iterations)
-                 : measure_trsm_typed<float>(shape, nthreads, iterations);
-    case blas::OpKind::kSymm:
-      return f64 ? measure_symm_typed<double>(shape, nthreads, iterations)
-                 : measure_symm_typed<float>(shape, nthreads, iterations);
-    case blas::OpKind::kGemm:
-      break;
-  }
-  return measure(shape, nthreads, iterations);
+  return op_traits(op).measure_native(shape, nthreads, iterations);
 }
 
 std::vector<int> default_thread_grid(int max_threads) {

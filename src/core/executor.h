@@ -59,22 +59,11 @@ class SimulatedExecutor : public GemmExecutor {
     policy.nthreads = nthreads;
     return model_.measure_gemm(shape, policy, iterations);
   }
+  /// Times the operation through its registry cost model
+  /// (core/op_registry.cpp), so a newly registered op is simulated without
+  /// touching this class.
   double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
-                    int nthreads, int iterations = 10) override {
-    simarch::ExecPolicy policy = base_policy_;
-    policy.nthreads = nthreads;
-    switch (op) {
-      case blas::OpKind::kSyrk:
-        return model_.measure_syrk(shape, policy, iterations);
-      case blas::OpKind::kTrsm:
-        return model_.measure_trsm(shape, policy, iterations);
-      case blas::OpKind::kSymm:
-        return model_.measure_symm(shape, policy, iterations);
-      case blas::OpKind::kGemm:
-        break;
-    }
-    return measure(shape, nthreads, iterations);
-  }
+                    int nthreads, int iterations = 10) override;
 
   const simarch::MachineModel& model() const { return model_; }
   const simarch::ExecPolicy& base_policy() const { return base_policy_; }
@@ -95,9 +84,9 @@ class NativeExecutor : public GemmExecutor {
   int max_threads() const override { return max_threads_; }
   double measure(const simarch::GemmShape& shape, int nthreads,
                  int iterations = 10) override;
-  /// Non-GEMM requests run the real substrate routine on the host
-  /// (blas::syrk / blas::trsm / blas::symm, lower triangle, no transpose);
-  /// GEMM routes through measure().
+  /// Runs the op's registry-provided native timing closure (the real
+  /// substrate routine, lower triangle / no transpose for the triangular
+  /// families); a newly registered op is timed without touching this class.
   double measure_op(blas::OpKind op, const simarch::GemmShape& shape,
                     int nthreads, int iterations = 10) override;
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "blas/kernels/dispatch.h"
 #include "common/csv.h"
+#include "core/op_registry.h"
 #include "ml/splits.h"
 #include "preprocess/features.h"
 
@@ -134,22 +137,17 @@ GatherData GatherData::load_csv(const std::string& path) {
 
 namespace {
 
-/// One domain sampler per operation family (stored-shape conventions in
-/// docs/OPERATIONS.md); a new op plugs in here and nowhere else in gather.
-std::vector<simarch::GemmShape> sample_shapes(
-    blas::OpKind op, const sampling::DomainConfig& domain, std::size_t count) {
-  switch (op) {
-    case blas::OpKind::kSyrk:
-      return sampling::SyrkDomainSampler(domain).sample(count);
-    case blas::OpKind::kTrsm:
-      return sampling::TrsmDomainSampler(domain).sample(count);
-    case blas::OpKind::kSymm:
-      return sampling::SymmDomainSampler(domain).sample(count);
-    case blas::OpKind::kGemm:
-      break;
-  }
-  return sampling::GemmDomainSampler(domain).sample(count);
-}
+/// Restores the pre-campaign kernel dispatch when a variant A/B campaign
+/// ends (or throws). active_variant() is always concrete, so re-pinning it
+/// is behaviourally identical to whatever selection produced it.
+class VariantRestorer {
+ public:
+  VariantRestorer() : previous_(blas::kernels::active_variant()) {}
+  ~VariantRestorer() { blas::kernels::set_variant(previous_); }
+
+ private:
+  blas::kernels::Variant previous_;
+};
 
 }  // namespace
 
@@ -166,29 +164,61 @@ GatherData gather_timings(GemmExecutor& executor, const GatherConfig& config) {
   if (config.ops.empty()) {
     throw std::invalid_argument("gather_timings: no operations configured");
   }
+  // Fail fast on a bad variant list: a campaign can take hours on a native
+  // executor, and set_variant throwing mid-campaign would discard every
+  // curve already timed.
+  const auto supported = blas::kernels::supported_variants();
+  for (const auto v : config.variants) {
+    if (v == blas::kernels::Variant::kAuto) {
+      throw std::invalid_argument(
+          "gather_timings: variants must be concrete (resolve kAuto via "
+          "active_variant() first)");
+    }
+    if (std::find(supported.begin(), supported.end(), v) == supported.end()) {
+      throw std::invalid_argument(
+          std::string("gather_timings: kernel variant '") +
+          blas::kernels::variant_name(v) + "' is not supported on this host");
+    }
+  }
 
-  // The variant tag of every record: what the dispatched kernel resolves to
-  // in this process (a concrete variant, never kAuto). Simulated platforms
-  // do not run the kernels, but the tag keeps the dataset schema uniform.
-  const blas::kernels::Variant variant = blas::kernels::active_variant();
+  // Variant sub-campaigns: each configured variant is pinned while its
+  // curves are timed, so every (op, shape) gets one curve per variant and
+  // the kernel_* one-hot columns become informative. Without the knob the
+  // records simply tag what the dispatched kernel resolves to in this
+  // process (a concrete variant, never kAuto — simulated platforms do not
+  // run the kernels, but the tag keeps the dataset schema uniform).
+  const std::vector<blas::kernels::Variant> variants =
+      config.variants.empty() ? std::vector<blas::kernels::Variant>{
+                                    blas::kernels::active_variant()}
+                              : config.variants;
+  const bool pin_variants = !config.variants.empty();
+  std::optional<VariantRestorer> restore;
+  if (pin_variants) restore.emplace();
 
-  out.records.reserve(config.n_samples * config.ops.size());
+  out.records.reserve(config.n_samples * config.ops.size() * variants.size());
   for (const blas::OpKind op : config.ops) {
-    const auto shapes = sample_shapes(op, config.domain, config.n_samples);
-    for (const auto& shape : shapes) {
-      GatherRecord rec;
-      rec.shape = shape;
-      rec.op = op;
-      rec.variant = variant;
-      rec.threads = out.thread_grid;
-      rec.runtime.reserve(rec.threads.size());
-      // One program execution per thread count, exactly as the paper
-      // isolates them to avoid thread-pool resize interference (SS III-B).
-      for (int p : rec.threads) {
-        rec.runtime.push_back(
-            executor.measure_op(op, shape, p, config.iterations));
+    // The sampler comes from the op's registry row (stored-shape conventions
+    // in docs/OPERATIONS.md); one draw per op — variant sub-campaigns re-time
+    // the same shapes so the kernel columns are the only thing that moves.
+    const auto shapes =
+        op_traits(op).make_sampler(config.domain)->sample(config.n_samples);
+    for (const blas::kernels::Variant variant : variants) {
+      if (pin_variants) blas::kernels::set_variant(variant);
+      for (const auto& shape : shapes) {
+        GatherRecord rec;
+        rec.shape = shape;
+        rec.op = op;
+        rec.variant = variant;
+        rec.threads = out.thread_grid;
+        rec.runtime.reserve(rec.threads.size());
+        // One program execution per thread count, exactly as the paper
+        // isolates them to avoid thread-pool resize interference (SS III-B).
+        for (int p : rec.threads) {
+          rec.runtime.push_back(
+              executor.measure_op(op, shape, p, config.iterations));
+        }
+        out.records.push_back(std::move(rec));
       }
-      out.records.push_back(std::move(rec));
     }
   }
   return out;

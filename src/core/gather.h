@@ -3,12 +3,12 @@
 // Samples shapes from the memory-capped domain with a scrambled Halton
 // sequence, times each shape at every thread count of a probe grid, and
 // keeps the full per-shape runtime curves. Since the operation-aware gather
-// (PR 2) a campaign can cover several level-3 operations: GEMM shapes come
-// from the 3-D (m, k, n) domain, and the SYRK (n, k) / TRSM (n, m) /
-// SYMM (n, m) families from their 2-D samplers (stored as equivalent-GEMM
-// shapes: SYRK m == n, TRSM/SYMM m == k; see docs/OPERATIONS.md). Every
-// record is tagged with the operation and the micro-kernel variant active
-// while it was timed.
+// (PR 2) a campaign can cover several level-3 operations; each op's domain
+// sampler and measure path come from its registry row (core/op_registry.h),
+// with shapes stored as equivalent-GEMM conventions (docs/OPERATIONS.md).
+// Every record is tagged with the operation and the micro-kernel variant
+// active while it was timed, and a campaign can A/B kernel variants
+// (GatherConfig::variants) so the kernel_* feature columns carry signal.
 //
 // The curves serve two purposes: rows (shape x thread-count -> runtime)
 // become the ML training set — flattened by to_dataset() into the op-aware
@@ -50,9 +50,16 @@ struct GatherConfig {
   std::vector<int> thread_grid;  ///< empty -> default_thread_grid(max)
   sampling::DomainConfig domain;
   /// Operations to cover, each over the same domain config. The default
-  /// keeps the PR-1 behaviour (GEMM only); append any of kSyrk / kTrsm /
-  /// kSymm (or blas::all_ops()) for an op-aware campaign.
+  /// keeps the PR-1 behaviour (GEMM only); append any registered op (or
+  /// blas::all_ops()) for an op-aware campaign.
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
+  /// Kernel variants to A/B within the campaign: each operation's shapes are
+  /// timed once per listed variant (set_variant() around the sub-campaign,
+  /// previous dispatch restored afterwards), which makes the kernel_* one-hot
+  /// columns informative instead of constant. Entries must be concrete
+  /// (resolve kAuto first) and host-supported. Empty -> the active variant
+  /// only, without touching the dispatch state.
+  std::vector<blas::kernels::Variant> variants;
 };
 
 struct GatherData {

@@ -9,7 +9,16 @@ InstallReport install(GemmExecutor& executor, const InstallOptions& options) {
   InstallReport report;
 
   WallTimer gather_timer;
-  report.gathered = gather_timings(executor, options.gather);
+  if (!options.reuse_timings_csv.empty()) {
+    report.gathered = GatherData::load_csv(options.reuse_timings_csv);
+    // The CSV carries no platform banner; stamp the executor's so the
+    // artefacts stay self-describing.
+    if (report.gathered.platform.empty()) {
+      report.gathered.platform = executor.name();
+    }
+  } else {
+    report.gathered = gather_timings(executor, options.gather);
+  }
   report.gather_seconds = gather_timer.seconds();
 
   WallTimer train_timer;

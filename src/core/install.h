@@ -17,6 +17,11 @@ struct InstallOptions {
   TrainOptions train;
   std::string output_dir = ".";  ///< receives model.json + config.json
   bool save_raw_csv = true;      ///< also dump gathered timings (timings.csv)
+  /// When non-empty, skip the timing campaign and train from this previously
+  /// saved timings.csv instead. This is how an expensive native-host gather
+  /// (e.g. bench_native_host's) is re-trained without re-timing: one
+  /// install() call turns an existing CSV into fresh runtime artefacts.
+  std::string reuse_timings_csv;
 };
 
 struct InstallReport {

@@ -1,5 +1,7 @@
 #include "preprocess/features.h"
 
+#include <algorithm>
+
 namespace adsala::preprocess {
 
 namespace {
@@ -84,24 +86,37 @@ std::vector<double> make_query_features(double m, double k, double n,
                                         double t, blas::OpKind op,
                                         blas::kernels::Variant variant,
                                         std::size_t pipeline_width) {
-  if (pipeline_width >= kNumOpAwareFeatures) {
-    const auto full = make_op_aware_features(m, k, n, t, op, variant);
-    return {full.begin(), full.end()};
-  }
   const auto base = make_features(m, k, n, t);
   std::vector<double> out(base.begin(), base.end());
-  if (pipeline_width >= kNumLegacyOpAwareFeatures) {
-    // PR-2 layout: op_gemm, op_syrk, kernel_generic, kernel_avx2. The
-    // operations that schema never saw are proxied as GEMM rows (their
-    // stored shape already carries the equivalent-GEMM dimensions).
-    const bool syrk = op == blas::OpKind::kSyrk;
-    out.push_back(syrk ? 0.0 : 1.0);
-    out.push_back(syrk ? 1.0 : 0.0);
-    double kernel[kNumKernelFeatures];
-    set_kernel_onehots(variant, kernel);
-    out.insert(out.end(), kernel, kernel + kNumKernelFeatures);
+  if (pipeline_width < kNumLegacyOpAwareFeatures) return out;
+  // Every op-aware tier is 17 numeric + (width - 19) op one-hots + the
+  // kernel pair. Operations the artefact's schema never saw are proxied as
+  // GEMM rows (their stored shape already carries the equivalent-GEMM
+  // dimensions).
+  const std::size_t n_op_cols =
+      std::min<std::size_t>(pipeline_width - kNumFeatures - kNumKernelFeatures,
+                            blas::kNumOps);
+  const auto code = static_cast<std::size_t>(
+      op_served_first_class(op, pipeline_width) ? blas::op_code(op)
+                                                : blas::op_code(
+                                                      blas::OpKind::kGemm));
+  for (std::size_t j = 0; j < n_op_cols; ++j) {
+    out.push_back(j == code ? 1.0 : 0.0);
   }
+  double kernel[kNumKernelFeatures];
+  set_kernel_onehots(variant, kernel);
+  out.insert(out.end(), kernel, kernel + kNumKernelFeatures);
   return out;
+}
+
+bool op_served_first_class(blas::OpKind op, std::size_t pipeline_width) {
+  if (pipeline_width < kNumLegacyOpAwareFeatures) {
+    return op == blas::OpKind::kGemm;
+  }
+  const std::size_t n_op_cols =
+      std::min<std::size_t>(pipeline_width - kNumFeatures - kNumKernelFeatures,
+                            blas::kNumOps);
+  return static_cast<std::size_t>(blas::op_code(op)) < n_op_cols;
 }
 
 }  // namespace adsala::preprocess

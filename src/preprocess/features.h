@@ -21,12 +21,12 @@
 // per-thread parallel terms; the order above is the canonical feature order
 // for every dataset in the project.
 //
-// == Op-aware schema (23 columns) =============================================
+// == Op-aware schema (17 + kNumOps + 2 columns) ===============================
 //
 // Since the operation-aware gather (PR 2), datasets append one-hot
 // categorical columns after the 17 numeric ones — one column per registered
 // operation (blas/op.h table order == op code order) plus one per kernel
-// variant:
+// variant. With the current five-op registry:
 //
 //   17  op_gemm          1 when the row timed a GEMM call
 //   18  op_syrk          1 when the row timed a SYRK call (m == n equivalent
@@ -35,26 +35,34 @@
 //                        shape (n, n, rhs_cols))
 //   20  op_symm          1 when the row timed a SYMM call (same m == k
 //                        convention as TRSM)
-//   21  kernel_generic   1 when the portable micro-kernel produced the timing
-//   22  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
+//   21  op_trmm          1 when the row timed a TRMM call (same m == k
+//                        convention as TRSM)
+//   22  kernel_generic   1 when the portable micro-kernel produced the timing
+//   23  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
 //
-// Categorical columns are passed through the preprocessing pipeline
-// untransformed (no Yeo-Johnson, no standardisation; see
-// preprocess::PipelineConfig::categorical) and columns that are constant over
-// the training rows are dropped at fit time — a GEMM-only campaign therefore
-// reduces to the base behaviour, and a model trained without the op columns
-// answers family queries through the GEMM-proxy shape exactly as before.
+// Registering an operation (one blas/op.h row) grows the schema by exactly
+// one op_* column; nothing here is edited. Categorical columns are passed
+// through the preprocessing pipeline untransformed (no Yeo-Johnson, no
+// standardisation; see preprocess::PipelineConfig::categorical) and columns
+// that are constant over the training rows are dropped at fit time — a
+// GEMM-only campaign therefore reduces to the base behaviour, and a model
+// trained without the op columns answers family queries through the
+// GEMM-proxy shape exactly as before.
 //
 // == Backwards compatibility ==================================================
 //
 // Older artefacts keep loading because the pipeline persists its fitted
 // input width (`feature_names` in config.json) and queries are built to
-// match it via make_query_features:
+// match it via make_query_features. Any width w >= 21 carries w - 19 op
+// one-hot columns followed by the kernel pair; an op whose code falls
+// outside the artefact's op block is proxied as a GEMM row (its stored
+// shape already carries the equivalent-GEMM dimensions). Concretely:
 //   17 columns  PR-1-era base schema — numeric features only, every
 //               operation served through the GEMM proxy;
-//   21 columns  PR-2-era op-aware schema (gemm/syrk one-hots only) — TRSM
-//               and SYMM queries are proxied as GEMM rows;
-//   23 columns  current schema, all four operations first-class.
+//   21 columns  PR-2-era op-aware schema (gemm/syrk one-hots only) — the
+//               triangular families are proxied as GEMM rows;
+//   23 columns  PR-3-era four-op schema — TRMM proxied as GEMM;
+//   24 columns  current schema, all five operations first-class.
 #pragma once
 
 #include <array>
@@ -81,8 +89,9 @@ inline constexpr std::size_t kNumCategoricalFeatures =
 inline constexpr std::size_t kNumOpAwareFeatures =
     kNumFeatures + kNumCategoricalFeatures;
 
-/// Width of the PR-2-era op-aware schema (gemm/syrk one-hots only); kept so
-/// the runtime can build width-matched queries for old artefacts.
+/// Width of the PR-2-era op-aware schema (gemm/syrk one-hots only) — the
+/// narrowest op-aware tier; kept so the runtime can build width-matched
+/// queries for old artefacts and recognise the op-aware floor.
 inline constexpr std::size_t kNumLegacyOpAwareFeatures = 21;
 
 /// Canonical base feature names, Group 1 then Group 2 (paper Table II).
@@ -112,13 +121,19 @@ std::array<double, kNumOpAwareFeatures> make_op_aware_features(
     blas::kernels::Variant variant);
 
 /// Builds a query row matched to a fitted pipeline's input width (see the
-/// backwards-compatibility table above): 23 -> current schema, 21 -> PR-2
-/// legacy (TRSM/SYMM proxied as GEMM), anything else -> the 17 numeric
+/// backwards-compatibility table above): widths >= 21 get an op one-hot
+/// block of pipeline_width - 19 columns (ops outside the block proxied as
+/// GEMM) plus the kernel pair; anything narrower gets the 17 numeric
 /// features. This is the single entry point the prediction path uses, so a
 /// schema change is invisible to trainer / runtime code.
 std::vector<double> make_query_features(double m, double k, double n,
                                         double n_threads, blas::OpKind op,
                                         blas::kernels::Variant variant,
                                         std::size_t pipeline_width);
+
+/// True when a pipeline of this fitted input width serves `op` from its own
+/// one-hot column; false when the query degrades to the GEMM proxy (the op
+/// postdates the artefact, or the artefact predates the op-aware schema).
+bool op_served_first_class(blas::OpKind op, std::size_t pipeline_width);
 
 }  // namespace adsala::preprocess

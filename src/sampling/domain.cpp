@@ -76,6 +76,22 @@ std::vector<double> make_rotation(std::uint64_t seed, std::uint64_t salt,
   return rot;
 }
 
+double syrk_footprint(const simarch::GemmShape& s) {
+  return static_cast<double>(s.elem_bytes) *
+         (static_cast<double>(s.n) * s.k + static_cast<double>(s.n) * s.n);
+}
+
+double trsm_footprint(const simarch::GemmShape& s) {
+  return static_cast<double>(s.elem_bytes) *
+         (static_cast<double>(s.m) * s.m + static_cast<double>(s.m) * s.n);
+}
+
+double symm_footprint(const simarch::GemmShape& s) {
+  return static_cast<double>(s.elem_bytes) *
+         (static_cast<double>(s.m) * s.m +
+          2.0 * static_cast<double>(s.m) * s.n);
+}
+
 }  // namespace
 
 GemmDomainSampler::GemmDomainSampler(DomainConfig config)
@@ -85,9 +101,7 @@ GemmDomainSampler::GemmDomainSampler(DomainConfig config)
     throw std::invalid_argument("GemmDomainSampler: need exactly 3 bases");
   }
   check_bounds(config_, "GemmDomainSampler");
-  Rng rng(config_.seed ^ 0x0c5a9d21ull);
-  rotation_.resize(config_.bases.size());
-  for (auto& r : rotation_) r = rng.uniform();
+  rotation_ = make_rotation(config_.seed, 0x0c5a9d21ull, config_.bases.size());
 }
 
 simarch::GemmShape GemmDomainSampler::map_point(
@@ -114,109 +128,66 @@ std::vector<simarch::GemmShape> GemmDomainSampler::sample(std::size_t count) {
       [this](const simarch::GemmShape& s) { return in_domain(s); });
 }
 
-SyrkDomainSampler::SyrkDomainSampler(DomainConfig config)
-    : config_(std::move(config)),
+Family2DSampler::Family2DSampler(const Family2DSpec& spec, DomainConfig config)
+    : spec_(spec),
+      config_(std::move(config)),
       sequence_(first_two_bases(config_), config_.seed) {
-  check_bounds(config_, "SyrkDomainSampler");
-  rotation_ = make_rotation(config_.seed, 0x5a9c0d17ull, 2);
+  check_bounds(config_, spec_.who);
+  rotation_ = make_rotation(config_.seed, spec_.rotation_salt, 2);
 }
 
-simarch::GemmShape SyrkDomainSampler::map_point(
+simarch::GemmShape Family2DSampler::map_point(
     const std::vector<double>& u) const {
   simarch::GemmShape shape;
-  shape.n = sqrt_scale(u[0], config_.dim_min, config_.dim_max);
-  shape.k = sqrt_scale(u[1], config_.dim_min, config_.dim_max);
-  shape.m = shape.n;  // equivalent-GEMM convention for the (n, k) family
+  if (spec_.m_equals_n) {
+    // SYRK convention: coords (n, k), stored (n, k, n).
+    shape.n = sqrt_scale(u[0], config_.dim_min, config_.dim_max);
+    shape.k = sqrt_scale(u[1], config_.dim_min, config_.dim_max);
+    shape.m = shape.n;
+  } else {
+    // Triangular/symmetric convention: coords (n, m), stored (n, n, m).
+    shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);
+    shape.n = sqrt_scale(u[1], config_.dim_min, config_.dim_max);
+    shape.k = shape.m;
+  }
   shape.elem_bytes = config_.elem_bytes;
   return shape;
 }
 
-bool SyrkDomainSampler::in_domain(const simarch::GemmShape& shape) const {
-  const double footprint =
-      static_cast<double>(shape.elem_bytes) *
-      (static_cast<double>(shape.n) * shape.k +
-       static_cast<double>(shape.n) * shape.n);
-  return shape.m == shape.n &&
-         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
-         shape.k >= config_.dim_min && shape.k <= config_.dim_max &&
-         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
+bool Family2DSampler::in_domain(const simarch::GemmShape& shape) const {
+  // The two free family coordinates must respect the dimension bounds; the
+  // derived third is equal to one of them by the marker convention.
+  const long c0 = spec_.m_equals_n ? shape.n : shape.m;
+  const long c1 = spec_.m_equals_n ? shape.k : shape.n;
+  const bool marker =
+      spec_.m_equals_n ? shape.m == shape.n : shape.m == shape.k;
+  return marker &&
+         spec_.footprint_bytes(shape) <=
+             static_cast<double>(config_.memory_cap_bytes) &&
+         c0 >= config_.dim_min && c0 <= config_.dim_max &&
+         c1 >= config_.dim_min && c1 <= config_.dim_max;
 }
 
-std::vector<simarch::GemmShape> SyrkDomainSampler::sample(std::size_t count) {
+std::vector<simarch::GemmShape> Family2DSampler::sample(std::size_t count) {
   return sample_rejection(
-      sequence_, rotation_, count, "SyrkDomainSampler",
+      sequence_, rotation_, count, spec_.who,
       [this](const std::vector<double>& u) { return map_point(u); },
       [this](const simarch::GemmShape& s) { return in_domain(s); });
 }
+
+SyrkDomainSampler::SyrkDomainSampler(DomainConfig config)
+    : Family2DSampler(Family2DSpec{"SyrkDomainSampler", 0x5a9c0d17ull,
+                                   /*m_equals_n=*/true, &syrk_footprint},
+                      std::move(config)) {}
 
 TrsmDomainSampler::TrsmDomainSampler(DomainConfig config)
-    : config_(std::move(config)),
-      sequence_(first_two_bases(config_), config_.seed) {
-  check_bounds(config_, "TrsmDomainSampler");
-  rotation_ = make_rotation(config_.seed, 0x7c31e8a5ull, 2);
-}
-
-simarch::GemmShape TrsmDomainSampler::map_point(
-    const std::vector<double>& u) const {
-  simarch::GemmShape shape;
-  shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);  // triangle n
-  shape.n = sqrt_scale(u[1], config_.dim_min, config_.dim_max);  // RHS cols m
-  shape.k = shape.m;  // equivalent-GEMM convention for the (n, m) families
-  shape.elem_bytes = config_.elem_bytes;
-  return shape;
-}
-
-bool TrsmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
-  const double footprint =
-      static_cast<double>(shape.elem_bytes) *
-      (static_cast<double>(shape.m) * shape.m +
-       static_cast<double>(shape.m) * shape.n);
-  return shape.m == shape.k &&
-         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
-         shape.m >= config_.dim_min && shape.m <= config_.dim_max &&
-         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
-}
-
-std::vector<simarch::GemmShape> TrsmDomainSampler::sample(std::size_t count) {
-  return sample_rejection(
-      sequence_, rotation_, count, "TrsmDomainSampler",
-      [this](const std::vector<double>& u) { return map_point(u); },
-      [this](const simarch::GemmShape& s) { return in_domain(s); });
-}
+    : Family2DSampler(Family2DSpec{"TrsmDomainSampler", 0x7c31e8a5ull,
+                                   /*m_equals_n=*/false, &trsm_footprint},
+                      std::move(config)) {}
 
 SymmDomainSampler::SymmDomainSampler(DomainConfig config)
-    : config_(std::move(config)),
-      sequence_(first_two_bases(config_), config_.seed) {
-  check_bounds(config_, "SymmDomainSampler");
-  rotation_ = make_rotation(config_.seed, 0x19f4b26dull, 2);
-}
-
-simarch::GemmShape SymmDomainSampler::map_point(
-    const std::vector<double>& u) const {
-  simarch::GemmShape shape;
-  shape.m = sqrt_scale(u[0], config_.dim_min, config_.dim_max);  // symmetric n
-  shape.n = sqrt_scale(u[1], config_.dim_min, config_.dim_max);  // B/C cols m
-  shape.k = shape.m;
-  shape.elem_bytes = config_.elem_bytes;
-  return shape;
-}
-
-bool SymmDomainSampler::in_domain(const simarch::GemmShape& shape) const {
-  const double footprint =
-      static_cast<double>(shape.elem_bytes) *
-      (static_cast<double>(shape.m) * shape.m +
-       2.0 * static_cast<double>(shape.m) * shape.n);
-  return shape.m == shape.k &&
-         footprint <= static_cast<double>(config_.memory_cap_bytes) &&
-         shape.m >= config_.dim_min && shape.m <= config_.dim_max &&
-         shape.n >= config_.dim_min && shape.n <= config_.dim_max;
-}
-
-std::vector<simarch::GemmShape> SymmDomainSampler::sample(std::size_t count) {
-  return sample_rejection(
-      sequence_, rotation_, count, "SymmDomainSampler",
-      [this](const std::vector<double>& u) { return map_point(u); },
-      [this](const simarch::GemmShape& s) { return in_domain(s); });
-}
+    : Family2DSampler(Family2DSpec{"SymmDomainSampler", 0x19f4b26dull,
+                                   /*m_equals_n=*/false, &symm_footprint},
+                      std::move(config)) {}
 
 }  // namespace adsala::sampling

@@ -8,10 +8,15 @@
 // represented as square ones; points over the cap are rejected and the
 // sequence advanced.
 //
-// The two-dimensional siblings cover the rest of the family, each under the
-// same cap, bounds, and sqrt scale so an operation-aware gathering campaign
-// probes every operation over the same territory (stored-shape conventions
-// in docs/OPERATIONS.md):
+// The 2-D family samplers cover the rest of the operation family, each under
+// the same cap, bounds, and sqrt scale, so an operation-aware gathering
+// campaign probes every operation over the same territory (stored-shape
+// conventions in docs/OPERATIONS.md). They are all instances of ONE
+// declarative Family2DSampler: a Family2DSpec gives the stored-shape marker
+// (m == n or m == k), the operation's true memory footprint, and a rotation
+// salt that decorrelates the sampler's Cranley-Patterson stream from every
+// sibling. The op registry (core/op_registry.cpp) owns one spec per
+// operation; the named samplers below are thin aliases kept for direct use:
 //   SyrkDomainSampler  (n, k): A n x k, C n x n; stored with m == n;
 //                      footprint elem_bytes*(nk + nn).
 //   TrsmDomainSampler  (n, m): A n x n triangular, B n x m right-hand
@@ -38,7 +43,25 @@ struct DomainConfig {
   std::uint64_t seed = 1234;
 };
 
-class GemmDomainSampler {
+/// Common interface of every shape-domain sampler; the op registry hands
+/// these out so gathering code never names a concrete sampler type.
+class DomainSampler {
+ public:
+  virtual ~DomainSampler() = default;
+
+  /// Draws `count` in-domain shapes (rejection sampling over the sequence).
+  virtual std::vector<simarch::GemmShape> sample(std::size_t count) = 0;
+
+  /// Maps one [0,1)^d point to a (possibly out-of-cap) shape; exposed for
+  /// tests of the scale mapping.
+  virtual simarch::GemmShape map_point(const std::vector<double>& u) const = 0;
+
+  virtual bool in_domain(const simarch::GemmShape& shape) const = 0;
+
+  virtual const DomainConfig& config() const = 0;
+};
+
+class GemmDomainSampler : public DomainSampler {
  public:
   explicit GemmDomainSampler(DomainConfig config);
 
@@ -49,15 +72,13 @@ class GemmDomainSampler {
   /// 2 and 4 at power-of-four indices, and without the rotation the sampler
   /// emits degenerate sliver shapes (m = n = 2) the paper's data does not
   /// contain.
-  std::vector<simarch::GemmShape> sample(std::size_t count);
+  std::vector<simarch::GemmShape> sample(std::size_t count) override;
 
-  /// Maps one [0,1)^3 point to a (possibly out-of-cap) shape; exposed for
-  /// tests of the scale mapping.
-  simarch::GemmShape map_point(const std::vector<double>& u) const;
+  simarch::GemmShape map_point(const std::vector<double>& u) const override;
 
-  bool in_domain(const simarch::GemmShape& shape) const;
+  bool in_domain(const simarch::GemmShape& shape) const override;
 
-  const DomainConfig& config() const { return config_; }
+  const DomainConfig& config() const override { return config_; }
 
  private:
   DomainConfig config_;
@@ -65,75 +86,64 @@ class GemmDomainSampler {
   std::vector<double> rotation_;  ///< Cranley-Patterson shift per dimension
 };
 
-/// Samples the SYRK (n, k) family under the same DomainConfig. Uses the
-/// first two Halton bases and a rotation stream decorrelated from the GEMM
-/// sampler's, so a mixed campaign does not probe the same diagonal twice.
-/// Returned shapes carry m == n (the equivalent-GEMM convention used
-/// throughout the op-aware pipeline).
-class SyrkDomainSampler {
+/// Declarative description of one 2-D operation family; the registry row of
+/// each non-GEMM operation provides one.
+struct Family2DSpec {
+  const char* who = "Family2DSampler";  ///< error-message prefix
+  /// Salt of the Cranley-Patterson rotation stream: a mixed campaign with
+  /// one DomainConfig must never probe two operations on identical
+  /// diagonals, so every family picks a fresh value.
+  std::uint64_t rotation_salt = 0;
+  /// Stored-shape marker: true for the SYRK convention (coords (n, k),
+  /// stored as (n, k, n) with m == n), false for the triangular/symmetric
+  /// convention (coords (n, m), stored as (n, n, m) with m == k).
+  bool m_equals_n = false;
+  /// The operation's true aggregate operand footprint in bytes, evaluated on
+  /// the stored equivalent-GEMM shape.
+  double (*footprint_bytes)(const simarch::GemmShape& shape) = nullptr;
+};
+
+/// One generic sampler serving every 2-D family: maps the first two Halton
+/// bases through the sqrt scale, applies the spec's stored-shape convention,
+/// and rejects on the spec's footprint.
+class Family2DSampler : public DomainSampler {
+ public:
+  Family2DSampler(const Family2DSpec& spec, DomainConfig config);
+
+  std::vector<simarch::GemmShape> sample(std::size_t count) override;
+
+  /// Maps one [0,1)^2 point to a (possibly out-of-cap) shape carrying the
+  /// family's marker convention.
+  simarch::GemmShape map_point(const std::vector<double>& u) const override;
+
+  /// In-domain test on the family's true footprint.
+  bool in_domain(const simarch::GemmShape& shape) const override;
+
+  const DomainConfig& config() const override { return config_; }
+
+ private:
+  Family2DSpec spec_;
+  DomainConfig config_;
+  ScrambledHalton sequence_;
+  std::vector<double> rotation_;
+};
+
+/// Named aliases of the registered family specs (see the header comment for
+/// conventions); kept so tests and direct users need not go through the
+/// registry.
+class SyrkDomainSampler : public Family2DSampler {
  public:
   explicit SyrkDomainSampler(DomainConfig config);
-
-  /// Draws `count` in-domain shapes (rejection sampling over the sequence).
-  std::vector<simarch::GemmShape> sample(std::size_t count);
-
-  /// Maps one [0,1)^2 point to a (possibly out-of-cap) shape with m == n.
-  simarch::GemmShape map_point(const std::vector<double>& u) const;
-
-  /// In-domain test on the SYRK footprint elem_bytes*(nk + nn).
-  bool in_domain(const simarch::GemmShape& shape) const;
-
-  const DomainConfig& config() const { return config_; }
-
- private:
-  DomainConfig config_;
-  ScrambledHalton sequence_;
-  std::vector<double> rotation_;
 };
 
-/// Samples the TRSM (n, m) family: A is an n x n triangle, B carries m
-/// right-hand-side columns. Returned shapes use the equivalent-GEMM
-/// convention GemmShape{m = n_tri, k = n_tri, n = m_rhs} (m == k marks the
-/// triangular families); rotation stream decorrelated from every sibling.
-class TrsmDomainSampler {
+class TrsmDomainSampler : public Family2DSampler {
  public:
   explicit TrsmDomainSampler(DomainConfig config);
-
-  std::vector<simarch::GemmShape> sample(std::size_t count);
-
-  /// Maps one [0,1)^2 point to a (possibly out-of-cap) shape with m == k.
-  simarch::GemmShape map_point(const std::vector<double>& u) const;
-
-  /// In-domain test on the TRSM footprint elem_bytes*(nn + nm).
-  bool in_domain(const simarch::GemmShape& shape) const;
-
-  const DomainConfig& config() const { return config_; }
-
- private:
-  DomainConfig config_;
-  ScrambledHalton sequence_;
-  std::vector<double> rotation_;
 };
 
-/// Samples the SYMM (n, m) family: A is a symmetric n x n matrix, B and C
-/// are n x m. Same stored-shape convention as TRSM (m == k); in-domain test
-/// uses the SYMM footprint elem_bytes*(nn + 2nm).
-class SymmDomainSampler {
+class SymmDomainSampler : public Family2DSampler {
  public:
   explicit SymmDomainSampler(DomainConfig config);
-
-  std::vector<simarch::GemmShape> sample(std::size_t count);
-
-  simarch::GemmShape map_point(const std::vector<double>& u) const;
-
-  bool in_domain(const simarch::GemmShape& shape) const;
-
-  const DomainConfig& config() const { return config_; }
-
- private:
-  DomainConfig config_;
-  ScrambledHalton sequence_;
-  std::vector<double> rotation_;
 };
 
 }  // namespace adsala::sampling

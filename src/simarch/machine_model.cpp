@@ -185,55 +185,55 @@ TimingBreakdown MachineModel::time_gemm(const GemmShape& shape,
   return out;
 }
 
+TimingBreakdown MachineModel::time_op(const GemmShape& shape,
+                                      const ExecPolicy& policy,
+                                      const OpCostModel& cost) const {
+  TimingBreakdown out = time_gemm(shape, policy);
+  // Triangle dimension of the family conventions: shape.m equals the
+  // triangle/symmetric n under m == k, and equals shape.n under SYRK's
+  // m == n, so it serves both.
+  const double d = static_cast<double>(shape.m);
+  if (cost.triangle_kernel && d > 0.0) {
+    // Only the uplo triangle's micro-tiles run: d*(d+1)*r multiply-adds vs
+    // the equivalent GEMM's 2*d*d*r. Copy and sync stay at GEMM level — the
+    // substrate keeps the same packing and barrier schedule — which is
+    // exactly why the triangle-family optima sit at fewer threads: the fixed
+    // overheads amortise over roughly half the FLOPs.
+    out.kernel_s *= (d + 1.0) / (2.0 * d);
+  }
+  if (cost.serial_diag_chain && d > 0.0) {
+    // The diagonal-block solves (one model_kc-deep triangle per panel of the
+    // chain, ~kc*d*r multiply-adds in total) cannot be spread over the team:
+    // each block needs every earlier block's solution. Charge their FLOPs at
+    // the single-thread rate, minus the share already counted inside the
+    // parallel kernel term (the (p-1)/p factor keeps p = 1 exact).
+    const double r = static_cast<double>(shape.n);
+    const int p = resolve_threads(policy);
+    const double serial_rate = topo_.freq_ghz * 1e9 *
+                               fp_per_cycle(topo_, shape.elem_bytes) *
+                               topo_.peak_frac;
+    const double serial_flops =
+        std::min(2.0 * topo_.model_kc * d, 2.0 * d * d) * r / 2.0;
+    out.kernel_s += serial_flops / serial_rate * (p - 1.0) / p;
+  }
+  out.copy_s *= cost.copy_mult;
+  out.sync_s *= cost.sync_mult;
+  return out;
+}
+
 TimingBreakdown MachineModel::time_syrk(const GemmShape& shape,
                                         const ExecPolicy& policy) const {
-  TimingBreakdown out = time_gemm(shape, policy);
-  if (shape.n <= 0) return out;
-  // Only the uplo triangle's micro-tiles run: n*(n+1)*k multiply-adds vs the
-  // equivalent GEMM's 2*n*n*k. Copy and sync stay at GEMM level -- the
-  // substrate packs A into both panel roles and keeps the same barrier
-  // schedule -- which is exactly why the SYRK optimum sits at fewer threads:
-  // the fixed overheads amortise over roughly half the FLOPs.
-  const double n = static_cast<double>(shape.n);
-  out.kernel_s *= (n + 1.0) / (2.0 * n);
-  return out;
+  return time_op(shape, policy, kSyrkCostModel);
 }
 
 TimingBreakdown MachineModel::time_trsm(const GemmShape& shape,
                                         const ExecPolicy& policy) const {
-  TimingBreakdown out = time_gemm(shape, policy);
-  if (shape.m <= 0) return out;
-  const double n = static_cast<double>(shape.m);  // triangle dimension
-  const double r = static_cast<double>(shape.n);  // right-hand-side columns
-  // Trailing GEMM updates only touch the triangle of A: half the equivalent
-  // GEMM's FLOPs, same (n + 1) / (2n) scaling as SYRK.
-  out.kernel_s *= (n + 1.0) / (2.0 * n);
-  // The diagonal-block solves (one model_kc-deep triangle per panel of the
-  // chain, ~kc*n*r multiply-adds in total) cannot be spread over the team:
-  // each block needs every earlier block's solution. Charge their FLOPs at
-  // the single-thread rate, minus the share already counted inside the
-  // parallel kernel term (the (p-1)/p factor keeps p = 1 exact).
-  const int p = resolve_threads(policy);
-  const double serial_rate = topo_.freq_ghz * 1e9 *
-                             fp_per_cycle(topo_, shape.elem_bytes) *
-                             topo_.peak_frac;
-  const double serial_flops =
-      std::min(2.0 * topo_.model_kc * n, 2.0 * n * n) * r / 2.0;
-  out.kernel_s += serial_flops / serial_rate * (p - 1.0) / p;
-  // The dependency chain re-joins the team after every panel: one extra
-  // barrier sweep on top of GEMM's schedule.
-  out.sync_s *= 2.0;
-  return out;
+  return time_op(shape, policy, kTrsmCostModel);
 }
 
 TimingBreakdown MachineModel::time_symm(const GemmShape& shape,
                                         const ExecPolicy& policy) const {
-  TimingBreakdown out = time_gemm(shape, policy);
-  // Same FLOP volume as the equivalent GEMM; the packing stream is slower
-  // because the mirrored half of every packed A block is read transposed
-  // (strided) out of the stored triangle.
-  out.copy_s *= 1.3;
-  return out;
+  return time_op(shape, policy, kSymmCostModel);
 }
 
 namespace {
@@ -257,12 +257,16 @@ double noisy_mean(const TimingBreakdown& base, std::uint64_t seed,
   return sum / iterations;
 }
 
-/// Salts decorrelating each operation's noise stream from the GEMM one.
-constexpr std::uint64_t kSyrkNoiseSalt = 0x53595246ull;  // "SYRK"
-constexpr std::uint64_t kTrsmNoiseSalt = 0x5452534dull;  // "TRSM"
-constexpr std::uint64_t kSymmNoiseSalt = 0x53594d4dull;  // "SYMM"
-
 }  // namespace
+
+double MachineModel::measure_op(const GemmShape& shape,
+                                const ExecPolicy& policy,
+                                const OpCostModel& cost,
+                                int iterations) const {
+  return noisy_mean(time_op(shape, policy, cost),
+                    noise_seed_ ^ cost.noise_salt, noise_sigma_, shape,
+                    policy, resolve_threads(policy), iterations);
+}
 
 double MachineModel::measure_gemm(const GemmShape& shape,
                                   const ExecPolicy& policy,
@@ -274,25 +278,19 @@ double MachineModel::measure_gemm(const GemmShape& shape,
 double MachineModel::measure_syrk(const GemmShape& shape,
                                   const ExecPolicy& policy,
                                   int iterations) const {
-  return noisy_mean(time_syrk(shape, policy), noise_seed_ ^ kSyrkNoiseSalt,
-                    noise_sigma_, shape, policy, resolve_threads(policy),
-                    iterations);
+  return measure_op(shape, policy, kSyrkCostModel, iterations);
 }
 
 double MachineModel::measure_trsm(const GemmShape& shape,
                                   const ExecPolicy& policy,
                                   int iterations) const {
-  return noisy_mean(time_trsm(shape, policy), noise_seed_ ^ kTrsmNoiseSalt,
-                    noise_sigma_, shape, policy, resolve_threads(policy),
-                    iterations);
+  return measure_op(shape, policy, kTrsmCostModel, iterations);
 }
 
 double MachineModel::measure_symm(const GemmShape& shape,
                                   const ExecPolicy& policy,
                                   int iterations) const {
-  return noisy_mean(time_symm(shape, policy), noise_seed_ ^ kSymmNoiseSalt,
-                    noise_sigma_, shape, policy, resolve_threads(policy),
-                    iterations);
+  return measure_op(shape, policy, kSymmCostModel, iterations);
 }
 
 int MachineModel::optimal_threads(const GemmShape& shape, ExecPolicy policy,

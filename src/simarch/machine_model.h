@@ -58,6 +58,47 @@ struct TimingBreakdown {
   double total() const { return spawn_s + sync_s + copy_s + kernel_s; }
 };
 
+/// Declarative deviation of one operation's cost from the GEMM model. The
+/// op registry (core/op_registry.cpp) carries one per operation, so the
+/// analytic measure path of a new op is a literal, not a new method:
+///   - triangle_kernel: only the uplo triangle's micro-tiles execute, so the
+///     kernel component scales by (d + 1) / (2d) with d the triangle
+///     dimension (shape.n under the SYRK m == n convention, shape.m under
+///     the triangular m == k one — identical for in-convention shapes);
+///   - serial_diag_chain: TRSM's diagonal-block solves run at single-thread
+///     rate (an Amdahl term that vanishes at p = 1);
+///   - copy_mult / sync_mult: packing surcharges (SYMM's mirrored strided
+///     reads, TRMM's B pre-copy) and extra barrier sweeps (TRSM's per-panel
+///     re-joins);
+///   - noise_salt decorrelates the op's measurement noise stream from the
+///     GEMM one, so mixed-op campaigns never share draws.
+struct OpCostModel {
+  bool triangle_kernel = false;
+  bool serial_diag_chain = false;
+  double copy_mult = 1.0;
+  double sync_mult = 1.0;
+  std::uint64_t noise_salt = 0;
+};
+
+/// Canonical cost models of the built-in family. The op registry
+/// (core/op_registry.cpp) references these same constants, so the
+/// time_syrk/trsm/symm convenience methods and the registry path cannot
+/// drift; an op added after this header froze keeps its cost model in its
+/// registry row alone.
+inline constexpr OpCostModel kGemmCostModel{};
+inline constexpr OpCostModel kSyrkCostModel{
+    .triangle_kernel = true, .noise_salt = 0x53595246ull /* "SYRK" */};
+inline constexpr OpCostModel kTrsmCostModel{.triangle_kernel = true,
+                                            .serial_diag_chain = true,
+                                            .sync_mult = 2.0,
+                                            .noise_salt =
+                                                0x5452534dull /* "TRSM" */};
+/// SYMM: same FLOP volume as the equivalent GEMM; the packing stream is
+/// slower because the mirrored half of every packed A block is read
+/// transposed (strided) out of the stored triangle.
+inline constexpr OpCostModel kSymmCostModel{
+    .copy_mult = 1.3, .noise_salt = 0x53594d4dull /* "SYMM" */};
+
 class MachineModel {
  public:
   explicit MachineModel(CpuTopology topo, std::uint64_t noise_seed = 42,
@@ -71,6 +112,18 @@ class MachineModel {
   /// Noise-free analytical breakdown of one GEMM call.
   TimingBreakdown time_gemm(const GemmShape& shape,
                             const ExecPolicy& policy) const;
+
+  /// Noise-free breakdown of one call of an operation described by an
+  /// OpCostModel, applied on top of the GEMM breakdown of the stored
+  /// equivalent-GEMM shape. The identity cost model reproduces time_gemm.
+  TimingBreakdown time_op(const GemmShape& shape, const ExecPolicy& policy,
+                          const OpCostModel& cost) const;
+
+  /// Mean of `iterations` noisy total-time draws of an OpCostModel-described
+  /// operation; the cost model's noise salt keeps the stream decorrelated
+  /// from every other op's. Deterministic in (inputs, seed).
+  double measure_op(const GemmShape& shape, const ExecPolicy& policy,
+                    const OpCostModel& cost, int iterations = 10) const;
 
   /// Noise-free breakdown of one SYRK call, given as the equivalent-GEMM
   /// shape (m == n; A is n x k). SYRK shares GEMM's packing, barrier, and

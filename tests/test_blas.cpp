@@ -11,6 +11,7 @@
 #include "blas/op.h"
 #include "blas/symm.h"
 #include "blas/syrk.h"
+#include "blas/trmm.h"
 #include "blas/trsm.h"
 #include "common/rng.h"
 
@@ -521,6 +522,80 @@ TEST_P(KernelVariantTest, SymmAlphaZeroIsBetaPass) {
                                         tuning);
 }
 
+template <typename T>
+void expect_trmm_matches_reference(Uplo uplo, Trans trans, Diag diag, int n,
+                                   int m, T alpha, int nthreads,
+                                   const GemmTuning& tuning) {
+  const auto a = random_matrix<T>(std::max(1, n), std::max(1, n), 17);
+  auto b = random_matrix<T>(std::max(1, n), std::max(1, m), 18);
+  auto b_ref = b;
+
+  trmm<T>(uplo, trans, diag, n, m, alpha, a.data(), n, b.data(), m, nthreads,
+          tuning);
+  reference_trmm<T>(uplo, trans, diag, n, m, alpha, a.data(), n, b_ref.data(),
+                    m);
+
+  const double tol =
+      (std::is_same_v<T, float> ? 1e-4 : 1e-11) * std::max(1, n);
+  for (int i = 0; i < n * m; ++i) {
+    ASSERT_NEAR(static_cast<double>(b[i]), static_cast<double>(b_ref[i]), tol)
+        << "mismatch at linear index " << i << " (n=" << n << " m=" << m
+        << ")";
+  }
+}
+
+TEST_P(KernelVariantTest, TrmmFringeSweepFloat) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const auto [n, m] : {std::tuple{1, 1}, std::tuple{17, 23},
+                                std::tuple{31, 7}, std::tuple{53, 29}}) {
+        expect_trmm_matches_reference<float>(uplo, trans, Diag::kNonUnit, n,
+                                             m, 1.5f, 3, tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, TrmmFringeSweepDouble) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  for (const Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const Diag diag : {Diag::kNonUnit, Diag::kUnit}) {
+        expect_trmm_matches_reference<double>(uplo, trans, diag, 37, 19, -0.5,
+                                              3, tuning);
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, TrmmSpansMultipleCacheBlocks) {
+  // Small blocking forces the triangle-slab skip logic across many (ic, pc)
+  // combinations, including partially-intersecting diagonal blocks.
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  tuning.mc = 12;
+  tuning.kc = 7;
+  tuning.nc = 16;
+  expect_trmm_matches_reference<float>(Uplo::kLower, Trans::kNo,
+                                       Diag::kNonUnit, 61, 43, 1.0f, 4,
+                                       tuning);
+  expect_trmm_matches_reference<double>(Uplo::kUpper, Trans::kYes,
+                                        Diag::kUnit, 61, 43, 1.0, 4, tuning);
+}
+
+TEST_P(KernelVariantTest, TrmmAlphaZeroZeroesB) {
+  GemmTuning tuning;
+  tuning.variant = GetParam();
+  expect_trmm_matches_reference<float>(Uplo::kLower, Trans::kNo,
+                                       Diag::kNonUnit, 9, 13, 0.0f, 2,
+                                       tuning);
+  expect_trmm_matches_reference<double>(Uplo::kUpper, Trans::kNo,
+                                        Diag::kUnit, 9, 13, 0.0, 2, tuning);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Dispatched, KernelVariantTest,
     ::testing::ValuesIn(kernels::supported_variants()),
@@ -608,8 +683,10 @@ TEST(OpKind, KnownSpellings) {
   EXPECT_EQ(op_code(OpKind::kSyrk), 1);
   EXPECT_EQ(op_code(OpKind::kTrsm), 2);
   EXPECT_EQ(op_code(OpKind::kSymm), 3);
+  EXPECT_EQ(op_code(OpKind::kTrmm), 4);
   EXPECT_STREQ(op_name(OpKind::kTrsm), "trsm");
   EXPECT_STREQ(op_name(OpKind::kSymm), "symm");
+  EXPECT_STREQ(op_name(OpKind::kTrmm), "trmm");
 }
 
 TEST(GemmHelpers, MemoryBytes) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "blas/kernels/dispatch.h"
 #include "common/csv.h"
 #include "core/adsala.h"
 #include "core/executor.h"
@@ -161,6 +162,62 @@ TEST(Gather, SyrkIsFasterThanEquivalentGemm) {
   const simarch::GemmShape s{600, 300, 600, 4};
   EXPECT_LT(ex.measure_op(blas::OpKind::kSyrk, s, 4),
             ex.measure_op(blas::OpKind::kGemm, s, 4));
+}
+
+TEST(Gather, VariantABCampaignMakesKernelColumnsInformative) {
+  // A campaign that set_variant()s between sub-campaigns times the same
+  // shapes once per kernel variant, so the kernel_* one-hots stop being
+  // constant and survive the fit — closing the PR-2 gap where the columns
+  // existed but never carried signal.
+  const auto variants = blas::kernels::supported_variants();
+  if (variants.size() < 2) {
+    GTEST_SKIP() << "host supports a single kernel variant";
+  }
+  NativeExecutor ex(2);
+  GatherConfig cfg;
+  cfg.n_samples = 8;
+  cfg.iterations = 1;
+  cfg.thread_grid = {1, 2};
+  cfg.domain.memory_cap_bytes = 4ull * 1024 * 1024;
+  cfg.domain.dim_max = 256;
+  cfg.domain.seed = 7;
+  cfg.variants = variants;
+
+  const auto active_before = blas::kernels::active_variant();
+  const auto data = gather_timings(ex, cfg);
+  EXPECT_EQ(blas::kernels::active_variant(), active_before)
+      << "the campaign must restore the kernel dispatch";
+
+  // One curve per (shape, variant), same shapes across variants.
+  ASSERT_EQ(data.records.size(), 8u * variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto& rec = data.records[v * 8 + i];
+      EXPECT_EQ(rec.variant, variants[v]);
+      EXPECT_EQ(rec.shape.m, data.records[i].shape.m)
+          << "variant sub-campaigns must re-time identical shapes";
+    }
+  }
+
+  TrainOptions opts;
+  opts.candidates = {"decision_tree"};
+  opts.tune = false;
+  const auto out = train_and_select(data, opts);
+  bool kernel_col_kept = false;
+  for (std::size_t j : out.pipeline.kept_features()) {
+    if (out.pipeline.input_feature_names()[j].rfind("kernel_", 0) == 0) {
+      kernel_col_kept = true;
+    }
+  }
+  EXPECT_TRUE(kernel_col_kept)
+      << "A/B campaign must keep a kernel one-hot after preprocessing";
+}
+
+TEST(Gather, VariantListRejectsAuto) {
+  auto ex = tiny_executor();
+  GatherConfig cfg = tiny_gather_config(5);
+  cfg.variants = {blas::kernels::Variant::kAuto};
+  EXPECT_THROW(gather_timings(ex, cfg), std::invalid_argument);
 }
 
 TEST(Gather, SplitPartitionsByShape) {
@@ -686,6 +743,37 @@ TEST(Install, WritesArtefactsAndReportsSpeedup) {
   EXPECT_LE(p, 16);
 
   std::filesystem::remove_all(opts.output_dir);
+}
+
+TEST(Install, RetrainsFromSavedTimingsCsvWithoutRegathering) {
+  // The native-host workflow: gather once (expensive on real hardware), then
+  // re-train from the saved timings.csv. The simulated gather and the CSV
+  // round-trip are both exact, so the re-trained runtime must reproduce the
+  // original's selections.
+  auto ex = tiny_executor();
+  InstallOptions opts;
+  opts.gather = tiny_gather_config(70);
+  opts.train.candidates = {"decision_tree"};
+  opts.train.tune = false;
+  opts.output_dir = "/tmp/adsala_test_install_csv";
+  std::filesystem::create_directories(opts.output_dir);
+  const auto first = install(ex, opts);
+
+  InstallOptions reuse = opts;
+  reuse.output_dir = "/tmp/adsala_test_install_csv2";
+  reuse.reuse_timings_csv = opts.output_dir + "/timings.csv";
+  std::filesystem::create_directories(reuse.output_dir);
+  const auto second = install(ex, reuse);
+
+  AdsalaGemm a(first.model_path, first.config_path);
+  AdsalaGemm b(second.model_path, second.config_path);
+  EXPECT_EQ(b.platform(), a.platform());
+  for (long m : {64L, 500L, 2000L}) {
+    EXPECT_EQ(b.select_threads(m, m, m), a.select_threads(m, m, m));
+  }
+
+  std::filesystem::remove_all(opts.output_dir);
+  std::filesystem::remove_all(reuse.output_dir);
 }
 
 }  // namespace

@@ -274,10 +274,11 @@ TEST(Features, OpAwareSchemaAppendsOneHots) {
   EXPECT_EQ(names[18], "op_syrk");
   EXPECT_EQ(names[19], "op_trsm");
   EXPECT_EQ(names[20], "op_symm");
-  EXPECT_EQ(names[21], "kernel_generic");
-  EXPECT_EQ(names[22], "kernel_avx2");
+  EXPECT_EQ(names[21], "op_trmm");
+  EXPECT_EQ(names[22], "kernel_generic");
+  EXPECT_EQ(names[23], "kernel_avx2");
   EXPECT_EQ(categorical_indices(),
-            (std::vector<std::size_t>{17, 18, 19, 20, 21, 22}));
+            (std::vector<std::size_t>{17, 18, 19, 20, 21, 22, 23}));
 }
 
 TEST(Features, OpAwareValuesEncodeOpAndVariant) {
@@ -291,15 +292,16 @@ TEST(Features, OpAwareValuesEncodeOpAndVariant) {
   EXPECT_DOUBLE_EQ(f[18], 1.0);  // op_syrk
   EXPECT_DOUBLE_EQ(f[19], 0.0);  // op_trsm
   EXPECT_DOUBLE_EQ(f[20], 0.0);  // op_symm
-  EXPECT_DOUBLE_EQ(f[21], 0.0);  // kernel_generic
-  EXPECT_DOUBLE_EQ(f[22], 1.0);  // kernel_avx2
+  EXPECT_DOUBLE_EQ(f[21], 0.0);  // op_trmm
+  EXPECT_DOUBLE_EQ(f[22], 0.0);  // kernel_generic
+  EXPECT_DOUBLE_EQ(f[23], 1.0);  // kernel_avx2
 
   const auto g = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kGemm,
                                         blas::kernels::Variant::kGeneric);
   EXPECT_DOUBLE_EQ(g[17], 1.0);
   EXPECT_DOUBLE_EQ(g[18], 0.0);
-  EXPECT_DOUBLE_EQ(g[21], 1.0);
-  EXPECT_DOUBLE_EQ(g[22], 0.0);
+  EXPECT_DOUBLE_EQ(g[22], 1.0);
+  EXPECT_DOUBLE_EQ(g[23], 0.0);
 
   // Every registered op sets exactly its own indicator — table order.
   for (const blas::OpKind op : blas::all_ops()) {
@@ -325,10 +327,26 @@ TEST(Features, QueryRowsMatchEverySchemaTier) {
     EXPECT_DOUBLE_EQ(full[j], expect[j]);
   }
 
-  // PR-2 21-column tier: gemm/syrk one-hots only; TRSM and SYMM are proxied
-  // as GEMM rows.
+  // PR-3 23-column tier: four op one-hots; TRSM stays first-class but TRMM
+  // (registered later) is proxied as a GEMM row.
+  const auto pr3_trsm = make_query_features(2, 3, 4, 8, blas::OpKind::kTrsm,
+                                            Variant::kGeneric, 23);
+  ASSERT_EQ(pr3_trsm.size(), 23u);
+  EXPECT_DOUBLE_EQ(pr3_trsm[17], 0.0) << "op_gemm";
+  EXPECT_DOUBLE_EQ(pr3_trsm[19], 1.0) << "op_trsm";
+  EXPECT_DOUBLE_EQ(pr3_trsm[21], 1.0) << "kernel_generic";
+  const auto pr3_trmm = make_query_features(2, 3, 4, 8, blas::OpKind::kTrmm,
+                                            Variant::kGeneric, 23);
+  ASSERT_EQ(pr3_trmm.size(), 23u);
+  EXPECT_DOUBLE_EQ(pr3_trmm[17], 1.0) << "op_gemm (trmm proxy)";
+  EXPECT_DOUBLE_EQ(pr3_trmm[19], 0.0) << "op_trsm";
+  EXPECT_DOUBLE_EQ(pr3_trmm[20], 0.0) << "op_symm";
+
+  // PR-2 21-column tier: gemm/syrk one-hots only; the triangular families
+  // are proxied as GEMM rows.
   for (const blas::OpKind op :
-       {blas::OpKind::kGemm, blas::OpKind::kTrsm, blas::OpKind::kSymm}) {
+       {blas::OpKind::kGemm, blas::OpKind::kTrsm, blas::OpKind::kSymm,
+        blas::OpKind::kTrmm}) {
     const auto legacy = make_query_features(2, 3, 4, 8, op, Variant::kGeneric,
                                             kNumLegacyOpAwareFeatures);
     ASSERT_EQ(legacy.size(), kNumLegacyOpAwareFeatures);
@@ -351,6 +369,25 @@ TEST(Features, QueryRowsMatchEverySchemaTier) {
   for (std::size_t j = 0; j < kNumFeatures; ++j) {
     EXPECT_DOUBLE_EQ(base17[j], base[j]);
   }
+}
+
+TEST(Features, OpServedFirstClassFollowsTheFittedWidth) {
+  using blas::OpKind;
+  // Current full width: every registered op first-class.
+  for (const OpKind op : blas::all_ops()) {
+    EXPECT_TRUE(op_served_first_class(op, kNumOpAwareFeatures))
+        << blas::op_name(op);
+  }
+  // PR-3 23-column artefact: trmm postdates it.
+  EXPECT_TRUE(op_served_first_class(OpKind::kTrsm, 23));
+  EXPECT_TRUE(op_served_first_class(OpKind::kSymm, 23));
+  EXPECT_FALSE(op_served_first_class(OpKind::kTrmm, 23));
+  // PR-2 21-column artefact: gemm/syrk only.
+  EXPECT_TRUE(op_served_first_class(OpKind::kSyrk, 21));
+  EXPECT_FALSE(op_served_first_class(OpKind::kTrsm, 21));
+  // PR-1 17-column artefact: gemm proxy for everything.
+  EXPECT_TRUE(op_served_first_class(OpKind::kGemm, kNumFeatures));
+  EXPECT_FALSE(op_served_first_class(OpKind::kSyrk, kNumFeatures));
 }
 
 // ---------------------------------------------------------------- Pipeline

@@ -2,20 +2,21 @@
 //
 //   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
 //                    [--out DIR] [--cap-mb MB] [--no-tune]
-//                    [--ops gemm,syrk,trsm,symm]
-//   adsala predict   --dir DIR [--shape MxKxN ...] [--syrk NxK ...]
-//                    [--trsm NxM ...] [--symm NxM ...]
+//                    [--ops <name>,...]
+//   adsala predict   --dir DIR [--shape MxKxN ...] [--<op> NxK|NxM ...]
 //   adsala inspect   --dir DIR
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //
 // `install` runs the full installation workflow and writes model.json /
-// config.json / timings.csv; `--ops gemm,syrk,trsm,symm` gathers an
-// operation-aware campaign (one sub-campaign per operation over the same
-// domain). `predict` loads those artefacts and prints the selected thread
-// count per GEMM shape / SYRK (n, k) / TRSM (n, m) / SYMM (n, m) family
-// member. `inspect` summarises the artefacts. `time`
-// measures one GEMM on the chosen backend at a given thread count (or
-// sweeps the default grid when --threads is omitted).
+// config.json / timings.csv; `--ops` takes any comma list of registered
+// operations (one sub-campaign per operation over the same domain).
+// `predict` loads those artefacts and prints the selected thread count per
+// query; every registered 2-D family automatically gets a `--<name> XxY`
+// flag (coordinates from its registry row), so a newly registered op is
+// predictable with zero CLI edits. `inspect` summarises the artefacts.
+// `time` measures one GEMM on the chosen backend at a given thread count
+// (or sweeps the default grid when --threads is omitted).
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include "blas/op.h"
 #include "core/adsala.h"
 #include "core/install.h"
+#include "core/op_registry.h"
 #include "preprocess/features.h"
 
 using namespace adsala;
@@ -41,11 +43,34 @@ struct Args {
   bool tune = true;
   int threads = 0;
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
-  std::vector<simarch::GemmShape> shapes;
-  std::vector<simarch::GemmShape> syrk_shapes;  ///< m == n convention
-  std::vector<simarch::GemmShape> trsm_shapes;  ///< m == k convention
-  std::vector<simarch::GemmShape> symm_shapes;  ///< m == k convention
+  /// Predict queries in parse order; shapes carry the op's stored
+  /// equivalent-GEMM convention (canonicalised by the registry).
+  std::vector<std::pair<blas::OpKind, simarch::GemmShape>> queries;
 };
+
+/// "--syrk NxK"-style flag synopsis for every registered 2-D family.
+std::string family_flag_usage() {
+  std::string out;
+  for (const auto& traits : core::op_registry()) {
+    if (traits.family_dims != 2) continue;
+    out += std::string(" [--") + blas::op_name(traits.op) + " ";
+    out += static_cast<char>(std::toupper(traits.coord_names[0][0]));
+    out += 'x';
+    out += static_cast<char>(std::toupper(traits.coord_names[1][0]));
+    out += " ...]";
+  }
+  return out;
+}
+
+/// Comma list of every registered operation name ("gemm,syrk,...").
+std::string op_name_list() {
+  std::string out;
+  for (const auto op : blas::all_ops()) {
+    if (!out.empty()) out += ',';
+    out += blas::op_name(op);
+  }
+  return out;
+}
 
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
@@ -53,12 +78,12 @@ struct Args {
                "usage:\n"
                "  adsala install --platform <native|setonix|gadi|tiny> "
                "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune] "
-               "[--ops gemm,syrk,trsm,symm]\n"
-               "  adsala predict --dir DIR [--shape MxKxN ...] "
-               "[--syrk NxK ...] [--trsm NxM ...] [--symm NxM ...]\n"
+               "[--ops %s]\n"
+               "  adsala predict --dir DIR [--shape MxKxN ...]%s\n"
                "  adsala inspect --dir DIR\n"
                "  adsala time    --platform <...> --shape MxKxN "
-               "[--threads P]\n");
+               "[--threads P]\n",
+               op_name_list().c_str(), family_flag_usage().c_str());
   std::exit(2);
 }
 
@@ -96,28 +121,20 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--threads") {
       args.threads = std::stoi(value());
     } else if (flag == "--shape") {
-      args.shapes.push_back(parse_shape(value()));
-    } else if (flag == "--syrk") {
-      simarch::GemmShape shape;
-      shape.elem_bytes = 4;
-      if (std::sscanf(value().c_str(), "%ldx%ld", &shape.n, &shape.k) != 2 ||
-          shape.n < 1 || shape.k < 1) {
-        usage("--syrk expects NxK with positive integers");
+      args.queries.emplace_back(blas::OpKind::kGemm, parse_shape(value()));
+    } else if (flag.rfind("--", 0) == 0 && blas::parse_op(flag.substr(2)) &&
+               core::op_traits(*blas::parse_op(flag.substr(2))).family_dims ==
+                   2) {
+      // Every registered 2-D family gets its own predict flag; the registry
+      // canonicalises the (x, y) family coordinates into the stored
+      // equivalent-GEMM shape.
+      const blas::OpKind op = *blas::parse_op(flag.substr(2));
+      long x = 0, y = 0;
+      if (std::sscanf(value().c_str(), "%ldx%ld", &x, &y) != 2 || x < 1 ||
+          y < 1) {
+        usage((flag + " expects XxY with positive integers").c_str());
       }
-      shape.m = shape.n;
-      args.syrk_shapes.push_back(shape);
-    } else if (flag == "--trsm" || flag == "--symm") {
-      // (n, m) families: n x n triangle / symmetric A, m RHS columns;
-      // stored as the equivalent-GEMM (n, n, m) with m == k.
-      simarch::GemmShape shape;
-      shape.elem_bytes = 4;
-      if (std::sscanf(value().c_str(), "%ldx%ld", &shape.m, &shape.n) != 2 ||
-          shape.m < 1 || shape.n < 1) {
-        usage((flag + " expects NxM with positive integers").c_str());
-      }
-      shape.k = shape.m;
-      (flag == "--trsm" ? args.trsm_shapes : args.symm_shapes)
-          .push_back(shape);
+      args.queries.emplace_back(op, core::op_traits(op).to_shape(x, y, 0, 4));
     } else if (flag == "--ops") {
       args.ops.clear();
       std::string list = value();
@@ -128,7 +145,9 @@ Args parse(int argc, char** argv) {
             list.substr(start, comma == std::string::npos ? std::string::npos
                                                           : comma - start);
         const auto op = blas::parse_op(token);
-        if (!op) usage("--ops expects a comma list of gemm|syrk|trsm|symm");
+        if (!op) {
+          usage(("--ops expects a comma list of " + op_name_list()).c_str());
+        }
         args.ops.push_back(*op);
         if (comma == std::string::npos) break;
         start = comma + 1;
@@ -198,41 +217,33 @@ int cmd_install(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
-  if (args.shapes.empty() && args.syrk_shapes.empty() &&
-      args.trsm_shapes.empty() && args.symm_shapes.empty()) {
-    usage("predict needs at least one --shape, --syrk, --trsm or --symm");
+  if (args.queries.empty()) {
+    usage("predict needs at least one --shape or family flag");
   }
   core::AdsalaGemm runtime(args.dir + "/model.json",
                            args.dir + "/config.json");
   std::printf("platform %s, model %s, max threads %d, op-aware %s\n",
               runtime.platform().c_str(), runtime.model_name().c_str(),
               runtime.max_threads(), runtime.op_aware() ? "yes" : "no");
-  for (const auto& s : args.shapes) {
-    std::printf("gemm %ldx%ldx%ld -> %d threads\n", s.m, s.k, s.n,
-                runtime.select_threads(s.m, s.k, s.n));
-  }
-  // The proxy marker is per schema tier: a PR-2-era 21-column artefact
-  // serves SYRK first-class but still proxies TRSM/SYMM as GEMM rows.
   const std::size_t width = runtime.pipeline().n_input_features();
   const bool aware = runtime.op_aware();
-  const char* syrk_fb =
-      aware && width >= preprocess::kNumLegacyOpAwareFeatures
-          ? ""
-          : " (gemm-proxy fallback)";
-  const char* tri_fb = aware && width >= preprocess::kNumOpAwareFeatures
-                           ? ""
-                           : " (gemm-proxy fallback)";
-  for (const auto& s : args.syrk_shapes) {
-    std::printf("syrk n=%ld k=%ld -> %d threads%s\n", s.n, s.k,
-                runtime.select_threads_syrk(s.n, s.k), syrk_fb);
-  }
-  for (const auto& s : args.trsm_shapes) {
-    std::printf("trsm n=%ld m=%ld -> %d threads%s\n", s.m, s.n,
-                runtime.select_threads_trsm(s.m, s.n), tri_fb);
-  }
-  for (const auto& s : args.symm_shapes) {
-    std::printf("symm n=%ld m=%ld -> %d threads%s\n", s.m, s.n,
-                runtime.select_threads_symm(s.m, s.n), tri_fb);
+  for (const auto& [op, shape] : args.queries) {
+    const auto& traits = core::op_traits(op);
+    long coords[3] = {0, 0, 0};
+    traits.from_shape(shape, &coords[0], &coords[1], &coords[2]);
+    const int p = runtime.select_threads(op, coords[0], coords[1], coords[2]);
+    // The proxy marker is per (op, schema tier): an artefact serves an op
+    // first-class only if its fitted width reaches that op's one-hot column.
+    const char* fallback =
+        op == blas::OpKind::kGemm ||
+                (aware && preprocess::op_served_first_class(op, width))
+            ? ""
+            : " (gemm-proxy fallback)";
+    std::printf("%s", blas::op_name(op));
+    for (int d = 0; d < traits.family_dims; ++d) {
+      std::printf(" %s=%ld", traits.coord_names[d], coords[d]);
+    }
+    std::printf(" -> %d threads%s\n", p, fallback);
   }
   return 0;
 }
@@ -268,9 +279,13 @@ int cmd_inspect(const Args& args) {
 }
 
 int cmd_time(const Args& args) {
-  if (args.shapes.empty()) usage("time needs --shape");
+  std::vector<simarch::GemmShape> shapes;
+  for (const auto& [op, shape] : args.queries) {
+    if (op == blas::OpKind::kGemm) shapes.push_back(shape);
+  }
+  if (shapes.empty()) usage("time needs --shape");
   auto executor = make_backend(args.platform);
-  for (const auto& shape : args.shapes) {
+  for (const auto& shape : shapes) {
     if (args.threads > 0) {
       const double t = executor->measure(shape, args.threads);
       std::printf("%ldx%ldx%ld @ %d threads: %.1f us (%.1f GFLOPS)\n",
