@@ -1,12 +1,17 @@
 // google-benchmark microbenchmarks of the from-scratch BLAS substrate:
 // GFLOPS of the blocked GEMM across shapes, thread counts, and dispatched
-// micro-kernel variants (generic vs avx2 where the host supports it), so a
-// single run A/Bs the KernelSet implementations. Before timing anything,
-// every variant is verified element-wise against reference_gemm; a mismatch
-// fails the binary. Results are additionally written to
-// BENCH_gemm_kernel.json via google-benchmark's JSON reporter.
+// micro-kernel variants (generic / avx2 / avx512, whichever the host
+// supports), so a single run A/Bs the KernelSet implementations. Before
+// timing anything, every variant is verified element-wise against
+// reference_gemm; a mismatch fails the binary. Results are additionally
+// written to BENCH_gemm_kernel.json via google-benchmark's JSON reporter;
+// on an AVX-512 host that file also carries BM_KernelTierRatio1024's
+// GFLOPS_avx2 / GFLOPS_avx512 / ratio counters (the avx512-vs-avx2 headline
+// number at 1024^3 fp32) and BM_SgemmSmallRepeat tracks the repeated-
+// small-GEMM regime the PackArena + spin-wait fork/join changes target.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +87,72 @@ void BM_SgemmSkinny(benchmark::State& state, kernels::Variant variant) {
   state.counters["GFLOPS"] = benchmark::Counter(
       2.0 * m * kn * kn * static_cast<double>(state.iterations()) / 1e9,
       benchmark::Counter::kIsRate);
+}
+
+void BM_SgemmSmallRepeat(benchmark::State& state, kernels::Variant variant) {
+  // The hot regime of the thread-count selector: the same small GEMM called
+  // back to back (256^3 here). Per-call packing allocations and fork/join
+  // wakeups are a constant tax on every rep, which is exactly what the
+  // PackArena slabs and the pool's spin-then-sleep waits remove.
+  const int dim = 256;
+  AlignedBuffer<float> a(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> c(static_cast<std::size_t>(dim) * dim);
+  fill_random(a, 7);
+  fill_random(b, 8);
+  const auto tuning = tuning_for(variant);
+  for (auto _ : state) {
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim, 1.0f,
+                      a.data(), dim, b.data(), dim, 0.0f, c.data(), dim, 0,
+                      tuning);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * dim * dim * dim * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+/// Best-of-N per-call seconds for one variant at dim^3 fp32, max threads.
+double best_seconds(kernels::Variant variant, int dim, int reps,
+                    const AlignedBuffer<float>& a,
+                    const AlignedBuffer<float>& b, AlignedBuffer<float>& c) {
+  const auto tuning = tuning_for(variant);
+  double best = 1e30;
+  for (int r = 0; r < reps + 1; ++r) {  // first call warms pool + arena
+    const auto t0 = std::chrono::steady_clock::now();
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, dim, dim, dim, 1.0f,
+                      a.data(), dim, b.data(), dim, 0.0f, c.data(), dim, 0,
+                      tuning);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (r > 0) {
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  return best;
+}
+
+void BM_KernelTierRatio1024(benchmark::State& state) {
+  // The headline satellite number: avx512 vs avx2 at 1024^3 fp32, recorded
+  // into BENCH_gemm_kernel.json as counters so the perf trajectory keeps
+  // the ratio, not just the two absolute rates.
+  const int dim = 1024;
+  AlignedBuffer<float> a(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> c(static_cast<std::size_t>(dim) * dim);
+  fill_random(a, 9);
+  fill_random(b, 10);
+  const double flops = 2.0 * dim * dim * dim;
+  double avx2 = 0.0, avx512 = 0.0;
+  for (auto _ : state) {
+    avx2 = flops / best_seconds(kernels::Variant::kAvx2, dim, 3, a, b, c) /
+           1e9;
+    avx512 =
+        flops / best_seconds(kernels::Variant::kAvx512, dim, 3, a, b, c) /
+        1e9;
+  }
+  state.counters["GFLOPS_avx2"] = avx2;
+  state.counters["GFLOPS_avx512"] = avx512;
+  state.counters["ratio"] = avx512 / avx2;
 }
 
 void BM_DgemmSquare(benchmark::State& state, kernels::Variant variant) {
@@ -162,6 +233,16 @@ int main(int argc, char** argv) {
                                  BM_DgemmSquare, variant)
         ->Arg(512)
         ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("BM_SgemmSmallRepeat/" + suffix).c_str(),
+                                 BM_SgemmSmallRepeat, variant)
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.5);
+  }
+  if (kernels::cpu_supports_avx512()) {
+    benchmark::RegisterBenchmark("BM_KernelTierRatio1024",
+                                 BM_KernelTierRatio1024)
+        ->Unit(benchmark::kSecond)
+        ->Iterations(1);
   }
 
   // Console output for humans plus BENCH_gemm_kernel.json for the perf

@@ -4,9 +4,10 @@
 #include <stdexcept>
 
 #include "blas/kernels/dispatch.h"
+#include "blas/level3_common.h"
 #include "blas/pack.h"
-#include "common/aligned_buffer.h"
 #include "common/barrier.h"
+#include "common/pack_arena.h"
 #include "common/thread_pool.h"
 
 namespace adsala::blas {
@@ -23,19 +24,6 @@ void validate(Trans trans_a, Trans trans_b, int m, int n, int k, int lda,
   if (lda < std::max(1, a_cols) || ldb < std::max(1, b_cols) ||
       ldc < std::max(1, n)) {
     throw std::invalid_argument("gemm: leading dimension too small");
-  }
-}
-
-template <typename T>
-void scale_rows(T* c, int ldc, int row_begin, int row_end, int n, T beta) {
-  if (beta == T(1)) return;
-  for (int i = row_begin; i < row_end; ++i) {
-    T* row = c + i * static_cast<long>(ldc);
-    if (beta == T(0)) {
-      std::fill(row, row + n, T(0));
-    } else {
-      for (int j = 0; j < n; ++j) row[j] *= beta;
-    }
   }
 }
 
@@ -72,18 +60,12 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
   if (m == 0 || n == 0) return;
 
   ThreadPool& pool = ThreadPool::global();
-  std::size_t p = nthreads <= 0 ? pool.max_threads()
-                                : static_cast<std::size_t>(nthreads);
-  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  const std::size_t p = detail::resolve_threads(nthreads);
 
-  // Degenerate products reduce to the beta pass.
+  // Degenerate products reduce to the beta pass (deliberately ahead of any
+  // tuning resolution: a beta-only call must not depend on blocking fields).
   if (k == 0 || alpha == T(0)) {
-    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
-      const int chunk = static_cast<int>((m + nt - 1) / nt);
-      const int lo = static_cast<int>(tid) * chunk;
-      const int hi = std::min(m, lo + chunk);
-      scale_rows(c, ldc, lo, hi, n, beta);
-    });
+    detail::scale_rows_pass(p, m, n, beta, c, static_cast<long>(ldc));
     return;
   }
 
@@ -91,27 +73,26 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
   const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
   const int mr = ks.mr;
   const int nr = ks.nr;
-
-  const int mc = std::max(mr, tuning.mc - tuning.mc % mr);
-  const int kc = std::max(1, tuning.kc);
-  const int nc = std::max(nr, tuning.nc - tuning.nc % nr);
+  const auto [mc, kc, nc] = detail::block_geometry(ks, tuning);
 
   // Static row partition: contiguous runs of MR-row micro-panels per thread.
   const int row_panels = (m + mr - 1) / mr;
   const int panels_per_thread =
       (row_panels + static_cast<int>(p) - 1) / static_cast<int>(p);
 
-  // Shared packed-B block; every thread reads it, so it is packed
-  // cooperatively and guarded by barriers (this shared copy + barrier is the
-  // data-copy / sync cost the paper's Table VII profiles).
-  const int nc_panels_max = (std::min(nc, n) + nr - 1) / nr;
-  AlignedBuffer<T> b_pack(static_cast<std::size_t>(nc_panels_max) * kc * nr);
-  const int a_pack_elems = ((mc + mr - 1) / mr) * mr * kc;
-  std::vector<AlignedBuffer<T>> a_packs;
-  a_packs.reserve(p);
-  for (std::size_t t = 0; t < p; ++t) {
-    a_packs.emplace_back(static_cast<std::size_t>(a_pack_elems));
-  }
+  // Packing scratch comes from the process-wide arena: the shared packed-B
+  // block (every thread reads it, so it is packed cooperatively and guarded
+  // by barriers — this shared copy + barrier is the data-copy / sync cost
+  // the paper's Table VII profiles) is carved here by the orchestrating
+  // thread, each participant's A slab inside the region. A serial call that
+  // is already inside someone else's region keeps B in its own thread slab
+  // instead, so two degraded-serial calls can never alias the shared slab.
+  PackArena& arena = PackArena::global();
+  const std::size_t b_pack_elems = detail::b_panel_elems(ks, nc, n, kc);
+  const std::size_t a_pack_elems = detail::a_panel_elems(ks, mc, kc);
+  const bool serial = p == 1;  // includes nested-region degradation
+  T* b_pack_ptr = nullptr;
+  if (!serial) b_pack_ptr = arena.shared_slab<T>(b_pack_elems);
 
   SpinBarrier barrier(p);
 
@@ -120,10 +101,19 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
     const int row_lo = std::min(m, t * panels_per_thread * mr);
     const int row_hi = std::min(m, (t + 1) * panels_per_thread * mr);
 
-    scale_rows(c, ldc, row_lo, row_hi, n, beta);
+    detail::scale_rows_range(c, static_cast<long>(ldc), row_lo, row_hi, n,
+                             beta);
     if (nt > 1) barrier.arrive_and_wait();
 
-    T* a_pack = a_packs[tid].data();
+    // One carve per participant: the A panels, plus (serial case) B behind
+    // them in the same thread slab.
+    const auto carve = serial
+                           ? detail::carve_private_panels<T>(ks, mc, kc, nc, n)
+                           : detail::PanelCarve<T>{
+                                 nullptr, arena.thread_slab<T>(a_pack_elems),
+                                 b_pack_ptr};
+    T* a_pack = carve.a_pack;
+    T* b_pack = carve.b_pack;
 
     for (int jc = 0; jc < n; jc += nc) {
       const int nc_eff = std::min(nc, n - jc);
@@ -139,7 +129,7 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
         for (int q = bp_lo; q < bp_hi; ++q) {
           const int j0 = jc + q * nr;
           const int cols = std::min(nr, n - j0);
-          T* dst = b_pack.data() + static_cast<long>(q) * kc_eff * nr;
+          T* dst = b_pack + static_cast<long>(q) * kc_eff * nr;
           if (trans_b == Trans::kNo) {
             detail::pack_b<T>(b + static_cast<long>(pc) * ldb + j0, ldb,
                               kc_eff, cols, nr, dst);
@@ -159,9 +149,8 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
             detail::pack_a_trans<T>(a + static_cast<long>(pc) * lda + ic, lda,
                                     mc_eff, kc_eff, mr, a_pack);
           }
-          macro_kernel<T>(ks, mc_eff, nc_eff, kc_eff, alpha, a_pack,
-                          b_pack.data(), c + static_cast<long>(ic) * ldc + jc,
-                          ldc);
+          macro_kernel<T>(ks, mc_eff, nc_eff, kc_eff, alpha, a_pack, b_pack,
+                          c + static_cast<long>(ic) * ldc + jc, ldc);
         }
         // B block is re-packed next iteration; writers must not race readers.
         if (nt > 1) barrier.arrive_and_wait();

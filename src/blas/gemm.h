@@ -51,14 +51,16 @@ enum class Uplo { kLower, kUpper };
 /// Whether a triangular matrix has an implicit unit diagonal (trsm).
 enum class Diag { kNonUnit, kUnit };
 
-/// Cache-blocking parameters. Defaults target ~32 KB L1 / ~512 KB L2 /
-/// shared L3 CPUs; mc/nc are rounded to the active kernel's MR/NR geometry
-/// at call time. Exposed so tests/benches can exercise fringe paths and A/B
-/// kernel variants per call.
+/// Cache-blocking parameters. Fields <= 0 (the default) resolve to the
+/// dispatched kernel's preferred blocking (KernelSet::mc/kc/nc — a taller
+/// micro-tile wants deeper panels, so the right blocking is per-kernel, not
+/// global); explicit positive fields win and are rounded to the active
+/// kernel's MR/NR geometry at call time. Exposed so tests/benches can
+/// exercise fringe paths and A/B kernel variants per call.
 struct GemmTuning {
-  int mc = 120;   ///< rows of the packed A block (rounded to MR)
-  int kc = 256;   ///< depth of the packed A/B blocks
-  int nc = 2048;  ///< columns of the packed B block (rounded to NR)
+  int mc = 0;  ///< rows of the packed A block (rounded to MR); 0 = kernel's
+  int kc = 0;  ///< depth of the packed A/B blocks; 0 = kernel's
+  int nc = 0;  ///< columns of the packed B block (rounded to NR); 0 = kernel's
   /// Micro-kernel variant override; kAuto follows ADSALA_KERNEL / CPUID.
   kernels::Variant variant = kernels::Variant::kAuto;
 };

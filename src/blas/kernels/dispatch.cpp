@@ -17,8 +17,14 @@ Variant env_default() {
     if (!parsed.has_value()) {
       std::fprintf(stderr,
                    "[adsala] ADSALA_KERNEL=%s not recognised "
-                   "(auto|generic|avx2); using auto\n",
+                   "(auto|generic|avx2|avx512); using auto\n",
                    env);
+    } else if (*parsed == Variant::kAvx512 && !cpu_supports_avx512()) {
+      std::fprintf(stderr,
+                   "[adsala] ADSALA_KERNEL=avx512 but the CPU lacks AVX-512F; "
+                   "using %s\n",
+                   cpu_supports_avx2() ? "avx2" : "generic");
+      return cpu_supports_avx2() ? Variant::kAvx2 : Variant::kGeneric;
     } else if (*parsed == Variant::kAvx2 && !cpu_supports_avx2()) {
       std::fprintf(stderr,
                    "[adsala] ADSALA_KERNEL=avx2 but the CPU lacks AVX2/FMA; "
@@ -28,6 +34,7 @@ Variant env_default() {
       return *parsed;
     }
   }
+  if (cpu_supports_avx512()) return Variant::kAvx512;
   return cpu_supports_avx2() ? Variant::kAvx2 : Variant::kGeneric;
 }
 
@@ -45,9 +52,23 @@ bool cpu_supports_avx2() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX-512F is the only subset the kernels use; FMA is part of F. AVX2+FMA
+  // is checked too so the fallback ladder (avx512 -> avx2 -> generic) never
+  // inverts on an exotic topology.
+  static const bool ok =
+      __builtin_cpu_supports("avx512f") && cpu_supports_avx2();
+  return ok;
+#else
+  return false;
+#endif
+}
+
 std::vector<Variant> supported_variants() {
   std::vector<Variant> out{Variant::kGeneric};
   if (cpu_supports_avx2()) out.push_back(Variant::kAvx2);
+  if (cpu_supports_avx512()) out.push_back(Variant::kAvx512);
   return out;
 }
 
@@ -59,6 +80,8 @@ const char* variant_name(Variant v) {
       return "generic";
     case Variant::kAvx2:
       return "avx2";
+    case Variant::kAvx512:
+      return "avx512";
   }
   return "?";
 }
@@ -67,12 +90,17 @@ std::optional<Variant> parse_variant(std::string_view name) {
   if (name == "auto") return Variant::kAuto;
   if (name == "generic") return Variant::kGeneric;
   if (name == "avx2") return Variant::kAvx2;
+  if (name == "avx512") return Variant::kAvx512;
   return std::nullopt;
 }
 
 void set_variant(Variant v) {
   if (v == Variant::kAvx2 && !cpu_supports_avx2()) {
     throw std::runtime_error("set_variant: avx2 kernels unsupported on host");
+  }
+  if (v == Variant::kAvx512 && !cpu_supports_avx512()) {
+    throw std::runtime_error(
+        "set_variant: avx512 kernels unsupported on host");
   }
   g_override.store(v, std::memory_order_relaxed);
 }
@@ -94,8 +122,21 @@ const KernelSet<T>& kernel_set(Variant v) {
       return detail::avx2_kernel_set_f64();
     }
   }();
+  static const KernelSet<T> avx512 = [] {
+    if constexpr (std::is_same_v<T, float>) {
+      return detail::avx512_kernel_set_f32();
+    } else {
+      return detail::avx512_kernel_set_f64();
+    }
+  }();
   if (v == Variant::kAuto) v = active_variant();
-  if (v == Variant::kAvx2 && cpu_supports_avx2()) return avx2;
+  if (v == Variant::kAvx512 && cpu_supports_avx512()) return avx512;
+  // Unsupported requests degrade down the same ladder the env path uses:
+  // an avx512 tuning replayed on an AVX2-only host runs the avx2 tier, not
+  // the several-fold-slower generic one.
+  if ((v == Variant::kAvx2 || v == Variant::kAvx512) && cpu_supports_avx2()) {
+    return avx2;
+  }
   return generic;
 }
 

@@ -4,10 +4,12 @@
 //
 // Selection order (first match wins):
 //   1. set_variant() process-wide API override,
-//   2. ADSALA_KERNEL environment variable ("generic" | "avx2" | "auto"),
-//   3. CPUID: AVX2+FMA present -> avx2, else generic.
-// An env/API request for an unsupported ISA falls back to generic (the env
-// path warns once on stderr; the API throws so tests can assert on it).
+//   2. ADSALA_KERNEL environment variable
+//      ("generic" | "avx2" | "avx512" | "auto"),
+//   3. CPUID: AVX-512F present -> avx512, else AVX2+FMA -> avx2, else
+//      generic.
+// An env/API request for an unsupported ISA falls back down that ladder (the
+// env path warns once on stderr; the API throws so tests can assert on it).
 #pragma once
 
 #include <optional>
@@ -22,12 +24,18 @@ namespace adsala::blas::kernels {
 /// first probe; always false off x86.
 bool cpu_supports_avx2();
 
-/// Variants usable on this host, generic first.
+/// True when the host CPU (and OS) support AVX-512F (which subsumes the FMA
+/// forms the kernels use). Cached after the first probe; always false off
+/// x86.
+bool cpu_supports_avx512();
+
+/// Variants usable on this host, generic first, widest ISA last.
 std::vector<Variant> supported_variants();
 
 const char* variant_name(Variant v);
 
-/// Parses "auto" / "generic" / "avx2" (the ADSALA_KERNEL vocabulary).
+/// Parses "auto" / "generic" / "avx2" / "avx512" (the ADSALA_KERNEL
+/// vocabulary).
 std::optional<Variant> parse_variant(std::string_view name);
 
 /// Process-wide override. kAuto restores env/CPUID selection. Throws

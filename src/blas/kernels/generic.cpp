@@ -31,6 +31,10 @@ KernelSet<T> generic_kernel_set() {
   KernelSet<T> set;
   set.mr = kGenericMr;
   set.nr = kGenericNr;
+  // The historical project-wide defaults (~32 KB L1 / ~512 KB L2 targets).
+  set.mc = 120;
+  set.kc = 256;
+  set.nc = 2048;
   set.name = "generic";
   set.full = &generic_full<T>;
   set.edge = &generic_edge<T>;

@@ -3,9 +3,9 @@
 // A KernelSet bundles the register-blocked inner kernels for one scalar type
 // together with their MR x NR geometry. The blocked GEMM/SYRK drivers consume
 // whatever geometry the set advertises instead of compile-time constants, so
-// swapping an AVX2 6x16 kernel for the portable 6x8 one is purely a runtime
-// decision (CPUID probe, ADSALA_KERNEL env, or the set_variant() API — see
-// dispatch.h).
+// swapping an AVX-512 14x32 kernel for the portable 6x8 one is purely a
+// runtime decision (CPUID probe, ADSALA_KERNEL env, or the set_variant() API
+// — see dispatch.h).
 #pragma once
 
 namespace adsala::blas::kernels {
@@ -15,11 +15,12 @@ enum class Variant {
   kAuto,     ///< resolve via ADSALA_KERNEL env, else best the CPU supports
   kGeneric,  ///< portable compiler-vectorised template kernel
   kAvx2,     ///< hand-written AVX2+FMA intrinsics (x86-64 only)
+  kAvx512,   ///< hand-written AVX-512F intrinsics (x86-64 only)
 };
 
 /// Upper bounds on micro-tile geometry across all variants; edge paths use
 /// them to size stack scratch tiles.
-inline constexpr int kMaxMr = 8;
+inline constexpr int kMaxMr = 14;
 inline constexpr int kMaxNr = 32;
 
 template <typename T>
@@ -34,17 +35,27 @@ struct KernelSet {
 
   int mr = 0;
   int nr = 0;
+  /// Preferred cache blocking (BLIS-style per-kernel blocksizes): the MC /
+  /// KC / NC a default-constructed GemmTuning resolves to for this set. A
+  /// taller or wider micro-tile amortises its C write-back over deeper
+  /// panels, so the best blocking is a property of the kernel, not of the
+  /// driver.
+  int mc = 0;
+  int kc = 0;
+  int nc = 0;
   const char* name = "";
   FullFn full = nullptr;
   EdgeFn edge = nullptr;
 };
 
 namespace detail {
-/// Variant factories, defined in generic.cpp / avx2.cpp.
+/// Variant factories, defined in generic.cpp / avx2.cpp / avx512.cpp.
 template <typename T>
 KernelSet<T> generic_kernel_set();
 KernelSet<float> avx2_kernel_set_f32();
 KernelSet<double> avx2_kernel_set_f64();
+KernelSet<float> avx512_kernel_set_f32();
+KernelSet<double> avx512_kernel_set_f64();
 }  // namespace detail
 
 }  // namespace adsala::blas::kernels

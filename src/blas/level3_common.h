@@ -1,0 +1,158 @@
+// Shared driver plumbing for the five level-3 ops.
+//
+// Every blocked driver runs the same prologue: validate, resolve the thread
+// count against the pool, serve degenerate calls with a parallel scale pass,
+// resolve the cache blocking against the dispatched kernel's geometry, and
+// carve packing scratch out of the PackArena. Before this header each op
+// restated that sequence, and the restatements had begun to drift — GEMM's
+// degenerate beta pass ran before its tuning sanitisation while SYRK's ran
+// before the kernel-geometry guard, so an ordering bug fixed in one op could
+// silently survive in another. The helpers pin one order for all five:
+//
+//   validate -> empty-output return -> resolve_threads -> degenerate scale
+//   pass (k == 0 / alpha == 0) -> block_geometry -> arena carve -> macro loop
+//
+// The degenerate pass deliberately stays *ahead* of block_geometry: it must
+// not depend on tuning fields (a beta-only call with a nonsense tuning.kc is
+// still a valid BLAS call), and hoisting it here makes that invariant
+// structural instead of per-file.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "blas/gemm.h"
+#include "blas/kernels/kernel_set.h"
+#include "common/pack_arena.h"
+#include "common/thread_pool.h"
+
+namespace adsala::blas::detail {
+
+/// Resolves a user thread-count request: <= 0 means the pool maximum, and
+/// the result is clamped to [1, max_threads()] and (when row_cap >= 0) to
+/// the number of partitionable rows. A call arriving from inside a parallel
+/// region resolves to 1 outright — the pool would degrade the region to
+/// serial anyway, and the partition / barrier / scratch sizing must all see
+/// that as ONE thread (sizing them for p while fn(0, 1) runs would leave
+/// p-1 row chunks untouched).
+inline std::size_t resolve_threads(int nthreads, long row_cap = -1) {
+  if (ThreadPool::in_region()) return 1;
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t p = nthreads <= 0 ? pool.max_threads()
+                                : static_cast<std::size_t>(nthreads);
+  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
+  if (row_cap >= 0) {
+    p = std::min<std::size_t>(
+        p, static_cast<std::size_t>(std::max<long>(1, row_cap)));
+  }
+  return p;
+}
+
+/// Cache blocking resolved against the dispatched kernel: explicit positive
+/// tuning fields win, zero / negative fields fall back to the kernel's
+/// preferred blocking, and the result is rounded to the MR/NR geometry.
+struct BlockGeom {
+  int mc = 0;
+  int kc = 0;
+  int nc = 0;
+};
+
+template <typename T>
+BlockGeom block_geometry(const kernels::KernelSet<T>& ks,
+                         const GemmTuning& tuning) {
+  const int mc_req = tuning.mc > 0 ? tuning.mc : ks.mc;
+  const int kc_req = tuning.kc > 0 ? tuning.kc : ks.kc;
+  const int nc_req = tuning.nc > 0 ? tuning.nc : ks.nc;
+  BlockGeom g;
+  g.mc = std::max(ks.mr, mc_req - mc_req % ks.mr);
+  g.kc = std::max(1, kc_req);
+  g.nc = std::max(ks.nr, nc_req - nc_req % ks.nr);
+  return g;
+}
+
+/// One participant's private packed-panel scratch, carved from the calling
+/// thread's arena slab in a single call (the one-carve-per-op contract:
+/// a second thread_slab call could grow the slab and invalidate the first
+/// pointer). `col_span` is the widest column range this participant's B
+/// panels can cover (n for GEMM/SYMM-style macro-loops, the triangle's
+/// column extent for SYRK). `extra_padded` prepends that many already-
+/// padded elements for op-specific scratch (TRMM's dense copy); the A
+/// panels start right after it.
+template <typename T>
+struct PanelCarve {
+  T* extra = nullptr;
+  T* a_pack = nullptr;
+  T* b_pack = nullptr;
+};
+
+/// Elements of one participant's packed-A block: full MR-row micro-panels
+/// covering mc rows at depth kc.
+template <typename T>
+std::size_t a_panel_elems(const kernels::KernelSet<T>& ks, int mc, int kc) {
+  return static_cast<std::size_t>((mc + ks.mr - 1) / ks.mr) * ks.mr * kc;
+}
+
+/// Elements of a packed-B block spanning min(nc, col_span) columns at depth
+/// kc: full NR-column micro-panels. The single source of the sizing for
+/// both the private carve below and GEMM's orchestrator-sized shared slab.
+template <typename T>
+std::size_t b_panel_elems(const kernels::KernelSet<T>& ks, int nc,
+                          int col_span, int kc) {
+  const int b_panels = (std::min(nc, col_span) + ks.nr - 1) / ks.nr;
+  return static_cast<std::size_t>(b_panels) * kc * ks.nr;
+}
+
+template <typename T>
+PanelCarve<T> carve_private_panels(const kernels::KernelSet<T>& ks, int mc,
+                                   int kc, int nc, int col_span,
+                                   std::size_t extra_padded = 0) {
+  const std::size_t a_padded =
+      PackArena::padded_count<T>(a_panel_elems(ks, mc, kc));
+  T* slab = PackArena::global().thread_slab<T>(
+      extra_padded + a_padded + b_panel_elems(ks, nc, col_span, kc));
+  PanelCarve<T> carve;
+  carve.extra = slab;
+  carve.a_pack = slab + extra_padded;
+  carve.b_pack = carve.a_pack + a_padded;
+  return carve;
+}
+
+/// Serial `row *= factor` over rows [row_lo, row_hi) of an ncols-wide
+/// row-major block: factor == 1 is a no-op, factor == 0 stores zeros
+/// outright so NaNs are flushed. THE row-scaling core — the ops' in-region
+/// beta passes and the parallel degenerate pass below both delegate here,
+/// so the flush/no-op semantics cannot drift between the macro loop and the
+/// degenerate path of the same op.
+template <typename T>
+void scale_rows_range(T* c, long ldc, int row_lo, int row_hi, int ncols,
+                      T factor) {
+  if (factor == T(1)) return;
+  for (int i = row_lo; i < row_hi; ++i) {
+    T* row = c + i * ldc;
+    if (factor == T(0)) {
+      std::fill(row, row + ncols, T(0));
+    } else {
+      for (int j = 0; j < ncols; ++j) row[j] *= factor;
+    }
+  }
+}
+
+/// Parallel `row *= factor` pass over an nrows x ncols row-major block.
+/// This is the whole of a degenerate level-3 call: GEMM/SYMM with k == 0 or
+/// alpha == 0 reduce to C *= beta, TRMM with alpha == 0 to B = 0, and
+/// TRSM's up-front right-hand-side scaling to B *= alpha.
+template <typename T>
+void scale_rows_pass(std::size_t p, int nrows, int ncols, T factor, T* c,
+                     long ldc) {
+  if (nrows <= 0 || ncols <= 0 || factor == T(1)) return;
+  ThreadPool::global().parallel_region(
+      p, [&](std::size_t tid, std::size_t nt) {
+        const int chunk = static_cast<int>(
+            (static_cast<std::size_t>(nrows) + nt - 1) / nt);
+        const int lo = static_cast<int>(tid) * chunk;
+        const int hi = std::min(nrows, lo + chunk);
+        scale_rows_range(c, ldc, lo, hi, ncols, factor);
+      });
+}
+
+}  // namespace adsala::blas::detail

@@ -4,27 +4,14 @@
 #include <stdexcept>
 
 #include "blas/kernels/dispatch.h"
+#include "blas/level3_common.h"
 #include "blas/pack.h"
-#include "common/aligned_buffer.h"
+#include "common/pack_arena.h"
 #include "common/thread_pool.h"
 
 namespace adsala::blas {
 
 namespace {
-
-/// beta pass over C rows [row_lo, row_hi).
-template <typename T>
-void scale_rows(int m, T beta, T* c, long ldc, int row_lo, int row_hi) {
-  if (beta == T(1)) return;
-  for (int i = row_lo; i < row_hi; ++i) {
-    T* row = c + i * ldc;
-    if (beta == T(0)) {
-      std::fill(row, row + m, T(0));
-    } else {
-      for (int j = 0; j < m; ++j) row[j] *= beta;
-    }
-  }
-}
 
 /// Blocked product over C rows [row_lo, row_hi): the GEMM macro-loop with A
 /// panels packed through the symmetric expansion (pack_a_sym) and B packed
@@ -40,10 +27,11 @@ void symm_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, int n,
   const int nr = ks.nr;
   const bool lower = uplo == Uplo::kLower;
 
-  AlignedBuffer<T> a_pack(static_cast<std::size_t>((mc + mr - 1) / mr) * mr *
-                          kc);
-  const int b_panels_max = (std::min(nc, m) + nr - 1) / nr;
-  AlignedBuffer<T> b_pack(static_cast<std::size_t>(b_panels_max) * kc * nr);
+  // Private packing scratch (barrier-free schedule: each thread owns both
+  // panels), carved from the thread's arena slab in one piece.
+  const auto carve = detail::carve_private_panels<T>(ks, mc, kc, nc, m);
+  T* a_pack = carve.a_pack;
+  T* b_pack = carve.b_pack;
 
   for (int jc = 0; jc < m; jc += nc) {
     const int nc_eff = std::min(nc, m - jc);
@@ -56,22 +44,22 @@ void symm_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, int n,
         const int cols = std::min(nr, m - j0);
         detail::pack_b<T>(b + static_cast<long>(pc) * ldb + j0, ldb, kc_eff,
                           cols, nr,
-                          b_pack.data() + static_cast<long>(q) * kc_eff * nr);
+                          b_pack + static_cast<long>(q) * kc_eff * nr);
       }
 
       for (int ic = row_lo; ic < row_hi; ic += mc) {
         const int mc_eff = std::min(mc, row_hi - ic);
         detail::pack_a_sym<T>(a, lda, lower, ic, pc, mc_eff, kc_eff, mr,
-                              a_pack.data());
+                              a_pack);
 
         for (int jr = 0; jr < nc_eff; jr += nr) {
           const int cols = std::min(nr, nc_eff - jr);
           const T* b_panel =
-              b_pack.data() + static_cast<long>(jr / nr) * kc_eff * nr;
+              b_pack + static_cast<long>(jr / nr) * kc_eff * nr;
           for (int ir = 0; ir < mc_eff; ir += mr) {
             const int rows = std::min(mr, mc_eff - ir);
             const T* a_panel =
-                a_pack.data() + static_cast<long>(ir / mr) * kc_eff * mr;
+                a_pack + static_cast<long>(ir / mr) * kc_eff * mr;
             T* c_tile = c + static_cast<long>(ic + ir) * ldc + jc + jr;
             if (rows == mr && cols == nr) {
               ks.full(kc_eff, alpha, a_panel, b_panel, c_tile, ldc);
@@ -99,25 +87,17 @@ void symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda, const T* b,
   if (n == 0 || m == 0) return;
 
   ThreadPool& pool = ThreadPool::global();
-  std::size_t p = nthreads <= 0 ? pool.max_threads()
-                                : static_cast<std::size_t>(nthreads);
-  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
-  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+  const std::size_t p = detail::resolve_threads(nthreads, n);
 
   if (alpha == T(0)) {
-    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
-      const int chunk = static_cast<int>((n + nt - 1) / nt);
-      const int lo = static_cast<int>(tid) * chunk;
-      const int hi = std::min(n, lo + chunk);
-      scale_rows(m, beta, c, static_cast<long>(ldc), lo, hi);
-    });
+    // Degenerate product: C *= beta (ahead of any tuning resolution, as in
+    // every level-3 driver — see level3_common.h).
+    detail::scale_rows_pass(p, n, m, beta, c, static_cast<long>(ldc));
     return;
   }
 
   const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
-  const int mc = std::max(ks.mr, tuning.mc - tuning.mc % ks.mr);
-  const int kc = std::max(1, tuning.kc);
-  const int nc = std::max(ks.nr, tuning.nc - tuning.nc % ks.nr);
+  const auto [mc, kc, nc] = detail::block_geometry(ks, tuning);
 
   // Each thread owns a contiguous run of C rows; the beta pass and the
   // accumulation need no cross-thread synchronisation.
@@ -125,7 +105,7 @@ void symm(Uplo uplo, int n, int m, T alpha, const T* a, int lda, const T* b,
     const int lo = static_cast<int>(tid * static_cast<std::size_t>(n) / nt);
     const int hi =
         static_cast<int>((tid + 1) * static_cast<std::size_t>(n) / nt);
-    scale_rows(m, beta, c, static_cast<long>(ldc), lo, hi);
+    detail::scale_rows_range(c, static_cast<long>(ldc), lo, hi, m, beta);
     symm_rows_blocked(ks, uplo, n, m, alpha, a, lda, b, ldb, c, ldc, lo, hi,
                       mc, kc, nc);
   });

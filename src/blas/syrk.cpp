@@ -5,8 +5,9 @@
 #include <stdexcept>
 
 #include "blas/kernels/dispatch.h"
+#include "blas/level3_common.h"
 #include "blas/pack.h"
-#include "common/aligned_buffer.h"
+#include "common/pack_arena.h"
 #include "common/thread_pool.h"
 
 namespace adsala::blas {
@@ -63,10 +64,12 @@ void syrk_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, Trans trans,
   const int col_lo = uplo == Uplo::kLower ? 0 : row_lo;
   const int col_hi = uplo == Uplo::kLower ? row_hi : n;
 
-  AlignedBuffer<T> a_pack(static_cast<std::size_t>((mc + mr - 1) / mr) * mr *
-                          kc);
-  const int b_panels_max = (std::min(nc, col_hi - col_lo) + nr - 1) / nr;
-  AlignedBuffer<T> b_pack(static_cast<std::size_t>(b_panels_max) * kc * nr);
+  // Private packing scratch (this schedule is barrier-free, so each thread
+  // owns both panels), carved from the thread's arena slab in one piece.
+  const auto carve =
+      detail::carve_private_panels<T>(ks, mc, kc, nc, col_hi - col_lo);
+  T* a_pack = carve.a_pack;
+  T* b_pack = carve.b_pack;
   T tile[kernels::kMaxMr * kernels::kMaxNr];
 
   for (int jc = col_lo; jc < col_hi; jc += nc) {
@@ -79,7 +82,7 @@ void syrk_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, Trans trans,
       for (int q = 0; q < nc_panels; ++q) {
         const int j0 = jc + q * nr;
         const int cols = std::min(nr, col_hi - j0);
-        T* dst = b_pack.data() + static_cast<long>(q) * kc_eff * nr;
+        T* dst = b_pack + static_cast<long>(q) * kc_eff * nr;
         if (trans == Trans::kNo) {
           // op(A)(j, p) = a[j*lda + p]: transposed read of A.
           detail::pack_b_trans<T>(a + static_cast<long>(j0) * lda + pc, lda,
@@ -100,17 +103,17 @@ void syrk_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, Trans trans,
 
         if (trans == Trans::kNo) {
           detail::pack_a<T>(a + static_cast<long>(ic) * lda + pc, lda, mc_eff,
-                            kc_eff, mr, a_pack.data());
+                            kc_eff, mr, a_pack);
         } else {
           detail::pack_a_trans<T>(a + static_cast<long>(pc) * lda + ic, lda,
-                                  mc_eff, kc_eff, mr, a_pack.data());
+                                  mc_eff, kc_eff, mr, a_pack);
         }
 
         for (int jr = 0; jr < nc_eff; jr += nr) {
           const int gj = jc + jr;
           const int cols = std::min(nr, nc_eff - jr);
           const T* b_panel =
-              b_pack.data() + static_cast<long>(jr / nr) * kc_eff * nr;
+              b_pack + static_cast<long>(jr / nr) * kc_eff * nr;
           for (int ir = 0; ir < mc_eff; ir += mr) {
             const int gi = ic + ir;
             const int rows = std::min(mr, mc_eff - ir);
@@ -126,7 +129,7 @@ void syrk_rows_blocked(const kernels::KernelSet<T>& ks, Uplo uplo, Trans trans,
             if (outside) continue;
 
             const T* a_panel =
-                a_pack.data() + static_cast<long>(ir / mr) * kc_eff * mr;
+                a_pack + static_cast<long>(ir / mr) * kc_eff * mr;
             T* c_tile = c + static_cast<long>(gi) * ldc + gj;
             if (inside) {
               if (rows == mr && cols == nr) {
@@ -171,13 +174,11 @@ void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
   if (n == 0) return;
 
   ThreadPool& pool = ThreadPool::global();
-  std::size_t p = nthreads <= 0 ? pool.max_threads()
-                                : static_cast<std::size_t>(nthreads);
-  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
-  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+  const std::size_t p = detail::resolve_threads(nthreads, n);
 
   if (k == 0 || alpha == T(0)) {
-    // Pure beta pass over the triangle.
+    // Pure beta pass over the triangle (ahead of any tuning resolution, as
+    // in every level-3 driver — see level3_common.h).
     pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
       const int lo = triangle_split(uplo, n, tid, nt);
       const int hi = triangle_split(uplo, n, tid + 1, nt);
@@ -192,9 +193,7 @@ void syrk(Uplo uplo, Trans trans, int n, int k, T alpha, const T* a, int lda,
   if (ks.mr > kernels::kMaxMr || ks.nr > kernels::kMaxNr) {
     throw std::logic_error("syrk: kernel geometry exceeds kMaxMr/kMaxNr");
   }
-  const int mc = std::max(ks.mr, tuning.mc - tuning.mc % ks.mr);
-  const int kc = std::max(1, tuning.kc);
-  const int nc = std::max(ks.nr, tuning.nc - tuning.nc % ks.nr);
+  const auto [mc, kc, nc] = detail::block_geometry(ks, tuning);
 
   // Each thread owns disjoint triangle rows, so the beta pass and the update
   // need no cross-thread synchronisation.

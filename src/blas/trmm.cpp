@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "blas/kernels/dispatch.h"
+#include "blas/level3_common.h"
 #include "blas/pack.h"
 #include "common/aligned_buffer.h"
+#include "common/pack_arena.h"
 #include "common/thread_pool.h"
 
 namespace adsala::blas {
@@ -24,15 +26,11 @@ template <typename T>
 void trmm_rows_blocked(const kernels::KernelSet<T>& ks, bool trans,
                        bool lower_eff, bool unit, int n, int m, T alpha,
                        const T* a, int lda, const T* b_copy, T* b, int ldb,
-                       int row_lo, int row_hi, int mc, int kc, int nc) {
+                       int row_lo, int row_hi, int mc, int kc, int nc,
+                       T* a_pack, T* b_pack) {
   if (row_lo >= row_hi) return;
   const int mr = ks.mr;
   const int nr = ks.nr;
-
-  AlignedBuffer<T> a_pack(static_cast<std::size_t>((mc + mr - 1) / mr) * mr *
-                          kc);
-  const int b_panels_max = (std::min(nc, m) + nr - 1) / nr;
-  AlignedBuffer<T> b_pack(static_cast<std::size_t>(b_panels_max) * kc * nr);
 
   for (int jc = 0; jc < m; jc += nc) {
     const int nc_eff = std::min(nc, m - jc);
@@ -48,7 +46,7 @@ void trmm_rows_blocked(const kernels::KernelSet<T>& ks, bool trans,
         const int cols = std::min(nr, m - j0);
         detail::pack_b<T>(b_copy + static_cast<long>(pc) * m + j0, m, kc_eff,
                           cols, nr,
-                          b_pack.data() + static_cast<long>(q) * kc_eff * nr);
+                          b_pack + static_cast<long>(q) * kc_eff * nr);
       }
 
       for (int ic = row_lo; ic < row_hi; ic += mc) {
@@ -57,16 +55,16 @@ void trmm_rows_blocked(const kernels::KernelSet<T>& ks, bool trans,
         // of the triangle only if some (i, p) with p in the slab is stored.
         if (lower_eff ? pc >= ic + mc_eff : pc + kc_eff <= ic) continue;
         detail::pack_a_tri<T>(a, lda, trans, lower_eff, unit, ic, pc, mc_eff,
-                              kc_eff, mr, a_pack.data());
+                              kc_eff, mr, a_pack);
 
         for (int jr = 0; jr < nc_eff; jr += nr) {
           const int cols = std::min(nr, nc_eff - jr);
           const T* b_panel =
-              b_pack.data() + static_cast<long>(jr / nr) * kc_eff * nr;
+              b_pack + static_cast<long>(jr / nr) * kc_eff * nr;
           for (int ir = 0; ir < mc_eff; ir += mr) {
             const int rows = std::min(mr, mc_eff - ir);
             const T* a_panel =
-                a_pack.data() + static_cast<long>(ir / mr) * kc_eff * mr;
+                a_pack + static_cast<long>(ir / mr) * kc_eff * mr;
             T* c_tile = b + static_cast<long>(ic + ir) * ldb + jc + jr;
             if (rows == mr && cols == nr) {
               ks.full(kc_eff, alpha, a_panel, b_panel, c_tile, ldb);
@@ -94,21 +92,12 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   if (n == 0 || m == 0) return;
 
   ThreadPool& pool = ThreadPool::global();
-  std::size_t p = nthreads <= 0 ? pool.max_threads()
-                                : static_cast<std::size_t>(nthreads);
-  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
-  p = std::min<std::size_t>(p, static_cast<std::size_t>(n));
+  const std::size_t p = detail::resolve_threads(nthreads, n);
 
   if (alpha == T(0)) {
-    pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
-      const int chunk = static_cast<int>((n + nt - 1) / nt);
-      const int lo = static_cast<int>(tid) * chunk;
-      const int hi = std::min(n, lo + chunk);
-      for (int i = lo; i < hi; ++i) {
-        std::fill(b + static_cast<long>(i) * ldb,
-                  b + static_cast<long>(i) * ldb + m, T(0));
-      }
-    });
+    // Degenerate product: B = 0 (ahead of any tuning resolution, as in
+    // every level-3 driver — see level3_common.h).
+    detail::scale_rows_pass(p, n, m, T(0), b, static_cast<long>(ldb));
     return;
   }
 
@@ -117,22 +106,60 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   const bool lower_eff = (uplo == Uplo::kLower) == (trans == Trans::kNo);
 
   const kernels::KernelSet<T>& ks = kernels::kernel_set<T>(tuning.variant);
-  const int mc = std::max(ks.mr, tuning.mc - tuning.mc % ks.mr);
-  const int kc = std::max(1, tuning.kc);
-  const int nc = std::max(ks.nr, tuning.nc - tuning.nc % ks.nr);
+  const auto [mc, kc, nc] = detail::block_geometry(ks, tuning);
 
   // In-place product: copy B densely (row stride m), then overwrite B with
   // alpha * op(A) * B_copy. Each thread owns a contiguous run of B rows; the
   // copy+zero pass and the accumulation need no cross-thread sync beyond the
   // barrier between the two parallel regions.
-  AlignedBuffer<T> b_copy(static_cast<std::size_t>(n) * m);
+  //
+  // Arena carve: the dense copy is read by every participant, so it lives in
+  // the shared slab; each participant's private A/B panels come out of its
+  // thread slab inside the region. The serial case carves all three out of
+  // the caller's thread slab in one piece (one thread_slab call per op call
+  // — a second call could grow and invalidate the first).
+  //
+  // Unlike the blocking-bounded pack panels, the dense copy is O(n * m) of
+  // the *input*, and the arena is grow-only for the process lifetime — one
+  // huge call must not pin that much scratch forever. Above the threshold
+  // the copy falls back to a per-call buffer: the allocation then amortises
+  // against O(n^2 * m) of compute, which is exactly when it is cheap. The
+  // serial path carves from a *per-slot* slab (and every slot a nested
+  // caller runs on can grow one), so its budget is 8x tighter than the
+  // single shared slab's — still covering the small/medium repeated shapes
+  // the arena exists for.
+  constexpr std::size_t kMaxSharedCopyBytes = std::size_t{16} << 20;
+  constexpr std::size_t kMaxThreadCopyBytes = kMaxSharedCopyBytes / 8;
+  PackArena& arena = PackArena::global();
+  const std::size_t copy_elems = static_cast<std::size_t>(n) * m;
+  const bool serial = p == 1;  // includes nested-region degradation
+  const bool copy_in_arena =
+      copy_elems * sizeof(T) <=
+      (serial ? kMaxThreadCopyBytes : kMaxSharedCopyBytes);
+  AlignedBuffer<T> copy_fallback;
+  if (!copy_in_arena) copy_fallback = AlignedBuffer<T>(copy_elems);
+  T* b_copy;
+  detail::PanelCarve<T> serial_carve;
+  if (serial) {
+    // One carve covers the copy (when it fits the per-thread budget) and
+    // both panels; parallel participants carve their panels inside the
+    // second region instead.
+    serial_carve = detail::carve_private_panels<T>(
+        ks, mc, kc, nc, m,
+        copy_in_arena ? PackArena::padded_count<T>(copy_elems) : 0);
+    b_copy = copy_in_arena ? serial_carve.extra : copy_fallback.data();
+  } else {
+    b_copy = copy_in_arena ? arena.shared_slab<T>(copy_elems)
+                           : copy_fallback.data();
+  }
+
   pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
     const int lo = static_cast<int>(tid * static_cast<std::size_t>(n) / nt);
     const int hi =
         static_cast<int>((tid + 1) * static_cast<std::size_t>(n) / nt);
     for (int i = lo; i < hi; ++i) {
       T* src = b + static_cast<long>(i) * ldb;
-      std::copy(src, src + m, b_copy.data() + static_cast<long>(i) * m);
+      std::copy(src, src + m, b_copy + static_cast<long>(i) * m);
       std::fill(src, src + m, T(0));
     }
   });
@@ -143,9 +170,13 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
     // triangle, same fix).
     const int lo = detail::triangle_split(lower_eff, n, tid, nt);
     const int hi = detail::triangle_split(lower_eff, n, tid + 1, nt);
+    const auto carve = serial
+                           ? serial_carve
+                           : detail::carve_private_panels<T>(ks, mc, kc, nc,
+                                                             m);
     trmm_rows_blocked(ks, trans == Trans::kYes, lower_eff,
-                      diag == Diag::kUnit, n, m, alpha, a, lda, b_copy.data(),
-                      b, ldb, lo, hi, mc, kc, nc);
+                      diag == Diag::kUnit, n, m, alpha, a, lda, b_copy, b,
+                      ldb, lo, hi, mc, kc, nc, carve.a_pack, carve.b_pack);
   });
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "blas/kernels/dispatch.h"
+#include "blas/level3_common.h"
 #include "common/thread_pool.h"
 
 namespace adsala::blas {
@@ -50,27 +52,6 @@ void solve_diag_block(Trans trans, Diag diag, int j0, int j1, int m,
   }
 }
 
-template <typename T>
-void scale_b(int n, int m, T alpha, T* b, long ldb, int nthreads) {
-  ThreadPool& pool = ThreadPool::global();
-  std::size_t p = nthreads <= 0 ? pool.max_threads()
-                                : static_cast<std::size_t>(nthreads);
-  p = std::clamp<std::size_t>(p, 1, pool.max_threads());
-  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
-    const int chunk = static_cast<int>((n + nt - 1) / nt);
-    const int lo = static_cast<int>(tid) * chunk;
-    const int hi = std::min(n, lo + chunk);
-    for (int i = lo; i < hi; ++i) {
-      T* row = b + i * ldb;
-      if (alpha == T(0)) {
-        std::fill(row, row + m, T(0));
-      } else {
-        for (int c = 0; c < m; ++c) row[c] *= alpha;
-      }
-    }
-  });
-}
-
 }  // namespace
 
 template <typename T>
@@ -84,8 +65,12 @@ void trsm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   if (n == 0 || m == 0) return;
 
   // alpha scales the right-hand side exactly once, up front (alpha == 0
-  // degenerates to B = 0: inv(A) * 0 needs no solve).
-  if (alpha != T(1)) scale_b(n, m, alpha, b, static_cast<long>(ldb), nthreads);
+  // degenerates to B = 0: inv(A) * 0 needs no solve). As in every level-3
+  // driver, this degenerate path stays ahead of any tuning resolution.
+  if (alpha != T(1)) {
+    detail::scale_rows_pass(detail::resolve_threads(nthreads), n, m, alpha, b,
+                            static_cast<long>(ldb));
+  }
   if (alpha == T(0)) return;
 
   // op(A) is effectively lower triangular (forward substitution) when the
@@ -94,8 +79,11 @@ void trsm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
 
   // Diagonal-block size: small enough that the sequential in-block solves
   // stay a sliver of the total work, large enough that the trailing GEMM
-  // updates run at panel depth the micro-kernel likes.
-  const int nb = std::clamp(tuning.kc / 4, 16, 256);
+  // updates run at the panel depth the dispatched micro-kernel's blocking
+  // resolves to (tuning.kc may be 0 = kernel-preferred, so resolve first).
+  const auto geom =
+      detail::block_geometry(kernels::kernel_set<T>(tuning.variant), tuning);
+  const int nb = std::clamp(geom.kc / 4, 16, 256);
 
   // Blocked substitution: solve one diagonal block sequentially, then fold
   // its solution into every remaining row with one multi-threaded GEMM

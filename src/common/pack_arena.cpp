@@ -1,0 +1,33 @@
+#include "common/pack_arena.h"
+
+#include <algorithm>
+
+namespace adsala {
+
+PackArena& PackArena::global() {
+  static PackArena arena;
+  return arena;
+}
+
+PackArena::Slab& PackArena::thread_slab_storage() {
+  static thread_local Slab slab;
+  return slab;
+}
+
+void* PackArena::grow(Slab& slab, std::size_t bytes) {
+  if (slab.buf.size() < bytes) {
+    // Geometric growth bounds the number of reallocations a ramp of
+    // increasing shapes can trigger; the old slab's contents are scratch, so
+    // nothing is copied over.
+    const std::size_t target = std::max(bytes, slab.buf.size() * 2);
+    slab.buf = AlignedBuffer<unsigned char>(target);
+    growths_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slab.buf.data();
+}
+
+std::size_t PackArena::footprint_bytes() const {
+  return shared_.buf.size() + thread_slab_storage().buf.size();
+}
+
+}  // namespace adsala

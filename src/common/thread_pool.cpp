@@ -9,6 +9,21 @@ namespace {
 // requests from pool workers (e.g. a model's parallel fit inside a parallel
 // grid search) degrade to serial execution instead of deadlocking.
 thread_local bool t_in_region = false;
+
+/// One iteration of a busy-wait: a pause hint on x86 so the spinning
+/// hyperthread cedes pipeline resources, a plain re-read elsewhere.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+/// Bounded spin budget before a waiter parks on its condition variable.
+/// ~4k pause iterations is on the order of 100 us of wall clock — enough to
+/// bridge the gap between back-to-back GEMM regions (the repeated-small-GEMM
+/// pattern the thread-count model is trained on), short enough that a
+/// genuinely idle pool stops burning its cores almost immediately.
+inline constexpr int kSpinIters = 1 << 12;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -21,7 +36,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard lock(mutex_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_relaxed);
   }
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
@@ -31,30 +46,57 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   // Worker i participates as tid i+1 (the caller is tid 0).
   const std::size_t tid = worker_index + 1;
   std::size_t seen_generation = 0;
+  // Only workers that ran in the previous region spin for the next one: a
+  // steady stream of p-thread regions keeps those p-1 workers on the fast
+  // path, while the workers above p park immediately instead of burning a
+  // spin budget per region on a job they will not join (their reactivation
+  // latency is the condvar wake they always paid). True on entry so a
+  // freshly spawned pool catches its first region cheaply.
+  bool spin_for_next = true;
   while (true) {
+    // Fork wait, spin-then-sleep: a bounded lock-free spin on the region
+    // counter catches back-to-back regions without a futex round trip, then
+    // the worker parks on cv_start_. The job fields are re-read under the
+    // mutex afterwards — a worker that slept through several regions (it was
+    // not a participant) must see a (generation, job) pair from one
+    // consistent region, never a half-written setup.
+    int spins = 0;
+    while (generation_.load(std::memory_order_relaxed) == seen_generation &&
+           !stop_.load(std::memory_order_relaxed)) {
+      if (!spin_for_next || ++spins >= kSpinIters) {
+        std::unique_lock lock(mutex_);
+        cv_start_.wait(lock, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 generation_.load(std::memory_order_relaxed) !=
+                     seen_generation;
+        });
+        break;
+      }
+      cpu_relax();
+    }
     const std::function<void(std::size_t, std::size_t)>* job = nullptr;
     std::size_t nthreads = 0;
     {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
-      seen_generation = generation_;
-      if (tid >= job_threads_) {
-        // Not a participant this region; it is already accounted for in
-        // remaining_, so just skip.
-        continue;
-      }
+      std::lock_guard lock(mutex_);
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen_generation = generation_.load(std::memory_order_relaxed);
       job = job_;
       nthreads = job_threads_;
+    }
+    spin_for_next = tid < nthreads;
+    if (tid >= nthreads) {
+      // Not a participant this region; it is already accounted for in
+      // remaining_, so just skip.
+      continue;
     }
     t_in_region = true;
     (*job)(tid, nthreads);
     t_in_region = false;
-    {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out. The caller may already be parked on cv_done_;
+      // taking the mutex orders this notify after its predicate check.
       std::lock_guard lock(mutex_);
-      if (--remaining_ == 0) cv_done_.notify_one();
+      cv_done_.notify_one();
     }
   }
 }
@@ -69,17 +111,36 @@ void ThreadPool::parallel_region(
   }
   t_in_region = true;
   {
+    // Job fields and the generation bump are published together under the
+    // mutex: spinners only key off the atomic counter and then take the lock
+    // to read a consistent snapshot, sleepers are covered by the usual
+    // cv predicate rules.
     std::lock_guard lock(mutex_);
     job_ = &fn;
     job_threads_ = nthreads;
-    remaining_ = nthreads - 1;
-    ++generation_;
+    remaining_.store(nthreads - 1, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
   }
   cv_start_.notify_all();
   fn(0, nthreads);
+  // Join wait, mirror image of the workers' fork wait: spin briefly for the
+  // common case of similarly-loaded participants, then sleep.
+  int spins = 0;
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= kSpinIters) {
+      std::unique_lock lock(mutex_);
+      // Acquire: a spurious wakeup can observe the last worker's decrement
+      // before that worker takes the mutex to notify, so the predicate load
+      // itself must publish the workers' writes to the caller.
+      cv_done_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+      break;
+    }
+    cpu_relax();
+  }
   {
-    std::unique_lock lock(mutex_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    std::lock_guard lock(mutex_);
     job_ = nullptr;
   }
   t_in_region = false;
@@ -99,6 +160,8 @@ void ThreadPool::parallel_for(std::size_t nthreads, std::size_t begin,
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
 }
+
+bool ThreadPool::in_region() { return t_in_region; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) -

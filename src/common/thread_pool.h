@@ -6,8 +6,15 @@
 // paper separates per-thread-count runs to avoid respawn noise, §III-B). This
 // pool mirrors that: workers are created once, and parallel_region(p, fn)
 // runs fn(tid, p) on p participants (caller = tid 0) with a join barrier.
+//
+// Fork and join both use a bounded spin before sleeping on a condition
+// variable: back-to-back small regions (the repeated-small-GEMM pattern the
+// thread-count model is trained on) hand off in the spin window without
+// paying a futex wakeup per region, while an idle pool still parks its
+// workers instead of burning a core each.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -39,6 +46,10 @@ class ThreadPool {
   void parallel_for(std::size_t nthreads, std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// True while the calling thread is executing inside a parallel region
+  /// (a nested parallel_region request would degrade to serial).
+  static bool in_region();
+
   /// Process-wide pool sized to hardware concurrency; lazily constructed.
   static ThreadPool& global();
 
@@ -50,10 +61,15 @@ class ThreadPool {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-  std::size_t job_threads_ = 0;   // participants in the current region
-  std::size_t generation_ = 0;    // bumped per region so workers see new jobs
-  std::size_t remaining_ = 0;     // workers yet to finish the current region
-  bool stop_ = false;
+  std::size_t job_threads_ = 0;  // participants in the current region
+  /// Region sequence number; workers (a) spin on it briefly, then (b) sleep
+  /// on cv_start_. Bumped under mutex_ so the sleeping path cannot miss a
+  /// wakeup. The counter is only a wake signal: job_ / job_threads_ are
+  /// NEVER read lock-free — a woken worker re-acquires mutex_ to take a
+  /// consistent (generation, job) snapshot (see worker_loop).
+  std::atomic<std::size_t> generation_{0};
+  std::atomic<std::size_t> remaining_{0};  // workers yet to finish the region
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace adsala

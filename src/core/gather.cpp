@@ -108,7 +108,8 @@ GatherData GatherData::load_csv(const std::string& path) {
       // Records must carry a concrete variant; kAuto (0) or unknown codes
       // mean the file is corrupt or from an incompatible future version.
       if (code != static_cast<int>(blas::kernels::Variant::kGeneric) &&
-          code != static_cast<int>(blas::kernels::Variant::kAvx2)) {
+          code != static_cast<int>(blas::kernels::Variant::kAvx2) &&
+          code != static_cast<int>(blas::kernels::Variant::kAvx512)) {
         throw std::runtime_error(
             "GatherData::load_csv: unknown kernel-variant code");
       }

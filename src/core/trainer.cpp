@@ -30,9 +30,9 @@ std::size_t predict_best_grid_index(const ml::Regressor& model,
                                     std::span<const int> thread_grid,
                                     blas::OpKind op,
                                     blas::kernels::Variant variant) {
-  // The fitted input width decides the raw-row layout (current 23-column
-  // schema, PR-2-era 21 columns, or the PR-1 numeric-only 17); the schema
-  // tiers live in preprocess::make_query_features.
+  // The fitted input width decides the raw-row layout (current 25-column
+  // schema, the 24/23/21-column legacy tiers, or the PR-1 numeric-only 17);
+  // the schema tiers live in preprocess::make_query_features.
   const std::size_t width = pipeline.n_input_features();
   if (width > preprocess::kNumFeatures &&
       variant == blas::kernels::Variant::kAuto) {

@@ -39,6 +39,7 @@
 //                        convention as TRSM)
 //   22  kernel_generic   1 when the portable micro-kernel produced the timing
 //   23  kernel_avx2      1 when the AVX2+FMA micro-kernel produced it
+//   24  kernel_avx512    1 when the AVX-512F micro-kernel produced it
 //
 // Registering an operation (one blas/op.h row) grows the schema by exactly
 // one op_* column; nothing here is edited. Categorical columns are passed
@@ -53,16 +54,22 @@
 //
 // Older artefacts keep loading because the pipeline persists its fitted
 // input width (`feature_names` in config.json) and queries are built to
-// match it via make_query_features. Any width w >= 21 carries w - 19 op
-// one-hot columns followed by the kernel pair; an op whose code falls
-// outside the artefact's op block is proxied as a GEMM row (its stored
-// shape already carries the equivalent-GEMM dimensions). Concretely:
+// match it via make_query_features. The kernel one-hot block was 2 wide
+// (generic, avx2) until the AVX-512 tier landed and is 3 wide since; the
+// width tiers disambiguate because every legacy width predates the 3-wide
+// block. Any legacy width 21 <= w < 25 carries w - 19 op one-hot columns
+// followed by the 2-wide kernel pair (an avx512-kernel query is proxied as
+// its nearest tier, avx2, exactly as an op outside the artefact's op block
+// is proxied as a GEMM row — the stored shape already carries the
+// equivalent-GEMM dimensions). Concretely:
 //   17 columns  PR-1-era base schema — numeric features only, every
 //               operation served through the GEMM proxy;
 //   21 columns  PR-2-era op-aware schema (gemm/syrk one-hots only) — the
 //               triangular families are proxied as GEMM rows;
 //   23 columns  PR-3-era four-op schema — TRMM proxied as GEMM;
-//   24 columns  current schema, all five operations first-class.
+//   24 columns  PR-4-era five-op schema with the 2-wide kernel block —
+//               avx512 rows proxied as avx2;
+//   25 columns  current schema: five ops + 3-wide kernel block.
 #pragma once
 
 #include <array>
@@ -77,11 +84,26 @@ namespace adsala::preprocess {
 /// Number of numeric Table-II features (base schema).
 inline constexpr std::size_t kNumFeatures = 17;
 
-/// One-hot kernel-variant columns (generic, avx2).
-inline constexpr std::size_t kNumKernelFeatures = 2;
+/// One-hot kernel-variant columns (generic, avx2, avx512).
+inline constexpr std::size_t kNumKernelFeatures = 3;
+
+/// Width of the kernel one-hot block before the AVX-512 tier (generic,
+/// avx2); every artefact narrower than kFirstTripleKernelWidth carries this
+/// block.
+inline constexpr std::size_t kNumLegacyKernelFeatures = 2;
+
+/// The first fitted width that carries the 3-wide kernel block: 17 numeric
+/// + the 5 ops registered when the AVX-512 tier shipped + 3. FROZEN
+/// HISTORICAL CONSTANT — it must NOT track kNumOps or kNumKernelFeatures:
+/// the 2-wide-kernel artefact widths form the closed set {21, 23, 24}
+/// (the legacy block era ended at five ops), so "width >= 25 means 3-wide
+/// kernel block" stays true no matter how many ops are registered later.
+/// Deriving it from live constants would mis-decode today's 25-column
+/// artefacts as legacy the moment a sixth op grows the schema.
+inline constexpr std::size_t kFirstTripleKernelWidth = 25;
 
 /// One-hot categorical columns appended by the op-aware schema: one per
-/// registered operation (blas/op.h) plus the kernel-variant pair.
+/// registered operation (blas/op.h) plus the kernel-variant block.
 inline constexpr std::size_t kNumCategoricalFeatures =
     blas::kNumOps + kNumKernelFeatures;
 
@@ -121,11 +143,13 @@ std::array<double, kNumOpAwareFeatures> make_op_aware_features(
     blas::kernels::Variant variant);
 
 /// Builds a query row matched to a fitted pipeline's input width (see the
-/// backwards-compatibility table above): widths >= 21 get an op one-hot
-/// block of pipeline_width - 19 columns (ops outside the block proxied as
-/// GEMM) plus the kernel pair; anything narrower gets the 17 numeric
-/// features. This is the single entry point the prediction path uses, so a
-/// schema change is invisible to trainer / runtime code.
+/// backwards-compatibility table above): the current width gets the 3-wide
+/// kernel block, legacy widths in [21, 25) get an op one-hot block of
+/// pipeline_width - 19 columns (ops outside the block proxied as GEMM) plus
+/// the 2-wide kernel pair (avx512 proxied as avx2), and anything narrower
+/// gets the 17 numeric features. This is the single entry point the
+/// prediction path uses, so a schema change is invisible to trainer /
+/// runtime code.
 std::vector<double> make_query_features(double m, double k, double n,
                                         double n_threads, blas::OpKind op,
                                         blas::kernels::Variant variant,

@@ -2,7 +2,9 @@
 // verified element-wise against the naive reference implementation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "blas/syrk.h"
 #include "blas/trmm.h"
 #include "blas/trsm.h"
+#include "common/pack_arena.h"
 #include "common/rng.h"
 
 namespace adsala::blas {
@@ -603,10 +606,71 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(kernels::variant_name(info.param));
     });
 
+// ------------------------------------------------------ zero-alloc hot path
+// After a first call of a given shape has grown the PackArena slabs, a
+// repeat of that shape (and anything smaller) must perform zero heap
+// allocations across every op's macro-loop — the per-call AlignedBuffer
+// cost the arena was introduced to eliminate.
+
+TEST(PackArenaHotPath, RepeatedCallsOfOneShapeAllocateNothing) {
+  const int n = 64, m = 96, k = 48;  // ldc = m >= n so one C serves all ops
+  const auto a = random_matrix<float>(n, n, 21);
+  const auto b0 = random_matrix<float>(n, m, 22);
+  auto c = random_matrix<float>(n, m, 23);
+  auto b_io = b0;
+
+  auto run_all = [&] {
+    gemm<float>(Trans::kNo, Trans::kNo, n, m, k, 1.5f, a.data(), n, b0.data(),
+                m, 0.5f, c.data(), m, 2);
+    syrk<float>(Uplo::kLower, Trans::kNo, n, k, 1.0f, a.data(), n, 0.5f,
+                c.data(), m, 2);
+    symm<float>(Uplo::kUpper, n, m, 1.0f, a.data(), n, b0.data(), m, 0.0f,
+                c.data(), m, 2);
+    b_io = b0;
+    trmm<float>(Uplo::kLower, Trans::kNo, Diag::kNonUnit, n, m, 2.0f,
+                a.data(), n, b_io.data(), m, 2);
+    b_io = b0;
+    trsm<float>(Uplo::kLower, Trans::kNo, Diag::kNonUnit, n, m, 1.0f,
+                a.data(), n, b_io.data(), m, 2);
+  };
+
+  run_all();  // grows the slabs to this shape's high-water mark
+  const std::size_t growths = PackArena::global().growth_count();
+  run_all();
+  run_all();
+  EXPECT_EQ(PackArena::global().growth_count(), growths)
+      << "a repeated shape must be served entirely from the arena";
+}
+
+TEST(PackArenaHotPath, HugeTrmmCopyDoesNotPinArenaMemory) {
+  // TRMM's dense B copy is O(n * m) of the input; above the arena threshold
+  // it must come from a per-call buffer so one big call doesn't pin that
+  // much grow-only scratch for the process lifetime. 1500 x 1500 fp64 is an
+  // 18 MB copy, past the 16 MB cap.
+  const int n = 1500, m = 1500;
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i) * n + i] = 1.0;
+  auto b = random_matrix<double>(n, m, 31);
+  const auto b0 = b;
+
+  const std::size_t before = PackArena::global().footprint_bytes();
+  trmm<double>(Uplo::kLower, Trans::kNo, Diag::kNonUnit, n, m, 2.0, a.data(),
+               n, b.data(), m, 2);
+  const std::size_t grown = PackArena::global().footprint_bytes() - before;
+  EXPECT_LT(grown, static_cast<std::size_t>(n) * m * sizeof(double))
+      << "the dense copy must not land in the grow-only arena";
+
+  // A == I, so the product is exactly alpha * B — cheap full verification.
+  for (std::size_t i = 0; i < b.size(); i += 997) {
+    ASSERT_DOUBLE_EQ(b[i], 2.0 * b0[i]) << "index " << i;
+  }
+}
+
 TEST(KernelDispatch, ParseVariantVocabulary) {
   EXPECT_EQ(kernels::parse_variant("auto"), kernels::Variant::kAuto);
   EXPECT_EQ(kernels::parse_variant("generic"), kernels::Variant::kGeneric);
   EXPECT_EQ(kernels::parse_variant("avx2"), kernels::Variant::kAvx2);
+  EXPECT_EQ(kernels::parse_variant("avx512"), kernels::Variant::kAvx512);
   EXPECT_FALSE(kernels::parse_variant("sse9").has_value());
   EXPECT_FALSE(kernels::parse_variant("").has_value());
 }
@@ -634,6 +698,39 @@ TEST(KernelDispatch, Avx2GeometryWhenSupported) {
   EXPECT_EQ(f32.nr, 16);
   EXPECT_EQ(f64.mr, 6);
   EXPECT_EQ(f64.nr, 8);
+}
+
+// The parameterised KernelVariantTest sweep above already exercises the
+// avx512 kernels through all five ops whenever CPUID reports AVX-512 (they
+// simply drop out of supported_variants() otherwise); this pins the
+// register-budgeted geometry and the graceful-degradation contract on hosts
+// without the ISA.
+TEST(KernelDispatch, Avx512GeometryOrGracefulSkip) {
+  if (!kernels::cpu_supports_avx512()) {
+    // supported_variants() must not advertise it, set_variant must refuse
+    // it, and a concrete kernel_set request must degrade down the ladder:
+    // avx2 when the host has that tier, generic otherwise.
+    const auto variants = kernels::supported_variants();
+    EXPECT_EQ(std::count(variants.begin(), variants.end(),
+                         kernels::Variant::kAvx512),
+              0);
+    EXPECT_THROW(kernels::set_variant(kernels::Variant::kAvx512),
+                 std::runtime_error);
+    EXPECT_STREQ(kernels::kernel_set<float>(kernels::Variant::kAvx512).name,
+                 kernels::cpu_supports_avx2() ? "avx2" : "generic");
+    GTEST_SKIP() << "host lacks AVX-512F";
+  }
+  const auto& f32 = kernels::kernel_set<float>(kernels::Variant::kAvx512);
+  const auto& f64 = kernels::kernel_set<double>(kernels::Variant::kAvx512);
+  EXPECT_EQ(f32.mr, 14);
+  EXPECT_EQ(f32.nr, 32);
+  EXPECT_EQ(f64.mr, 14);
+  EXPECT_EQ(f64.nr, 16);
+  // The SYRK diagonal-tile scratch is stack-sized from these bounds.
+  EXPECT_LE(f32.mr, kernels::kMaxMr);
+  EXPECT_LE(f32.nr, kernels::kMaxNr);
+  // AVX-512 implies AVX2: the fallback ladder must keep both tiers.
+  EXPECT_TRUE(kernels::cpu_supports_avx2());
 }
 
 // ------------------------------------------------------- operation table --

@@ -7,12 +7,14 @@
 #include <cstdint>
 #include <filesystem>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "common/aligned_buffer.h"
 #include "common/barrier.h"
 #include "common/csv.h"
 #include "common/json.h"
+#include "common/pack_arena.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -306,6 +308,80 @@ TEST(ThreadPool, ManySequentialRegions) {
     pool.parallel_region(4, [&](std::size_t, std::size_t) { sum += 1; });
   }
   EXPECT_EQ(sum.load(), 800);
+}
+
+// --------------------------------------------------------------- PackArena
+
+TEST(PackArena, SecondIdenticalCarveAllocatesNothing) {
+  PackArena arena;
+  float* p = arena.thread_slab<float>(1000);
+  double* s = arena.shared_slab<double>(500);
+  // (growth_count may be 0 here if an earlier test already grew this
+  // thread's slab — it is shared per OS thread — but the shared slab is
+  // per-instance and fresh, so at least that one grew.)
+  const std::size_t growths = arena.growth_count();
+  EXPECT_GT(growths, 0u);
+  // Same (or smaller) request: same storage, zero new allocations.
+  EXPECT_EQ(arena.thread_slab<float>(1000), p);
+  EXPECT_EQ(arena.thread_slab<float>(64), p);
+  EXPECT_EQ(arena.shared_slab<double>(500), s);
+  EXPECT_EQ(arena.growth_count(), growths);
+  // A larger request grows (grow-only: footprint never shrinks).
+  const std::size_t before = arena.footprint_bytes();
+  arena.shared_slab<double>(100000);
+  EXPECT_GT(arena.growth_count(), growths);
+  EXPECT_GT(arena.footprint_bytes(), before);
+}
+
+TEST(PackArena, SlabsAreAlignedAndPaddingIsLineGranular) {
+  PackArena arena;
+  float* t = arena.thread_slab<float>(256);
+  double* s = arena.shared_slab<double>(256);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t) % kCacheLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s) % kCacheLineBytes, 0u);
+  EXPECT_NE(reinterpret_cast<void*>(t), reinterpret_cast<void*>(s));
+  // padded_count keeps multi-buffer carves line-aligned.
+  EXPECT_EQ(PackArena::padded_count<float>(1), 16u);
+  EXPECT_EQ(PackArena::padded_count<float>(16), 16u);
+  EXPECT_EQ(PackArena::padded_count<float>(17), 32u);
+  EXPECT_EQ(PackArena::padded_count<double>(7), 8u);
+}
+
+TEST(PackArena, DistinctThreadsNeverShareSlabs) {
+  // Two plain application threads issuing serial carves concurrently (the
+  // shape of two std::threads each calling a serial BLAS op) must get
+  // private storage — the thread slab is thread_local, not a table entry.
+  PackArena arena;
+  float* main_slab = arena.thread_slab<float>(512);
+  float* other_slab = nullptr;
+  std::thread t([&] { other_slab = arena.thread_slab<float>(512); });
+  t.join();
+  EXPECT_NE(other_slab, nullptr);
+  EXPECT_NE(other_slab, main_slab);
+}
+
+TEST(PackArena, ConcurrentRegionsDontAliasSlabs) {
+  // Each participant of a region carves (and grows) its own thread slab
+  // concurrently, writes a participant-unique pattern, and re-reads it
+  // after a barrier — overlap or a cross-thread growth invalidation would
+  // corrupt the pattern.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kElems = 4096;
+  ThreadPool pool(kThreads - 1);
+  PackArena arena;
+  SpinBarrier barrier(kThreads);
+  std::atomic<bool> corrupted{false};
+  pool.parallel_region(kThreads, [&](std::size_t tid, std::size_t) {
+    float* slab = arena.thread_slab<float>(kElems);
+    for (std::size_t i = 0; i < kElems; ++i) {
+      slab[i] = static_cast<float>(tid * kElems + i);
+    }
+    barrier.arrive_and_wait();
+    for (std::size_t i = 0; i < kElems; ++i) {
+      if (slab[i] != static_cast<float>(tid * kElems + i)) corrupted = true;
+    }
+  });
+  EXPECT_FALSE(corrupted.load());
 }
 
 TEST(SpinBarrier, SynchronisesPhases) {

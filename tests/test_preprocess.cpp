@@ -277,8 +277,9 @@ TEST(Features, OpAwareSchemaAppendsOneHots) {
   EXPECT_EQ(names[21], "op_trmm");
   EXPECT_EQ(names[22], "kernel_generic");
   EXPECT_EQ(names[23], "kernel_avx2");
+  EXPECT_EQ(names[24], "kernel_avx512");
   EXPECT_EQ(categorical_indices(),
-            (std::vector<std::size_t>{17, 18, 19, 20, 21, 22, 23}));
+            (std::vector<std::size_t>{17, 18, 19, 20, 21, 22, 23, 24}));
 }
 
 TEST(Features, OpAwareValuesEncodeOpAndVariant) {
@@ -295,6 +296,7 @@ TEST(Features, OpAwareValuesEncodeOpAndVariant) {
   EXPECT_DOUBLE_EQ(f[21], 0.0);  // op_trmm
   EXPECT_DOUBLE_EQ(f[22], 0.0);  // kernel_generic
   EXPECT_DOUBLE_EQ(f[23], 1.0);  // kernel_avx2
+  EXPECT_DOUBLE_EQ(f[24], 0.0);  // kernel_avx512
 
   const auto g = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kGemm,
                                         blas::kernels::Variant::kGeneric);
@@ -302,6 +304,13 @@ TEST(Features, OpAwareValuesEncodeOpAndVariant) {
   EXPECT_DOUBLE_EQ(g[18], 0.0);
   EXPECT_DOUBLE_EQ(g[22], 1.0);
   EXPECT_DOUBLE_EQ(g[23], 0.0);
+  EXPECT_DOUBLE_EQ(g[24], 0.0);
+
+  const auto h = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kGemm,
+                                        blas::kernels::Variant::kAvx512);
+  EXPECT_DOUBLE_EQ(h[22], 0.0);
+  EXPECT_DOUBLE_EQ(h[23], 0.0);
+  EXPECT_DOUBLE_EQ(h[24], 1.0);
 
   // Every registered op sets exactly its own indicator — table order.
   for (const blas::OpKind op : blas::all_ops()) {
@@ -317,7 +326,7 @@ TEST(Features, OpAwareValuesEncodeOpAndVariant) {
 
 TEST(Features, QueryRowsMatchEverySchemaTier) {
   using blas::kernels::Variant;
-  // Current 23-column tier reproduces make_op_aware_features.
+  // Current 25-column tier reproduces make_op_aware_features.
   const auto full = make_query_features(2, 3, 4, 8, blas::OpKind::kTrsm,
                                         Variant::kAvx2, kNumOpAwareFeatures);
   const auto expect = make_op_aware_features(2, 3, 4, 8, blas::OpKind::kTrsm,
@@ -326,6 +335,16 @@ TEST(Features, QueryRowsMatchEverySchemaTier) {
   for (std::size_t j = 0; j < kNumOpAwareFeatures; ++j) {
     EXPECT_DOUBLE_EQ(full[j], expect[j]);
   }
+
+  // PR-4 24-column tier: all five op one-hots but the 2-wide kernel pair;
+  // an avx512 query is proxied as the nearest tier the artefact knows
+  // (avx2), and every op stays first-class.
+  const auto pr4 = make_query_features(2, 3, 4, 8, blas::OpKind::kTrmm,
+                                       Variant::kAvx512, 24);
+  ASSERT_EQ(pr4.size(), 24u);
+  EXPECT_DOUBLE_EQ(pr4[21], 1.0) << "op_trmm stays first-class";
+  EXPECT_DOUBLE_EQ(pr4[22], 0.0) << "kernel_generic";
+  EXPECT_DOUBLE_EQ(pr4[23], 1.0) << "kernel_avx2 (avx512 proxy)";
 
   // PR-3 23-column tier: four op one-hots; TRSM stays first-class but TRMM
   // (registered later) is proxied as a GEMM row.
@@ -377,6 +396,10 @@ TEST(Features, OpServedFirstClassFollowsTheFittedWidth) {
   for (const OpKind op : blas::all_ops()) {
     EXPECT_TRUE(op_served_first_class(op, kNumOpAwareFeatures))
         << blas::op_name(op);
+  }
+  // PR-4 24-column artefact (2-wide kernel block): all five ops first-class.
+  for (const OpKind op : blas::all_ops()) {
+    EXPECT_TRUE(op_served_first_class(op, 24)) << blas::op_name(op);
   }
   // PR-3 23-column artefact: trmm postdates it.
   EXPECT_TRUE(op_served_first_class(OpKind::kTrsm, 23));
