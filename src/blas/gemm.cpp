@@ -87,12 +87,15 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
   // thread, each participant's A slab inside the region. A serial call that
   // is already inside someone else's region keeps B in its own thread slab
   // instead, so two degraded-serial calls can never alias the shared slab.
-  PackArena& arena = PackArena::global();
   const std::size_t b_pack_elems = detail::b_panel_elems(ks, nc, n, kc);
   const std::size_t a_pack_elems = detail::a_panel_elems(ks, mc, kc);
   const bool serial = p == 1;  // includes nested-region degradation
   T* b_pack_ptr = nullptr;
-  if (!serial) b_pack_ptr = arena.shared_slab<T>(b_pack_elems);
+  std::shared_ptr<AlignedBuffer<T>> b_shared_fallback;  // arena-OOM degrade
+  if (!serial) {
+    b_pack_ptr =
+        detail::shared_slab_or_fallback<T>(b_pack_elems, b_shared_fallback);
+  }
 
   SpinBarrier barrier(p);
 
@@ -106,12 +109,16 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, T alpha,
     if (nt > 1) barrier.arrive_and_wait();
 
     // One carve per participant: the A panels, plus (serial case) B behind
-    // them in the same thread slab.
-    const auto carve = serial
-                           ? detail::carve_private_panels<T>(ks, mc, kc, nc, n)
-                           : detail::PanelCarve<T>{
-                                 nullptr, arena.thread_slab<T>(a_pack_elems),
-                                 b_pack_ptr};
+    // them in the same thread slab. Both paths degrade to a per-call buffer
+    // when arena growth throws (the carve's fallback member keeps it alive).
+    detail::PanelCarve<T> carve;
+    if (serial) {
+      carve = detail::carve_private_panels<T>(ks, mc, kc, nc, n);
+    } else {
+      carve.a_pack =
+          detail::thread_slab_or_fallback<T>(a_pack_elems, carve.fallback);
+      carve.b_pack = b_pack_ptr;
+    }
     T* a_pack = carve.a_pack;
     T* b_pack = carve.b_pack;
 

@@ -20,9 +20,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
+#include <new>
 
 #include "blas/gemm.h"
 #include "blas/kernels/kernel_set.h"
+#include "common/aligned_buffer.h"
 #include "common/pack_arena.h"
 #include "common/thread_pool.h"
 
@@ -83,6 +86,11 @@ struct PanelCarve {
   T* extra = nullptr;
   T* a_pack = nullptr;
   T* b_pack = nullptr;
+  /// Non-null only on the degraded path: arena growth threw bad_alloc and
+  /// the carve fell back to a per-call buffer (the PR-5 huge-TRMM fallback
+  /// generalised to every op). shared_ptr keeps the struct copyable — the
+  /// drivers pass carves by value into their macro loops.
+  std::shared_ptr<AlignedBuffer<T>> fallback;
 };
 
 /// Elements of one participant's packed-A block: full MR-row micro-panels
@@ -108,13 +116,52 @@ PanelCarve<T> carve_private_panels(const kernels::KernelSet<T>& ks, int mc,
                                    std::size_t extra_padded = 0) {
   const std::size_t a_padded =
       PackArena::padded_count<T>(a_panel_elems(ks, mc, kc));
-  T* slab = PackArena::global().thread_slab<T>(
-      extra_padded + a_padded + b_panel_elems(ks, nc, col_span, kc));
+  const std::size_t total =
+      extra_padded + a_padded + b_panel_elems(ks, nc, col_span, kc);
   PanelCarve<T> carve;
+  T* slab = nullptr;
+  try {
+    slab = PackArena::global().thread_slab<T>(total);
+  } catch (const std::bad_alloc&) {
+    // Arena growth failed (genuine exhaustion or the `arena-oom`
+    // failpoint): serve this call from a per-call buffer instead of
+    // failing it. If even that throws, the exception-safe ThreadPool
+    // rethrows on the calling thread — never std::terminate.
+    carve.fallback = std::make_shared<AlignedBuffer<T>>(total);
+    slab = carve.fallback->data();
+  }
   carve.extra = slab;
   carve.a_pack = slab + extra_padded;
   carve.b_pack = carve.a_pack + a_padded;
   return carve;
+}
+
+/// Shared-slab sibling of the carve fallback: returns the arena's shared
+/// slab, degrading to a per-call buffer (kept alive through `fallback`)
+/// when growth throws. Call from the orchestrating thread before the
+/// region opens, exactly like PackArena::shared_slab itself.
+template <typename T>
+T* shared_slab_or_fallback(std::size_t count,
+                           std::shared_ptr<AlignedBuffer<T>>& fallback) {
+  try {
+    return PackArena::global().shared_slab<T>(count);
+  } catch (const std::bad_alloc&) {
+    fallback = std::make_shared<AlignedBuffer<T>>(count);
+    return fallback->data();
+  }
+}
+
+/// Thread-slab sibling, for participants that carve a bare A block instead
+/// of going through carve_private_panels (GEMM's cooperative-B layout).
+template <typename T>
+T* thread_slab_or_fallback(std::size_t count,
+                           std::shared_ptr<AlignedBuffer<T>>& fallback) {
+  try {
+    return PackArena::global().thread_slab<T>(count);
+  } catch (const std::bad_alloc&) {
+    fallback = std::make_shared<AlignedBuffer<T>>(count);
+    return fallback->data();
+  }
 }
 
 /// Serial `row *= factor` over rows [row_lo, row_hi) of an ncols-wide

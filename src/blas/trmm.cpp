@@ -130,7 +130,6 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   // the arena exists for.
   constexpr std::size_t kMaxSharedCopyBytes = std::size_t{16} << 20;
   constexpr std::size_t kMaxThreadCopyBytes = kMaxSharedCopyBytes / 8;
-  PackArena& arena = PackArena::global();
   const std::size_t copy_elems = static_cast<std::size_t>(n) * m;
   const bool serial = p == 1;  // includes nested-region degradation
   const bool copy_in_arena =
@@ -140,6 +139,7 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   if (!copy_in_arena) copy_fallback = AlignedBuffer<T>(copy_elems);
   T* b_copy;
   detail::PanelCarve<T> serial_carve;
+  std::shared_ptr<AlignedBuffer<T>> shared_oom_fallback;  // arena-OOM degrade
   if (serial) {
     // One carve covers the copy (when it fits the per-thread budget) and
     // both panels; parallel participants carve their panels inside the
@@ -149,7 +149,8 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
         copy_in_arena ? PackArena::padded_count<T>(copy_elems) : 0);
     b_copy = copy_in_arena ? serial_carve.extra : copy_fallback.data();
   } else {
-    b_copy = copy_in_arena ? arena.shared_slab<T>(copy_elems)
+    b_copy = copy_in_arena ? detail::shared_slab_or_fallback<T>(
+                                 copy_elems, shared_oom_fallback)
                            : copy_fallback.data();
   }
 

@@ -39,27 +39,64 @@ void write_csv(const std::string& path, const CsvTable& table) {
   }
 }
 
+namespace {
+
+/// Parses one numeric cell strictly: the whole cell must be consumed (so
+/// "1.5x" or an empty cell is an error, unlike a bare std::stod call that
+/// stops at the first bad character and silently misparses).
+double parse_cell(const std::string& cell, const std::string& path,
+                  std::size_t lineno, std::size_t column) {
+  const std::string where =
+      path + ":" + std::to_string(lineno) + ": column " +
+      std::to_string(column + 1);
+  if (cell.empty()) {
+    throw std::runtime_error(where + ": empty cell");
+  }
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error(where + ": malformed number '" + cell + "'");
+  }
+  if (consumed != cell.size()) {
+    throw std::runtime_error(where + ": trailing junk in number '" + cell +
+                             "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 CsvTable read_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_csv: cannot open " + path);
   CsvTable table;
   std::string line;
+  std::size_t lineno = 0;
   if (!std::getline(in, line)) return table;
+  ++lineno;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
   {
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, ',')) table.header.push_back(cell);
   }
   while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::string cell;
     std::vector<double> row;
     while (std::getline(ss, cell, ',')) {
-      row.push_back(std::stod(cell));
+      row.push_back(parse_cell(cell, path, lineno, row.size()));
     }
     if (row.size() != table.header.size()) {
-      throw std::runtime_error("read_csv: ragged row in " + path);
+      throw std::runtime_error(
+          path + ":" + std::to_string(lineno) + ": expected " +
+          std::to_string(table.header.size()) + " columns, got " +
+          std::to_string(row.size()));
     }
     table.rows.push_back(std::move(row));
   }

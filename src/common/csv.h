@@ -18,6 +18,13 @@ struct CsvTable {
 };
 
 void write_csv(const std::string& path, const CsvTable& table);
-CsvTable read_csv(const std::string& path);  ///< throws on malformed input
+
+/// Reads a numeric CSV. Malformed input throws std::runtime_error with a
+/// "<path>:<line>: ..." message: non-numeric or empty cells, trailing junk
+/// after a number, and short/ragged rows are all rejected with the 1-based
+/// line number instead of being silently misparsed (a truncated timings.csv
+/// must fail loudly, not train a model on garbage). CRLF line endings are
+/// tolerated.
+CsvTable read_csv(const std::string& path);
 
 }  // namespace adsala

@@ -1,0 +1,78 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace adsala::failpoint {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<std::string, std::less<>>& registry() {
+  static std::set<std::string, std::less<>> s;
+  return s;
+}
+
+/// Armed-name count mirror of the registry: triggered() short-circuits on
+/// it without taking the mutex, so an unarmed process pays one relaxed
+/// load per site.
+std::atomic<int>& armed_count() {
+  static std::atomic<int> n{0};
+  return n;
+}
+
+std::once_flag env_once;
+
+}  // namespace
+
+void arm(std::string_view name) {
+  std::lock_guard lock(registry_mutex());
+  if (registry().emplace(name).second) {
+    armed_count().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm(std::string_view name) {
+  std::lock_guard lock(registry_mutex());
+  auto it = registry().find(name);
+  if (it != registry().end()) {
+    registry().erase(it);
+    armed_count().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard lock(registry_mutex());
+  armed_count().fetch_sub(static_cast<int>(registry().size()),
+                          std::memory_order_relaxed);
+  registry().clear();
+}
+
+void reload_from_env() {
+  const char* env = std::getenv("ADSALA_FAILPOINT");
+  if (env == nullptr) return;
+  std::string_view list(env);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view token = list.substr(0, comma);
+    if (!token.empty()) arm(token);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+bool triggered(std::string_view name) {
+  std::call_once(env_once, reload_from_env);
+  if (armed_count().load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard lock(registry_mutex());
+  return registry().find(name) != registry().end();
+}
+
+}  // namespace adsala::failpoint

@@ -1,0 +1,54 @@
+// Test-only failpoint registry — deterministic fault injection for the
+// fail-safe serving tests (tests/test_faults.cpp).
+//
+// A failpoint is a named site in production code that, when armed, injects
+// the failure the surrounding code claims to survive. Arming is either
+// programmatic (failpoint::arm / failpoint::Scoped in tests) or via the
+// environment: ADSALA_FAILPOINT=name1,name2 arms the listed names at first
+// use, so a CI leg can drive a full binary through its failure paths
+// without recompiling.
+//
+// The registry is deliberately tiny: triggered() is one relaxed atomic load
+// when nothing is armed (the production fast path costs no lock), and a
+// mutex-guarded set lookup otherwise. Sites check by literal name; the
+// names in use are documented in docs/OPERATIONS.md:
+//
+//   json-truncate     read_json_file returns only the first half of the
+//                     file's bytes (artefact truncation mid-write)
+//   model-nan-weight  AdsalaGemm::try_load sees a NaN smuggled into the
+//                     model blob's first numeric array (corrupt weight)
+//   arena-oom         PackArena::grow throws std::bad_alloc (slab growth
+//                     failure; ops must degrade to per-call buffers)
+//   worker-throw      a ThreadPool region worker (tid != 0) throws; the
+//                     region must capture and rethrow on the caller
+#pragma once
+
+#include <string_view>
+
+namespace adsala::failpoint {
+
+/// True when `name` is armed. O(1) relaxed load when nothing is armed.
+bool triggered(std::string_view name);
+
+void arm(std::string_view name);
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Re-reads ADSALA_FAILPOINT and arms every comma-separated name in it
+/// (additive; does not disarm anything). Called once automatically at
+/// first triggered(); exposed so tests can exercise the env path.
+void reload_from_env();
+
+/// RAII arm-for-a-scope.
+class Scoped {
+ public:
+  explicit Scoped(std::string_view name) : name_(name) { arm(name_); }
+  ~Scoped() { disarm(name_); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace adsala::failpoint

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/failpoint.h"
+
 namespace adsala {
 
 const Json& Json::at(const std::string& key) const {
@@ -328,12 +330,31 @@ void write_json_file(const std::string& path, const Json& value) {
   out << value.dump(2) << '\n';
 }
 
-Json read_json_file(const std::string& path) {
+Expected<Json> try_read_json_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_json_file: cannot open " + path);
+  if (!in) {
+    return Error{ErrorCode::kNotFound,
+                 "read_json_file: cannot open " + path};
+  }
   std::stringstream ss;
   ss << in.rdbuf();
-  return Json::parse(ss.str());
+  std::string text = ss.str();
+  if (failpoint::triggered("json-truncate")) {
+    text.resize(text.size() / 2);  // simulated torn write
+  }
+  try {
+    return Json::parse(text);
+  } catch (const std::exception& e) {
+    // Parse errors carry the byte offset only; a caller juggling several
+    // artefact files needs to know *which* file tore.
+    return Error{ErrorCode::kParseError, path + ": " + e.what()};
+  }
+}
+
+Json read_json_file(const std::string& path) {
+  auto result = try_read_json_file(path);
+  if (!result.ok()) throw std::runtime_error(result.error().message);
+  return std::move(result).value();
 }
 
 }  // namespace adsala

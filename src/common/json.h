@@ -13,6 +13,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/status.h"
+
 namespace adsala {
 
 class Json;
@@ -72,6 +74,17 @@ class Json {
 
 /// File helpers; throw std::runtime_error on I/O failure.
 void write_json_file(const std::string& path, const Json& value);
+
+/// Reads and parses a JSON file; every failure message is path-qualified
+/// ("<path>: json parse error at byte N: ..."), never just a byte offset.
+/// Throws std::runtime_error; the serving path uses try_read_json_file.
 Json read_json_file(const std::string& path);
+
+/// Non-throwing sibling of read_json_file for the fail-safe serving layer:
+/// kNotFound when the file cannot be opened, kParseError (path-qualified
+/// message) when it cannot be decoded. Honours the `json-truncate`
+/// failpoint (common/failpoint.h), which drops the second half of the
+/// file's bytes to simulate a torn artefact write.
+Expected<Json> try_read_json_file(const std::string& path);
 
 }  // namespace adsala

@@ -1,6 +1,9 @@
 #include "common/pack_arena.h"
 
 #include <algorithm>
+#include <new>
+
+#include "common/failpoint.h"
 
 namespace adsala {
 
@@ -15,6 +18,10 @@ PackArena::Slab& PackArena::thread_slab_storage() {
 }
 
 void* PackArena::grow(Slab& slab, std::size_t bytes) {
+  // Simulated arena exhaustion: throw as if the growth below failed, even
+  // when the slab would have fitted — the carve-site fallbacks must work
+  // no matter which call trips OOM.
+  if (failpoint::triggered("arena-oom")) throw std::bad_alloc();
   if (slab.buf.size() < bytes) {
     // Geometric growth bounds the number of reallocations a ramp of
     // increasing shapes can trigger; the old slab's contents are scratch, so

@@ -29,13 +29,15 @@
 // invalidates its previous pointer) — padded_count() keeps multi-buffer
 // carves 64-byte aligned.
 //
-// Out-of-memory: a slab growth that fails inside a parallel region throws
-// std::bad_alloc out of a worker, which terminates the process (propagating
-// it would still leave the other participants hung at the next barrier).
-// This matches what the barrier-free ops' per-call AlignedBuffers already
-// did pre-arena; growth is a few MB against operand matrices orders of
-// magnitude larger, so a process that trips it was out of runway anyway.
-// Serial calls grow on the calling thread and throw catchably as before.
+// Out-of-memory: a failed slab growth throws std::bad_alloc from grow().
+// The level-3 drivers catch it at the carve sites (blas/level3_common.h)
+// and degrade to a per-call AlignedBuffer — the same fallback the huge-TRMM
+// copy cap already used — so a BLAS call survives arena exhaustion at the
+// cost of one allocation. A throw that does escape into a parallel region
+// is captured by the exception-safe ThreadPool and rethrown on the calling
+// thread after the join (workers never std::terminate). The `arena-oom`
+// failpoint (common/failpoint.h) makes grow() throw unconditionally, which
+// is how tests/test_faults.cpp proves both layers.
 #pragma once
 
 #include <atomic>

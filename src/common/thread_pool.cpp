@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/failpoint.h"
 
 namespace adsala {
 
@@ -90,7 +93,20 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       continue;
     }
     t_in_region = true;
-    (*job)(tid, nthreads);
+    try {
+      if (failpoint::triggered("worker-throw")) {
+        throw std::runtime_error("failpoint worker-throw: injected worker "
+                                 "exception (tid " + std::to_string(tid) +
+                                 ")");
+      }
+      (*job)(tid, nthreads);
+    } catch (...) {
+      // Never let an exception escape the worker loop (that would be
+      // std::terminate). First capture wins; the caller rethrows it after
+      // the join, when every participant has left the region.
+      std::lock_guard lock(mutex_);
+      if (!region_exception_) region_exception_ = std::current_exception();
+    }
     t_in_region = false;
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last worker out. The caller may already be parked on cv_done_;
@@ -119,10 +135,19 @@ void ThreadPool::parallel_region(
     job_ = &fn;
     job_threads_ = nthreads;
     remaining_.store(nthreads - 1, std::memory_order_relaxed);
+    region_exception_ = nullptr;
     generation_.fetch_add(1, std::memory_order_release);
   }
   cv_start_.notify_all();
-  fn(0, nthreads);
+  try {
+    fn(0, nthreads);
+  } catch (...) {
+    // The caller's own throw must not skip the join: the workers still hold
+    // references into fn's closure. Stash it in the shared first-wins slot
+    // and fall through to the join below.
+    std::lock_guard lock(mutex_);
+    if (!region_exception_) region_exception_ = std::current_exception();
+  }
   // Join wait, mirror image of the workers' fork wait: spin briefly for the
   // common case of similarly-loaded participants, then sleep.
   int spins = 0;
@@ -139,11 +164,17 @@ void ThreadPool::parallel_region(
     }
     cpu_relax();
   }
+  std::exception_ptr first;
   {
     std::lock_guard lock(mutex_);
     job_ = nullptr;
+    first = region_exception_;
+    region_exception_ = nullptr;
   }
   t_in_region = false;
+  // Rethrown only now: every participant has left the region, the pool is
+  // back to idle, and the caller's unwind cannot race worker cleanup.
+  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::parallel_for(std::size_t nthreads, std::size_t begin,

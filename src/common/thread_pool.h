@@ -12,11 +12,20 @@
 // thread-count model is trained on) hand off in the spin window without
 // paying a futex wakeup per region, while an idle pool still parks its
 // workers instead of burning a core each.
+//
+// Exception safety: a throw from the region body (any participant, worker
+// or caller) never calls std::terminate. Workers run the body under a
+// catch-all; the first captured exception is stashed and rethrown on the
+// CALLING thread after the join barrier, so every participant has left the
+// region and the pool is reusable before the caller's unwind begins. Later
+// exceptions from the same region are dropped (first wins) — the serving
+// contract needs one representative failure, not all of them.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,6 +48,9 @@ class ThreadPool {
 
   /// Runs fn(tid, nthreads) on `nthreads` participants and joins. nthreads is
   /// clamped to [1, max_threads()]. Not reentrant; one region at a time.
+  /// Exception-safe: if any participant throws, the first exception is
+  /// rethrown here (on the calling thread) after all participants joined;
+  /// workers never terminate the process.
   void parallel_region(std::size_t nthreads,
                        const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -70,6 +82,10 @@ class ThreadPool {
   std::atomic<std::size_t> generation_{0};
   std::atomic<std::size_t> remaining_{0};  // workers yet to finish the region
   std::atomic<bool> stop_{false};
+  /// First exception thrown by any participant of the current region;
+  /// guarded by mutex_, cleared at region start, rethrown by the caller
+  /// after the join.
+  std::exception_ptr region_exception_;
 };
 
 }  // namespace adsala

@@ -1,9 +1,97 @@
 #include "core/adsala.h"
 
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "common/failpoint.h"
 #include "common/json.h"
+#include "core/executor.h"
 #include "core/op_registry.h"
+#include "preprocess/features.h"
 
 namespace adsala::core {
+
+namespace {
+
+/// Format stamps written by save() and validated by try_load(). Absent
+/// stamps are accepted (every artefact before this PR lacks them — the
+/// schema-width tiers disambiguate those); a *wrong* stamp means the file
+/// is from an incompatible future version and must be rejected rather than
+/// half-decoded.
+constexpr const char* kModelFormat = "adsala/model/v1";
+constexpr const char* kConfigFormat = "adsala/config/v1";
+
+Error validation_error(const std::string& path, const std::string& what) {
+  return Error{ErrorCode::kValidationError, path + ": " + what};
+}
+
+/// Rejects any non-finite number in an artefact blob. A NaN model weight
+/// serialises as JSON null (the writer has no NaN literal), so null is
+/// rejected too — model blobs contain no legitimate nulls.
+bool all_finite(const Json& blob) {
+  if (blob.is_null()) return false;
+  if (blob.is_number()) return std::isfinite(blob.as_number());
+  if (blob.is_array()) {
+    for (const auto& v : blob.as_array()) {
+      if (!all_finite(v)) return false;
+    }
+    return true;
+  }
+  if (blob.is_object()) {
+    for (const auto& [key, value] : blob.as_object()) {
+      (void)key;
+      if (!all_finite(value)) return false;
+    }
+    return true;
+  }
+  return true;  // bools / strings carry no numeric payload
+}
+
+/// Failpoint hook: smuggles a NaN into the blob's first numeric array leaf
+/// (a corrupt weight the validation walk must catch). Returns true when a
+/// leaf was found.
+bool inject_nan(Json& blob) {
+  if (blob.is_array()) {
+    for (auto& v : blob.as_array()) {
+      if (v.is_number()) {
+        v = Json(std::nan(""));
+        return true;
+      }
+      if (inject_nan(v)) return true;
+    }
+    return false;
+  }
+  if (blob.is_object()) {
+    for (auto& [key, value] : blob.as_object()) {
+      (void)key;
+      if (inject_nan(value)) return true;
+    }
+  }
+  return false;
+}
+
+/// True when `width` is one of the known fitted-schema widths: the PR-1
+/// numeric-only 17, or an op-aware tier between the PR-2 floor (21) and the
+/// current full schema. Anything else is an artefact from an incompatible
+/// build and must not be served (make_query_features would build garbage
+/// rows for it).
+bool known_schema_width(std::size_t width) {
+  return width == preprocess::kNumFeatures ||
+         (width >= preprocess::kNumLegacyOpAwareFeatures &&
+          width <= preprocess::kNumOpAwareFeatures);
+}
+
+}  // namespace
+
+const char* serving_mode_name(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kModelServed: return "model";
+    case ServingMode::kGemmProxy: return "gemm_proxy";
+    case ServingMode::kHeuristicFallback: return "heuristic";
+  }
+  return "heuristic";
+}
 
 AdsalaGemm::AdsalaGemm(TrainOutput trained)
     : model_(std::move(trained.model)),
@@ -15,24 +103,183 @@ AdsalaGemm::AdsalaGemm(TrainOutput trained)
 
 AdsalaGemm::AdsalaGemm(const std::string& model_path,
                        const std::string& config_path) {
-  const Json model_blob = read_json_file(model_path);
-  model_ = ml::load_model(model_blob);
-  model_name_ = model_blob.at("model").as_string();
+  auto loaded = try_load(model_path, config_path);
+  if (!loaded.ok()) throw std::runtime_error(loaded.error().message);
+  *this = std::move(loaded).value();
+}
 
-  const Json config = read_json_file(config_path);
-  pipeline_.load(config.at("pipeline"));
-  platform_ = config.at("platform").as_string();
-  max_threads_ = config.at("max_threads").as_int();
-  thread_grid_.clear();
-  for (const auto& v : config.at("thread_grid").as_array()) {
-    thread_grid_.push_back(v.as_int());
+Expected<AdsalaGemm> AdsalaGemm::try_load(const std::string& model_path,
+                                          const std::string& config_path) {
+  // --- decode both files (kNotFound / kParseError, path-qualified) -------
+  auto model_blob = try_read_json_file(model_path);
+  if (!model_blob.ok()) return model_blob.error();
+  auto config = try_read_json_file(config_path);
+  if (!config.ok()) return config.error();
+
+  if (failpoint::triggered("model-nan-weight")) {
+    inject_nan(model_blob.value());
   }
+
+  // --- config validation (kValidationError) ------------------------------
+  const Json& cfg = config.value();
+  if (!cfg.is_object()) {
+    return validation_error(config_path, "config root is not an object");
+  }
+  if (cfg.contains("format") &&
+      (!cfg.at("format").is_string() ||
+       cfg.at("format").as_string() != kConfigFormat)) {
+    return validation_error(config_path, "unknown config format stamp");
+  }
+  for (const char* key : {"platform", "max_threads", "thread_grid",
+                          "pipeline"}) {
+    if (!cfg.contains(key)) {
+      return validation_error(config_path,
+                              std::string("missing field '") + key + "'");
+    }
+  }
+  if (!cfg.at("platform").is_string() ||
+      !cfg.at("max_threads").is_number() ||
+      !cfg.at("thread_grid").is_array() || !cfg.at("pipeline").is_object()) {
+    return validation_error(config_path, "field with wrong type");
+  }
+  const int max_threads = cfg.at("max_threads").as_int();
+  if (max_threads < 1) {
+    return validation_error(config_path, "max_threads must be positive");
+  }
+  const auto& grid_json = cfg.at("thread_grid").as_array();
+  if (grid_json.empty()) {
+    return validation_error(config_path, "thread_grid is empty");
+  }
+  std::vector<int> thread_grid;
+  thread_grid.reserve(grid_json.size());
+  for (const auto& v : grid_json) {
+    if (!v.is_number() || !std::isfinite(v.as_number()) ||
+        v.as_number() != std::floor(v.as_number())) {
+      return validation_error(config_path,
+                              "thread_grid entry is not an integer");
+    }
+    const int p = v.as_int();
+    if (p < 1) {
+      return validation_error(config_path,
+                              "thread_grid entry must be positive");
+    }
+    if (!thread_grid.empty() && p <= thread_grid.back()) {
+      return validation_error(config_path,
+                              "thread_grid must be strictly increasing");
+    }
+    thread_grid.push_back(p);
+  }
+  if (thread_grid.back() > max_threads) {
+    return validation_error(config_path,
+                            "thread_grid exceeds max_threads");
+  }
+
+  preprocess::Pipeline pipeline;
+  try {
+    pipeline.load(cfg.at("pipeline"));
+  } catch (const std::exception&) {
+    return validation_error(config_path, "malformed pipeline section");
+  }
+  if (!known_schema_width(pipeline.n_input_features())) {
+    return validation_error(
+        config_path,
+        "unknown pipeline schema width " +
+            std::to_string(pipeline.n_input_features()) +
+            " (known: 17, 21.." +
+            std::to_string(preprocess::kNumOpAwareFeatures) + ")");
+  }
+
+  // --- model validation (kValidationError) --------------------------------
+  const Json& blob = model_blob.value();
+  if (!blob.is_object() || !blob.contains("model") ||
+      !blob.at("model").is_string()) {
+    return validation_error(model_path, "missing 'model' name field");
+  }
+  if (blob.contains("format") &&
+      (!blob.at("format").is_string() ||
+       blob.at("format").as_string() != kModelFormat)) {
+    return validation_error(model_path, "unknown model format stamp");
+  }
+  if (!all_finite(blob)) {
+    return validation_error(
+        model_path, "non-finite model weight (NaN serialises as null)");
+  }
+  std::unique_ptr<ml::Regressor> model;
+  try {
+    model = ml::load_model(blob);
+  } catch (const std::exception& e) {
+    return validation_error(model_path, e.what());
+  }
+
+  // --- all checks passed: construct ---------------------------------------
+  AdsalaGemm runtime;
+  runtime.model_ = std::move(model);
+  runtime.model_name_ = blob.at("model").as_string();
+  runtime.pipeline_ = std::move(pipeline);
+  runtime.platform_ = cfg.at("platform").as_string();
+  runtime.max_threads_ = max_threads;
+  runtime.thread_grid_ = std::move(thread_grid);
+  return runtime;
+}
+
+AdsalaGemm AdsalaGemm::load_or_fallback(const std::string& model_path,
+                                        const std::string& config_path,
+                                        Error* why) {
+  auto loaded = try_load(model_path, config_path);
+  if (loaded.ok()) {
+    if (why != nullptr) *why = Error{};
+    return std::move(loaded).value();
+  }
+  if (why != nullptr) *why = loaded.error();
+  return heuristic_fallback();
+}
+
+AdsalaGemm AdsalaGemm::heuristic_fallback(int max_threads) {
+  const int hw = max_threads > 0
+                     ? max_threads
+                     : static_cast<int>(
+                           std::max(1u, std::thread::hardware_concurrency()));
+  // A host-shaped single-socket topology over the default cost literals:
+  // the analytic model then reproduces the qualitative occupancy rule
+  // (memory-bound small shapes want few threads, compute-bound large ones
+  // want the machine) without any trained artefact.
+  simarch::CpuTopology topo;
+  topo.name = "heuristic";
+  topo.sockets = 1;
+  topo.numa_per_socket = 1;
+  topo.smt_per_core = hw >= 2 ? 2 : 1;
+  topo.cores_per_socket = std::max(1, hw / topo.smt_per_core);
+
+  AdsalaGemm runtime;
+  runtime.fallback_model_ = std::make_unique<simarch::MachineModel>(topo);
+  runtime.max_threads_ = hw;
+  runtime.thread_grid_ = default_thread_grid(hw);
+  runtime.platform_ = "heuristic-fallback";
+  runtime.model_name_ = "heuristic";
+  return runtime;
+}
+
+ServingMode AdsalaGemm::serving_mode(blas::OpKind op) const {
+  if (model_ == nullptr) return ServingMode::kHeuristicFallback;
+  if (op == blas::OpKind::kGemm) return ServingMode::kModelServed;
+  if (op_aware() && preprocess::op_served_first_class(
+                        op, pipeline_.n_input_features())) {
+    return ServingMode::kModelServed;
+  }
+  return ServingMode::kGemmProxy;
 }
 
 void AdsalaGemm::save(const std::string& model_path,
                       const std::string& config_path) const {
-  write_json_file(model_path, model_->save());
+  if (model_ == nullptr) {
+    throw std::logic_error(
+        "AdsalaGemm::save: heuristic fallback has no artefacts to save");
+  }
+  Json model_blob = model_->save();
+  model_blob["format"] = Json(kModelFormat);
+  write_json_file(model_path, model_blob);
   Json config;
+  config["format"] = Json(kConfigFormat);
   config["platform"] = Json(platform_);
   config["max_threads"] = Json(max_threads_);
   JsonArray grid;
@@ -47,11 +294,34 @@ bool AdsalaGemm::op_aware() const {
   // An op indicator must have *survived* preprocessing: a GEMM-only campaign
   // gathered with the op-aware schema drops the constant op_* columns at
   // fit time and therefore answers family queries exactly like the proxy.
+  if (model_ == nullptr) return false;
   const auto& names = pipeline_.input_feature_names();
   for (std::size_t j : pipeline_.kept_features()) {
     if (names[j].rfind("op_", 0) == 0) return true;
   }
   return false;
+}
+
+int AdsalaGemm::heuristic_threads(blas::OpKind op,
+                                  const simarch::GemmShape& shape) {
+  // Deterministic analytic argmin over the grid, through the op's registry
+  // cost model on the equivalent-GEMM shape — the same literals the
+  // simulated platforms are timed with, so the occupancy rule inherits
+  // their qualitative behaviour (skinny shapes cap out early, big cubes
+  // take the machine).
+  const simarch::OpCostModel& cost = op_traits(op).cost;
+  simarch::ExecPolicy policy;
+  int best = thread_grid_.front();
+  double best_time = 0.0;
+  for (std::size_t i = 0; i < thread_grid_.size(); ++i) {
+    policy.nthreads = thread_grid_[i];
+    const double t = fallback_model_->time_op(shape, policy, cost).total();
+    if (i == 0 || t < best_time) {
+      best_time = t;
+      best = thread_grid_[i];
+    }
+  }
+  return best;
 }
 
 int AdsalaGemm::select_threads_impl(blas::OpKind op, long m, long k, long n,
@@ -61,14 +331,20 @@ int AdsalaGemm::select_threads_impl(blas::OpKind op, long m, long k, long n,
     return last_threads_;  // repeated-query fast path
   }
   simarch::GemmShape shape{m, k, n, elem_bytes};
-  const std::size_t best =
-      predict_best_grid_index(*model_, pipeline_, shape, thread_grid_, op);
+  int threads = 0;
+  if (model_ != nullptr) {
+    const std::size_t best =
+        predict_best_grid_index(*model_, pipeline_, shape, thread_grid_, op);
+    threads = thread_grid_[best];
+  } else {
+    threads = heuristic_threads(op, shape);  // degraded serving mode
+  }
   last_op_ = op;
   last_m_ = m;
   last_k_ = k;
   last_n_ = n;
   last_elem_ = elem_bytes;
-  last_threads_ = thread_grid_[best];
+  last_threads_ = threads;
   return last_threads_;
 }
 
@@ -77,7 +353,8 @@ int AdsalaGemm::select_threads(blas::OpKind op, long x, long y, long z,
   // The registry canonicalises the family coordinates into the stored
   // equivalent-GEMM shape, which serves every schema tier: an op-aware
   // pipeline differentiates via the op_* one-hots, an older one sees the
-  // plain GEMM-proxy query of the same shape.
+  // plain GEMM-proxy query of the same shape, and the heuristic fallback
+  // applies its occupancy rule to the same equivalent-GEMM work.
   const simarch::GemmShape shape = op_traits(op).to_shape(x, y, z, elem_bytes);
   return select_threads_impl(op, shape.m, shape.k, shape.n, elem_bytes);
 }

@@ -16,6 +16,12 @@
 // the GEMM-proxy heuristic: the model is queried with the equivalent-work
 // shape (SYRK: (n, k, n); TRSM/SYMM/TRMM: (n, n, m)), whose parallel
 // structure transfers approximately.
+//
+// Fail-safe serving: try_load validates artefacts without throwing, and
+// load_or_fallback degrades to a built-in analytic occupancy heuristic when
+// they are missing or corrupt, so a drop-in sgemm replacement can promise
+// "never crashes on a bad install". serving_mode() reports which rung of
+// the ladder (model -> GEMM proxy -> heuristic) answered.
 #pragma once
 
 #include <memory>
@@ -26,20 +32,61 @@
 #include "blas/symm.h"
 #include "blas/syrk.h"
 #include "blas/trsm.h"
+#include "common/status.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
+
+/// How a select_threads answer was produced — the fail-safe serving ladder
+/// (docs/OPERATIONS.md, "Failure modes and degraded serving"):
+///   kModelServed        the trained model answered for this op first-class
+///   kGemmProxy          the model answered, but through the equivalent-GEMM
+///                       proxy (op postdates the artefact's schema)
+///   kHeuristicFallback  no usable artefacts; a built-in analytic occupancy
+///                       rule (simarch::MachineModel literals) answered
+enum class ServingMode { kModelServed, kGemmProxy, kHeuristicFallback };
+
+/// Stable name for logs/CLI: "model", "gemm_proxy", "heuristic".
+const char* serving_mode_name(ServingMode mode);
 
 class AdsalaGemm {
  public:
   /// Builds directly from a finished training run.
   explicit AdsalaGemm(TrainOutput trained);
 
-  /// Loads the two installation artefacts (paper Fig. 2 outputs).
+  /// Loads the two installation artefacts (paper Fig. 2 outputs); throws
+  /// std::runtime_error with the try_load error message on any failure.
   AdsalaGemm(const std::string& model_path, const std::string& config_path);
+
+  /// Non-throwing artefact loading with full validation: missing files map
+  /// to kNotFound, undecodable ones to kParseError (path-qualified), and
+  /// decodable-but-unusable ones to kValidationError — unknown format
+  /// stamp, unknown model name, unknown pipeline schema width, empty or
+  /// non-positive or unsorted thread_grid, non-positive max_threads,
+  /// non-finite model weights. Construction only happens after every check
+  /// passes, so a failed load leaves no half-initialised runtime behind.
+  static Expected<AdsalaGemm> try_load(const std::string& model_path,
+                                       const std::string& config_path);
+
+  /// The fail-safe entry point for serving: try_load, and on ANY failure a
+  /// degraded runtime whose serving_mode() is kHeuristicFallback (the
+  /// analytic occupancy rule below). Never throws for artefact problems;
+  /// `why` (optional) receives the load error, kOk on success.
+  static AdsalaGemm load_or_fallback(const std::string& model_path,
+                                     const std::string& config_path,
+                                     Error* why = nullptr);
+
+  /// A model-less runtime answering every query from the analytic
+  /// occupancy heuristic. `max_threads` <= 0 means hardware concurrency.
+  static AdsalaGemm heuristic_fallback(int max_threads = 0);
 
   AdsalaGemm(AdsalaGemm&&) = default;
   AdsalaGemm& operator=(AdsalaGemm&&) = default;
+
+  /// The serving ladder rung answers for `op` currently come from. Depends
+  /// on the op because one artefact can serve GEMM first-class while
+  /// proxying a family that postdates its schema.
+  ServingMode serving_mode(blas::OpKind op = blas::OpKind::kGemm) const;
 
   /// Predicted-optimal thread count for any registered operation, queried
   /// by its family coordinates (docs/OPERATIONS.md): GEMM takes (m, k, n),
@@ -104,20 +151,29 @@ class AdsalaGemm {
   const std::string& platform() const { return platform_; }
   int max_threads() const { return max_threads_; }
   const std::vector<int>& thread_grid() const { return thread_grid_; }
+  /// Only valid when serving_mode() != kHeuristicFallback.
   const ml::Regressor& model() const { return *model_; }
   const preprocess::Pipeline& pipeline() const { return pipeline_; }
   const std::string& model_name() const { return model_name_; }
 
-  /// Saves the two artefacts (model file + config file).
+  /// Saves the two artefacts (model file + config file), stamped with the
+  /// format markers try_load validates ("adsala/model/v1",
+  /// "adsala/config/v1"). Requires a model (not the heuristic fallback).
   void save(const std::string& model_path,
             const std::string& config_path) const;
 
  private:
+  AdsalaGemm() = default;  // used by try_load / heuristic_fallback
+
   int select_threads_impl(blas::OpKind op, long m, long k, long n,
                           int elem_bytes);
+  /// Analytic occupancy argmin over thread_grid_ (heuristic mode only).
+  int heuristic_threads(blas::OpKind op, const simarch::GemmShape& shape);
 
   std::unique_ptr<ml::Regressor> model_;
   preprocess::Pipeline pipeline_;
+  /// Analytic stand-in model; non-null exactly in heuristic mode.
+  std::unique_ptr<simarch::MachineModel> fallback_model_;
   std::vector<int> thread_grid_;
   int max_threads_ = 0;
   std::string platform_;

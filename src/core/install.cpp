@@ -1,5 +1,8 @@
 #include "core/install.h"
 
+#include <stdexcept>
+
+#include "common/status.h"
 #include "common/timer.h"
 #include "core/adsala.h"
 
@@ -43,6 +46,19 @@ InstallReport install(GemmExecutor& executor, const InstallOptions& options) {
   copy.model = ml::load_model(report.trained.model->save());
   AdsalaGemm runtime(std::move(copy));
   runtime.save(report.model_path, report.config_path);
+
+  // Write-then-verify: run the freshly written pair through the serving
+  // layer's full validation ladder before declaring the install done. A
+  // failure here is an installer bug (or a dying disk), and catching it now
+  // — with the taxonomy's path-qualified message — beats every future
+  // process booting into heuristic fallback.
+  auto verify = AdsalaGemm::try_load(report.model_path, report.config_path);
+  if (!verify.ok()) {
+    throw std::runtime_error(
+        "install: written artefacts fail validation (" +
+        std::string(error_code_name(verify.error().code)) +
+        "): " + verify.error().message);
+  }
 
   return report;
 }

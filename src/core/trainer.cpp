@@ -125,7 +125,24 @@ double measure_eval_time_s(const ml::Regressor& model,
 TrainOutput train_and_select(const GatherData& gathered,
                              const TrainOptions& options) {
   if (gathered.records.size() < 10) {
-    throw std::invalid_argument("train_and_select: too few gathered shapes");
+    throw std::invalid_argument(
+        "train_and_select: too few gathered shapes (" +
+        std::to_string(gathered.records.size()) + ", need >= 10)");
+  }
+  // Reloaded timing files (install --reuse) can carry a damaged grid; the
+  // same invariants try_load enforces on artefacts hold for training input,
+  // and checking here fails the install instead of baking the damage into
+  // an artefact that every later load rejects.
+  if (gathered.thread_grid.empty()) {
+    throw std::invalid_argument("train_and_select: empty thread grid");
+  }
+  for (std::size_t i = 0; i < gathered.thread_grid.size(); ++i) {
+    if (gathered.thread_grid[i] < 1 ||
+        (i > 0 && gathered.thread_grid[i] <= gathered.thread_grid[i - 1])) {
+      throw std::invalid_argument(
+          "train_and_select: thread grid must be positive and strictly "
+          "increasing");
+    }
   }
   TrainOutput out;
   out.thread_grid = gathered.thread_grid;

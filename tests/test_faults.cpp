@@ -1,0 +1,566 @@
+// Fault-injection suite for the fail-safe serving layer (ISSUE 6).
+//
+// The contract under test: NO artefact corruption, allocation failure, or
+// worker exception may crash the process. Bad artefacts map to the error
+// taxonomy (common/status.h), serving degrades down the ladder
+// model -> GEMM proxy -> analytic heuristic, and exceptions inside parallel
+// regions rethrow on the calling thread. Every test in this binary doubles
+// as a no-crash check — a std::terminate or abort anywhere fails the run.
+//
+// Corrupted artefacts are generated from one frozen good install (shared
+// across the suite) by targeted JSON surgery, so each fixture isolates
+// exactly one defect.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "blas/gemm.h"
+#include "blas/trmm.h"
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/adsala.h"
+#include "core/executor.h"
+#include "core/gather.h"
+#include "core/trainer.h"
+
+namespace adsala::core {
+namespace {
+
+// ------------------------------------------------------------ error taxonomy
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kValidationError),
+               "validation_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(Status, ExitCodesAreDistinctPerFailureClass) {
+  EXPECT_EQ(exit_code_for(ErrorCode::kOk), 0);
+  EXPECT_EQ(exit_code_for(ErrorCode::kNotFound), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kParseError), 4);
+  EXPECT_EQ(exit_code_for(ErrorCode::kValidationError), 5);
+  EXPECT_EQ(exit_code_for(ErrorCode::kResourceExhausted), 6);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 1);
+}
+
+TEST(Status, ExpectedCarriesValueOrError) {
+  Expected<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(Expected<int>(41).value_or(0), 41);
+
+  Expected<int> bad(Error{ErrorCode::kParseError, "boom"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(bad.error().message, "boom");
+  EXPECT_EQ(std::move(bad).value_or(-1), -1);
+}
+
+// --------------------------------------------------------- failpoint registry
+
+TEST(Failpoint, ArmDisarmAndScoped) {
+  EXPECT_FALSE(failpoint::triggered("arena-oom"));
+  failpoint::arm("arena-oom");
+  EXPECT_TRUE(failpoint::triggered("arena-oom"));
+  failpoint::disarm("arena-oom");
+  EXPECT_FALSE(failpoint::triggered("arena-oom"));
+  {
+    failpoint::Scoped fp("worker-throw");
+    EXPECT_TRUE(failpoint::triggered("worker-throw"));
+  }
+  EXPECT_FALSE(failpoint::triggered("worker-throw"));
+}
+
+TEST(Failpoint, ReloadFromEnvParsesCommaList) {
+  ::setenv("ADSALA_FAILPOINT", "json-truncate,model-nan-weight", 1);
+  failpoint::reload_from_env();
+  EXPECT_TRUE(failpoint::triggered("json-truncate"));
+  EXPECT_TRUE(failpoint::triggered("model-nan-weight"));
+  EXPECT_FALSE(failpoint::triggered("arena-oom"));
+  ::unsetenv("ADSALA_FAILPOINT");
+  failpoint::disarm_all();
+  EXPECT_FALSE(failpoint::triggered("json-truncate"));
+  EXPECT_FALSE(failpoint::triggered("model-nan-weight"));
+}
+
+// ----------------------------------------------------- corrupted-artefact kit
+
+/// One frozen good install shared by the whole suite; each corruption test
+/// copies it and applies one targeted defect.
+class ArtefactCorpus : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string("/tmp/adsala_test_faults");
+    std::filesystem::remove_all(*dir_);
+    std::filesystem::create_directories(*dir_);
+    SimulatedExecutor ex(
+        simarch::MachineModel(simarch::tiny_topology(), 42));
+    GatherConfig cfg;
+    cfg.n_samples = 40;
+    cfg.iterations = 3;
+    cfg.domain.memory_cap_bytes = 64ull * 1024 * 1024;
+    cfg.domain.dim_max = 8000;
+    cfg.domain.seed = 7;
+    TrainOptions opts;
+    opts.candidates = {"decision_tree"};
+    opts.tune = false;
+    AdsalaGemm runtime(train_and_select(gather_timings(ex, cfg), opts));
+    runtime.save(model_path(), config_path());
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string model_path() { return *dir_ + "/model.json"; }
+  static std::string config_path() { return *dir_ + "/config.json"; }
+
+  /// Copies the good pair into a scratch dir and returns (model, config)
+  /// paths there, ready for surgery.
+  static std::pair<std::string, std::string> scratch_copy(
+      const std::string& tag) {
+    const std::string dir = *dir_ + "/" + tag;
+    std::filesystem::create_directories(dir);
+    std::filesystem::copy_file(
+        model_path(), dir + "/model.json",
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::copy_file(
+        config_path(), dir + "/config.json",
+        std::filesystem::copy_options::overwrite_existing);
+    return {dir + "/model.json", dir + "/config.json"};
+  }
+
+  /// Drops the trailing half of a file's bytes (a torn write).
+  static void truncate_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  /// Loads a JSON artefact, applies `mutate`, writes it back.
+  template <typename Fn>
+  static void rewrite_json(const std::string& path, Fn mutate) {
+    Json doc = read_json_file(path);
+    mutate(doc);
+    write_json_file(path, doc);
+  }
+
+  static ErrorCode load_error(const std::string& model,
+                              const std::string& config) {
+    auto result = AdsalaGemm::try_load(model, config);
+    EXPECT_FALSE(result.ok());
+    return result.ok() ? ErrorCode::kOk : result.error().code;
+  }
+
+  static std::string* dir_;
+};
+
+std::string* ArtefactCorpus::dir_ = nullptr;
+
+TEST_F(ArtefactCorpus, GoodArtefactsLoadAndServeModel) {
+  auto result = AdsalaGemm::try_load(model_path(), config_path());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  AdsalaGemm runtime = std::move(result).value();
+  EXPECT_EQ(runtime.serving_mode(), ServingMode::kModelServed);
+  const int p = runtime.select_threads(256, 256, 256);
+  EXPECT_GE(p, 1);
+  EXPECT_LE(p, runtime.max_threads());
+}
+
+TEST_F(ArtefactCorpus, SaveStampsFormatMarkers) {
+  const Json model = read_json_file(model_path());
+  const Json config = read_json_file(config_path());
+  EXPECT_EQ(model.at("format").as_string(), "adsala/model/v1");
+  EXPECT_EQ(config.at("format").as_string(), "adsala/config/v1");
+}
+
+TEST_F(ArtefactCorpus, MissingFilesReturnNotFoundWithPath) {
+  auto result = AdsalaGemm::try_load("/tmp/adsala_no_such_dir/model.json",
+                                     "/tmp/adsala_no_such_dir/config.json");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
+  EXPECT_NE(result.error().message.find("/tmp/adsala_no_such_dir"),
+            std::string::npos)
+      << "error must name the offending path: " << result.error().message;
+}
+
+TEST_F(ArtefactCorpus, TruncatedModelReturnsParseErrorWithPath) {
+  auto [model, config] = scratch_copy("truncated");
+  truncate_file(model);
+  auto result = AdsalaGemm::try_load(model, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find(model), std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(ArtefactCorpus, EmptyThreadGridRejected) {
+  auto [model, config] = scratch_copy("empty_grid");
+  rewrite_json(config,
+               [](Json& doc) { doc["thread_grid"] = Json(JsonArray{}); });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, UnsortedThreadGridRejected) {
+  auto [model, config] = scratch_copy("unsorted_grid");
+  rewrite_json(config, [](Json& doc) {
+    doc["thread_grid"] = Json(JsonArray{Json(4), Json(2), Json(8)});
+  });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, NonPositiveThreadGridEntryRejected) {
+  auto [model, config] = scratch_copy("zero_grid");
+  rewrite_json(config, [](Json& doc) {
+    doc["thread_grid"] = Json(JsonArray{Json(0), Json(2)});
+  });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, NonPositiveMaxThreadsRejected) {
+  auto [model, config] = scratch_copy("bad_max");
+  rewrite_json(config, [](Json& doc) { doc["max_threads"] = Json(0); });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, NullModelWeightRejected) {
+  // A NaN weight serialises as JSON null (the writer has no NaN literal);
+  // the finite-weight walk must reject it rather than load NaNs.
+  auto [model, config] = scratch_copy("nan_weight");
+  rewrite_json(model, [](Json& doc) {
+    bool planted = false;
+    for (auto& [key, value] : doc.as_object()) {
+      (void)key;
+      if (planted || !value.is_array() || value.as_array().empty()) continue;
+      for (auto& v : value.as_array()) {
+        if (v.is_number()) {
+          v = Json(nullptr);
+          planted = true;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(planted) << "model blob has no numeric array to corrupt";
+  });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, UnknownSchemaWidthRejected) {
+  auto [model, config] = scratch_copy("bad_width");
+  rewrite_json(config, [](Json& doc) {
+    // One extra input column pushes the fitted width past every known tier.
+    Json& pipe = doc["pipeline"];
+    pipe["feature_names"].as_array().emplace_back("op_bogus");
+    pipe["lambdas"].as_array().emplace_back(1.0);
+    pipe["means"].as_array().emplace_back(0.0);
+    pipe["stds"].as_array().emplace_back(1.0);
+  });
+  const auto result = AdsalaGemm::try_load(model, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kValidationError);
+  EXPECT_NE(result.error().message.find("schema width"), std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(ArtefactCorpus, UnknownFormatStampRejected) {
+  auto [model, config] = scratch_copy("bad_stamp");
+  rewrite_json(config,
+               [](Json& doc) { doc["format"] = Json("adsala/config/v999"); });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, UnknownModelNameRejected) {
+  auto [model, config] = scratch_copy("bad_model_name");
+  rewrite_json(model,
+               [](Json& doc) { doc["model"] = Json("quantum_forest"); });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, MissingConfigFieldRejected) {
+  auto [model, config] = scratch_copy("no_grid");
+  rewrite_json(config, [](Json& doc) {
+    JsonObject& obj = doc.as_object();
+    obj.erase("thread_grid");
+  });
+  EXPECT_EQ(load_error(model, config), ErrorCode::kValidationError);
+}
+
+TEST_F(ArtefactCorpus, LegacyArtefactsWithoutStampStillLoad) {
+  // Pre-PR-6 artefacts carry no "format" field; absence must stay legal.
+  auto [model, config] = scratch_copy("no_stamp");
+  rewrite_json(model, [](Json& doc) { doc.as_object().erase("format"); });
+  rewrite_json(config, [](Json& doc) { doc.as_object().erase("format"); });
+  auto result = AdsalaGemm::try_load(model, config);
+  EXPECT_TRUE(result.ok()) << result.error().message;
+}
+
+TEST_F(ArtefactCorpus, ThrowingConstructorReportsTryLoadMessage) {
+  auto [model, config] = scratch_copy("ctor_throw");
+  truncate_file(config);
+  try {
+    AdsalaGemm runtime(model, config);
+    FAIL() << "constructor must throw on a torn config";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(config), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------- degraded-mode rungs
+
+TEST_F(ArtefactCorpus, LoadOrFallbackDegradesToHeuristic) {
+  Error why;
+  AdsalaGemm runtime = AdsalaGemm::load_or_fallback(
+      "/tmp/adsala_no_such_dir/model.json",
+      "/tmp/adsala_no_such_dir/config.json", &why);
+  EXPECT_EQ(why.code, ErrorCode::kNotFound);
+  EXPECT_EQ(runtime.serving_mode(), ServingMode::kHeuristicFallback);
+  EXPECT_EQ(runtime.platform(), "heuristic-fallback");
+
+  // Every rung of the API keeps answering, for every registered op, with
+  // grid-valid thread counts.
+  for (const blas::OpKind op : blas::all_ops()) {
+    for (long x : {32L, 300L, 2000L}) {
+      const int p = runtime.select_threads(op, x, x, x);
+      EXPECT_GE(p, 1) << blas::op_name(op);
+      EXPECT_LE(p, runtime.max_threads()) << blas::op_name(op);
+      bool on_grid = false;
+      for (int g : runtime.thread_grid()) on_grid |= (g == p);
+      EXPECT_TRUE(on_grid) << blas::op_name(op) << " answer off the grid";
+    }
+  }
+}
+
+TEST_F(ArtefactCorpus, LoadOrFallbackPrefersGoodArtefacts) {
+  Error why{ErrorCode::kInternal, "stale"};
+  AdsalaGemm runtime =
+      AdsalaGemm::load_or_fallback(model_path(), config_path(), &why);
+  EXPECT_TRUE(why.ok()) << why.message;
+  EXPECT_EQ(runtime.serving_mode(), ServingMode::kModelServed);
+}
+
+TEST(HeuristicFallback, OccupancyRuleScalesWithShape) {
+  // Fixed 16-way machine so the analytic rule is host-independent: a tiny
+  // GEMM must not get more threads than a huge one (spawn/sync overheads
+  // dominate small shapes in the cost model).
+  AdsalaGemm runtime = AdsalaGemm::heuristic_fallback(16);
+  EXPECT_EQ(runtime.serving_mode(), ServingMode::kHeuristicFallback);
+  EXPECT_EQ(runtime.max_threads(), 16);
+  const int p_small = runtime.select_threads(24, 24, 24);
+  const int p_large = runtime.select_threads(2048, 2048, 2048);
+  EXPECT_LE(p_small, p_large);
+  EXPECT_GT(p_large, 1) << "a 2048^3 GEMM must parallelise";
+  // Deterministic: the same query always answers the same.
+  EXPECT_EQ(runtime.select_threads(2048, 2048, 2048), p_large);
+}
+
+TEST(HeuristicFallback, SaveIsRefused) {
+  AdsalaGemm runtime = AdsalaGemm::heuristic_fallback(8);
+  EXPECT_THROW(runtime.save("/tmp/adsala_hf_model.json",
+                            "/tmp/adsala_hf_config.json"),
+               std::logic_error);
+}
+
+// ----------------------------------------------- failpoints on the load path
+
+TEST_F(ArtefactCorpus, JsonTruncateFailpointTearsTheRead) {
+  failpoint::Scoped fp("json-truncate");
+  auto result = AdsalaGemm::try_load(model_path(), config_path());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+}
+
+TEST_F(ArtefactCorpus, ModelNanWeightFailpointPoisonsTheBlob) {
+  failpoint::Scoped fp("model-nan-weight");
+  auto result = AdsalaGemm::try_load(model_path(), config_path());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kValidationError);
+}
+
+// --------------------------------------- exception-safe parallel regions
+
+TEST(ThreadPoolFaults, WorkerExceptionRethrowsOnCaller) {
+  // A private pool with one background worker, so the worker lane exists
+  // even on a single-CPU host (the global pool would have none there).
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.max_threads(), 2u);
+  {
+    failpoint::Scoped fp("worker-throw");
+    EXPECT_THROW(
+        pool.parallel_region(2, [](std::size_t, std::size_t) {}),
+        std::runtime_error);
+  }
+  // The pool must come back clean: the next region runs every lane.
+  std::vector<int> hits(2, 0);
+  pool.parallel_region(2, [&](std::size_t tid, std::size_t) {
+    hits[tid] = 1;
+  });
+  EXPECT_EQ(hits[0] + hits[1], 2);
+}
+
+TEST(ThreadPoolFaults, CallerLaneExceptionAlsoRethrows) {
+  ThreadPool pool(3);
+  const std::size_t p = pool.max_threads();
+  EXPECT_THROW(pool.parallel_region(p,
+                                    [](std::size_t tid, std::size_t) {
+                                      if (tid == 0) {
+                                        throw std::invalid_argument("lane 0");
+                                      }
+                                    }),
+               std::invalid_argument);
+  // Reusable afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_region(p, [&](std::size_t, std::size_t) { ++sum; });
+  EXPECT_EQ(sum.load(), static_cast<int>(p));
+}
+
+// ------------------------------------------------ arena OOM degraded serving
+
+TEST(ArenaFaults, GemmStaysCorrectWhenArenaGrowthFails) {
+  // With the arena refusing to grow, the carve helpers fall back to
+  // per-call buffers; the product must stay bit-correct vs the reference.
+  const int m = 150, n = 130, k = 70;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i % 11) - 5.0f;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>(i % 7) - 3.0f;
+  }
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 1.0f);
+  auto c_ref = c;
+  {
+    failpoint::Scoped fp("arena-oom");
+    blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0f, a.data(),
+                k, b.data(), n, 0.5f, c.data(), n, 4);
+  }
+  blas::reference_gemm<float>(blas::Trans::kNo, blas::Trans::kNo, m, n, k,
+                              1.0f, a.data(), k, b.data(), n, 0.5f,
+                              c_ref.data(), n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+TEST(ArenaFaults, TrmmStaysCorrectWhenArenaGrowthFails) {
+  // TRMM exercises both degraded paths at once: the shared dense-copy slab
+  // and the per-participant panel carves.
+  const int n = 96, m = 40;
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  std::vector<double> b(static_cast<std::size_t>(n) * m);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>(i % 9) - 4.0;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<double>(i % 5) - 2.0;
+  }
+  auto b_ref = b;
+  {
+    failpoint::Scoped fp("arena-oom");
+    blas::dtrmm(blas::Uplo::kLower, blas::Trans::kNo, blas::Diag::kNonUnit, n,
+                m, 1.5, a.data(), n, b.data(), m, 4);
+  }
+  blas::reference_trmm<double>(blas::Uplo::kLower, blas::Trans::kNo,
+                               blas::Diag::kNonUnit, n, m, 1.5, a.data(), n,
+                               b_ref.data(), m);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    ASSERT_NEAR(b[i], b_ref[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(ArenaFaults, SerialCallDegradesToo) {
+  // nthreads == 1 goes through carve_private_panels' own fallback.
+  const int m = 64, n = 48, k = 32;
+  std::vector<float> a(static_cast<std::size_t>(m) * k, 0.5f);
+  std::vector<float> b(static_cast<std::size_t>(k) * n, 2.0f);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  failpoint::Scoped fp("arena-oom");
+  blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0f, a.data(), k,
+              b.data(), n, 0.0f, c.data(), n, 1);
+  for (float v : c) ASSERT_FLOAT_EQ(v, 0.5f * 2.0f * k);
+}
+
+// ----------------------------------------------------- CSV loader hardening
+
+TEST(CsvFaults, MalformedNumberNamesPathAndLine) {
+  const std::string path = "/tmp/adsala_test_bad_number.csv";
+  {
+    std::ofstream out(path);
+    out << "m,k,n\n1,2,3\n4,oops,6\n";
+  }
+  try {
+    read_csv(path);
+    FAIL() << "malformed cell must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFaults, ShortRowNamesPathAndLine) {
+  const std::string path = "/tmp/adsala_test_short_row.csv";
+  {
+    std::ofstream out(path);
+    out << "m,k,n\n1,2,3\n4,5\n";
+  }
+  try {
+    read_csv(path);
+    FAIL() << "ragged row must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 3"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFaults, TrailingJunkRejected) {
+  const std::string path = "/tmp/adsala_test_junk.csv";
+  {
+    std::ofstream out(path);
+    out << "m,k\n1,2\n3,4x\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFaults, GatherLoadCsvPropagatesLineNumbers) {
+  const std::string path = "/tmp/adsala_test_gather_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "m,k,n,elem_bytes,threads,runtime\n"
+        << "100,200,300,4,1,0.5\n"
+        << "100,200,300,4,2,not_a_number\n";
+  }
+  try {
+    GatherData::load_csv(path);
+    FAIL() << "bad timings file must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace adsala::core

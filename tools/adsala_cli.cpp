@@ -3,7 +3,8 @@
 //   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
 //                    [--out DIR] [--cap-mb MB] [--no-tune]
 //                    [--ops <name>,...]
-//   adsala predict   --dir DIR [--shape MxKxN ...] [--<op> NxK|NxM ...]
+//   adsala predict   --dir DIR [--fallback] [--shape MxKxN ...]
+//                    [--<op> NxK|NxM ...]
 //   adsala inspect   --dir DIR
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //
@@ -16,15 +17,26 @@
 // predictable with zero CLI edits. `inspect` summarises the artefacts.
 // `time` measures one GEMM on the chosen backend at a given thread count
 // (or sweeps the default grid when --threads is omitted).
+//
+// Exit codes follow the error taxonomy (common/status.h, exit_code_for):
+//   0 success        2 usage error            3 artefact file missing
+//   4 artefact undecodable                    5 artefact fails validation
+//   6 out of memory  1 any other internal error
+// Artefact problems print one line to stderr: "error (<code>): <message>".
+// `predict --fallback` never fails on artefact problems — it serves from
+// the degraded heuristic instead and reports the serving mode.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <new>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "blas/op.h"
+#include "common/status.h"
 #include "core/adsala.h"
 #include "core/install.h"
 #include "core/op_registry.h"
@@ -41,6 +53,7 @@ struct Args {
   std::size_t samples = 150;
   std::size_t cap_mb = 100;
   bool tune = true;
+  bool fallback = false;  ///< predict: degrade instead of failing
   int threads = 0;
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   /// Predict queries in parse order; shapes carry the op's stored
@@ -79,7 +92,8 @@ std::string op_name_list() {
                "  adsala install --platform <native|setonix|gadi|tiny> "
                "[--samples N] [--out DIR] [--cap-mb MB] [--no-tune] "
                "[--ops %s]\n"
-               "  adsala predict --dir DIR [--shape MxKxN ...]%s\n"
+               "  adsala predict --dir DIR [--fallback] "
+               "[--shape MxKxN ...]%s\n"
                "  adsala inspect --dir DIR\n"
                "  adsala time    --platform <...> --shape MxKxN "
                "[--threads P]\n",
@@ -118,6 +132,8 @@ Args parse(int argc, char** argv) {
       args.cap_mb = std::stoul(value());
     } else if (flag == "--no-tune") {
       args.tune = false;
+    } else if (flag == "--fallback") {
+      args.fallback = true;
     } else if (flag == "--threads") {
       args.threads = std::stoi(value());
     } else if (flag == "--shape") {
@@ -216,41 +232,75 @@ int cmd_install(const Args& args) {
   return 0;
 }
 
+/// One stderr line per artefact failure, in the documented format.
+void report_error(const Error& err) {
+  std::fprintf(stderr, "error (%s): %s\n", error_code_name(err.code),
+               err.message.c_str());
+}
+
 int cmd_predict(const Args& args) {
   if (args.queries.empty()) {
     usage("predict needs at least one --shape or family flag");
   }
-  core::AdsalaGemm runtime(args.dir + "/model.json",
-                           args.dir + "/config.json");
+  const std::string model_path = args.dir + "/model.json";
+  const std::string config_path = args.dir + "/config.json";
+  std::unique_ptr<core::AdsalaGemm> runtime;
+  if (args.fallback) {
+    // Fail-safe serving: any artefact problem degrades to the built-in
+    // heuristic instead of failing the command.
+    Error why;
+    runtime = std::make_unique<core::AdsalaGemm>(
+        core::AdsalaGemm::load_or_fallback(model_path, config_path, &why));
+    if (!why.ok()) report_error(why);
+  } else {
+    auto loaded = core::AdsalaGemm::try_load(model_path, config_path);
+    if (!loaded.ok()) {
+      report_error(loaded.error());
+      return exit_code_for(loaded.error().code);
+    }
+    runtime = std::make_unique<core::AdsalaGemm>(std::move(loaded).value());
+  }
   std::printf("platform %s, model %s, max threads %d, op-aware %s\n",
-              runtime.platform().c_str(), runtime.model_name().c_str(),
-              runtime.max_threads(), runtime.op_aware() ? "yes" : "no");
-  const std::size_t width = runtime.pipeline().n_input_features();
-  const bool aware = runtime.op_aware();
+              runtime->platform().c_str(), runtime->model_name().c_str(),
+              runtime->max_threads(), runtime->op_aware() ? "yes" : "no");
   for (const auto& [op, shape] : args.queries) {
     const auto& traits = core::op_traits(op);
     long coords[3] = {0, 0, 0};
     traits.from_shape(shape, &coords[0], &coords[1], &coords[2]);
-    const int p = runtime.select_threads(op, coords[0], coords[1], coords[2]);
-    // The proxy marker is per (op, schema tier): an artefact serves an op
-    // first-class only if its fitted width reaches that op's one-hot column.
-    const char* fallback =
-        op == blas::OpKind::kGemm ||
-                (aware && preprocess::op_served_first_class(op, width))
-            ? ""
-            : " (gemm-proxy fallback)";
+    const int p = runtime->select_threads(op, coords[0], coords[1], coords[2]);
+    // Which rung of the serving ladder answered for this op: first-class
+    // model, equivalent-GEMM proxy, or the artefact-less heuristic.
+    const core::ServingMode mode = runtime->serving_mode(op);
+    const char* marker = "";
+    if (mode == core::ServingMode::kGemmProxy) {
+      marker = " (gemm-proxy fallback)";
+    } else if (mode == core::ServingMode::kHeuristicFallback) {
+      marker = " (heuristic fallback)";
+    }
     std::printf("%s", blas::op_name(op));
     for (int d = 0; d < traits.family_dims; ++d) {
       std::printf(" %s=%ld", traits.coord_names[d], coords[d]);
     }
-    std::printf(" -> %d threads%s\n", p, fallback);
+    std::printf(" -> %d threads%s\n", p, marker);
   }
   return 0;
 }
 
 int cmd_inspect(const Args& args) {
-  const Json config = read_json_file(args.dir + "/config.json");
-  const Json model = read_json_file(args.dir + "/model.json");
+  // Decode through the non-throwing reader so a missing directory exits 3
+  // and a torn write exits 4, each with a path-qualified stderr line.
+  auto config_result = try_read_json_file(args.dir + "/config.json");
+  if (!config_result.ok()) {
+    report_error(config_result.error());
+    return exit_code_for(config_result.error().code);
+  }
+  auto model_result = try_read_json_file(args.dir + "/model.json");
+  if (!model_result.ok()) {
+    report_error(model_result.error());
+    return exit_code_for(model_result.error().code);
+  }
+  const Json config = std::move(config_result).value();
+  const Json model = std::move(model_result).value();
   std::printf("platform    : %s\n", config.at("platform").as_string().c_str());
   std::printf("max threads : %d\n", config.at("max_threads").as_int());
   std::printf("model       : %s\n", model.at("model").as_string().c_str());
@@ -313,9 +363,19 @@ int main(int argc, char** argv) {
     if (args.command == "predict") return cmd_predict(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "time") return cmd_time(args);
+  } catch (const std::bad_alloc&) {
+    const Error err{ErrorCode::kResourceExhausted, "out of memory"};
+    report_error(err);
+    return exit_code_for(err.code);
+  } catch (const std::out_of_range& e) {
+    // A decodable artefact missing an expected field (Json::at).
+    const Error err{ErrorCode::kValidationError, e.what()};
+    report_error(err);
+    return exit_code_for(err.code);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    const Error err{ErrorCode::kInternal, e.what()};
+    report_error(err);
+    return exit_code_for(err.code);
   }
   usage("unknown command");
 }
