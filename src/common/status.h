@@ -31,6 +31,10 @@ enum class ErrorCode {
                         ///< width, empty thread grid, non-finite weight...)
   kResourceExhausted,   ///< allocation failure (arena growth, buffers)
   kInternal,            ///< invariant violation; a bug, not an input problem
+  kUnavailable,         ///< resource temporarily unusable: shm region caught
+                        ///< mid-swap, tuning daemon not reachable — retry later
+  kProtocolError,       ///< malformed daemon frame: truncated request, wrong
+                        ///< protocol version byte, unknown op code
 };
 
 /// Stable lower-case name of a code ("not_found", "parse_error", ...);
@@ -43,6 +47,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kValidationError: return "validation_error";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kProtocolError: return "protocol_error";
   }
   return "internal";
 }
@@ -58,6 +64,8 @@ inline int exit_code_for(ErrorCode code) {
     case ErrorCode::kValidationError: return 5;
     case ErrorCode::kResourceExhausted: return 6;
     case ErrorCode::kInternal: return 1;
+    case ErrorCode::kUnavailable: return 7;
+    case ErrorCode::kProtocolError: return 8;
   }
   return 1;
 }

@@ -3,11 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/json.h"
 #include "core/executor.h"
 #include "core/op_registry.h"
+#include "core/shm_store.h"
 #include "preprocess/features.h"
 
 namespace adsala::core {
@@ -82,24 +84,142 @@ bool known_schema_width(std::size_t width) {
           width <= preprocess::kNumOpAwareFeatures);
 }
 
+/// The shared validation ladder: decoded blobs in, a ready-to-publish
+/// snapshot out. try_load feeds it file contents, try_attach feeds it the
+/// payloads copied out of a shared-memory region; `model_label` /
+/// `config_label` qualify the error messages with wherever the bytes came
+/// from (a path, or "<shm>/model.json").
+Expected<std::shared_ptr<ServingSnapshot>> try_load_blobs(
+    Json model_blob, const Json& cfg, const std::string& model_label,
+    const std::string& config_label) {
+  if (failpoint::triggered("model-nan-weight")) {
+    inject_nan(model_blob);
+  }
+
+  // --- config validation (kValidationError) ------------------------------
+  if (!cfg.is_object()) {
+    return validation_error(config_label, "config root is not an object");
+  }
+  if (cfg.contains("format") &&
+      (!cfg.at("format").is_string() ||
+       cfg.at("format").as_string() != kConfigFormat)) {
+    return validation_error(config_label, "unknown config format stamp");
+  }
+  for (const char* key : {"platform", "max_threads", "thread_grid",
+                          "pipeline"}) {
+    if (!cfg.contains(key)) {
+      return validation_error(config_label,
+                              std::string("missing field '") + key + "'");
+    }
+  }
+  if (!cfg.at("platform").is_string() ||
+      !cfg.at("max_threads").is_number() ||
+      !cfg.at("thread_grid").is_array() || !cfg.at("pipeline").is_object()) {
+    return validation_error(config_label, "field with wrong type");
+  }
+  const int max_threads = cfg.at("max_threads").as_int();
+  if (max_threads < 1) {
+    return validation_error(config_label, "max_threads must be positive");
+  }
+  const auto& grid_json = cfg.at("thread_grid").as_array();
+  if (grid_json.empty()) {
+    return validation_error(config_label, "thread_grid is empty");
+  }
+  std::vector<int> thread_grid;
+  thread_grid.reserve(grid_json.size());
+  for (const auto& v : grid_json) {
+    if (!v.is_number() || !std::isfinite(v.as_number()) ||
+        v.as_number() != std::floor(v.as_number())) {
+      return validation_error(config_label,
+                              "thread_grid entry is not an integer");
+    }
+    const int p = v.as_int();
+    if (p < 1) {
+      return validation_error(config_label,
+                              "thread_grid entry must be positive");
+    }
+    if (!thread_grid.empty() && p <= thread_grid.back()) {
+      return validation_error(config_label,
+                              "thread_grid must be strictly increasing");
+    }
+    thread_grid.push_back(p);
+  }
+  if (thread_grid.back() > max_threads) {
+    return validation_error(config_label,
+                            "thread_grid exceeds max_threads");
+  }
+
+  preprocess::Pipeline pipeline;
+  try {
+    pipeline.load(cfg.at("pipeline"));
+  } catch (const std::exception&) {
+    return validation_error(config_label, "malformed pipeline section");
+  }
+  if (!known_schema_width(pipeline.n_input_features())) {
+    return validation_error(
+        config_label,
+        "unknown pipeline schema width " +
+            std::to_string(pipeline.n_input_features()) +
+            " (known: 17, 21.." +
+            std::to_string(preprocess::kNumOpAwareFeatures) + ")");
+  }
+
+  // --- model validation (kValidationError) --------------------------------
+  if (!model_blob.is_object() || !model_blob.contains("model") ||
+      !model_blob.at("model").is_string()) {
+    return validation_error(model_label, "missing 'model' name field");
+  }
+  if (model_blob.contains("format") &&
+      (!model_blob.at("format").is_string() ||
+       model_blob.at("format").as_string() != kModelFormat)) {
+    return validation_error(model_label, "unknown model format stamp");
+  }
+  if (!all_finite(model_blob)) {
+    return validation_error(
+        model_label, "non-finite model weight (NaN serialises as null)");
+  }
+  std::unique_ptr<ml::Regressor> model;
+  try {
+    model = ml::load_model(model_blob);
+  } catch (const std::exception& e) {
+    return validation_error(model_label, e.what());
+  }
+
+  // --- all checks passed: freeze a snapshot -------------------------------
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->version = 1;
+  snap->model = std::shared_ptr<const ml::Regressor>(std::move(model));
+  snap->model_name = model_blob.at("model").as_string();
+  snap->pipeline = std::move(pipeline);
+  snap->platform = cfg.at("platform").as_string();
+  snap->max_threads = max_threads;
+  snap->thread_grid = std::move(thread_grid);
+  return snap;
+}
+
+/// Freezes a finished training run into a publishable snapshot.
+std::shared_ptr<ServingSnapshot> snapshot_from(TrainOutput trained) {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->version = 1;
+  snap->model =
+      std::shared_ptr<const ml::Regressor>(std::move(trained.model));
+  snap->pipeline = std::move(trained.pipeline);
+  snap->thread_grid = std::move(trained.thread_grid);
+  snap->max_threads = trained.max_threads;
+  snap->platform = std::move(trained.platform);
+  snap->model_name = std::move(trained.selected);
+  return snap;
+}
+
 }  // namespace
 
-const char* serving_mode_name(ServingMode mode) {
-  switch (mode) {
-    case ServingMode::kModelServed: return "model";
-    case ServingMode::kGemmProxy: return "gemm_proxy";
-    case ServingMode::kHeuristicFallback: return "heuristic";
-  }
-  return "heuristic";
+AdsalaGemm::AdsalaGemm(std::shared_ptr<const ServingSnapshot> first) {
+  generations_.push_back(std::move(first));
+  active_.store(generations_.back().get(), std::memory_order_release);
 }
 
 AdsalaGemm::AdsalaGemm(TrainOutput trained)
-    : model_(std::move(trained.model)),
-      pipeline_(std::move(trained.pipeline)),
-      thread_grid_(std::move(trained.thread_grid)),
-      max_threads_(trained.max_threads),
-      platform_(std::move(trained.platform)),
-      model_name_(std::move(trained.selected)) {}
+    : AdsalaGemm(snapshot_from(std::move(trained))) {}
 
 AdsalaGemm::AdsalaGemm(const std::string& model_path,
                        const std::string& config_path) {
@@ -108,118 +228,64 @@ AdsalaGemm::AdsalaGemm(const std::string& model_path,
   *this = std::move(loaded).value();
 }
 
+AdsalaGemm::AdsalaGemm(AdsalaGemm&& other) noexcept
+    : generations_(std::move(other.generations_)) {
+  active_.store(other.active_.load(std::memory_order_acquire),
+                std::memory_order_release);
+  other.active_.store(nullptr, std::memory_order_release);
+}
+
+AdsalaGemm& AdsalaGemm::operator=(AdsalaGemm&& other) noexcept {
+  if (this != &other) {
+    generations_ = std::move(other.generations_);
+    active_.store(other.active_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+    other.active_.store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
 Expected<AdsalaGemm> AdsalaGemm::try_load(const std::string& model_path,
                                           const std::string& config_path) {
-  // --- decode both files (kNotFound / kParseError, path-qualified) -------
+  // Decode both files (kNotFound / kParseError, path-qualified), then run
+  // the shared validation ladder.
   auto model_blob = try_read_json_file(model_path);
   if (!model_blob.ok()) return model_blob.error();
   auto config = try_read_json_file(config_path);
   if (!config.ok()) return config.error();
 
-  if (failpoint::triggered("model-nan-weight")) {
-    inject_nan(model_blob.value());
-  }
+  auto snap = try_load_blobs(std::move(model_blob).value(), config.value(),
+                             model_path, config_path);
+  if (!snap.ok()) return snap.error();
+  return AdsalaGemm(std::move(snap).value());
+}
 
-  // --- config validation (kValidationError) ------------------------------
-  const Json& cfg = config.value();
-  if (!cfg.is_object()) {
-    return validation_error(config_path, "config root is not an object");
-  }
-  if (cfg.contains("format") &&
-      (!cfg.at("format").is_string() ||
-       cfg.at("format").as_string() != kConfigFormat)) {
-    return validation_error(config_path, "unknown config format stamp");
-  }
-  for (const char* key : {"platform", "max_threads", "thread_grid",
-                          "pipeline"}) {
-    if (!cfg.contains(key)) {
-      return validation_error(config_path,
-                              std::string("missing field '") + key + "'");
-    }
-  }
-  if (!cfg.at("platform").is_string() ||
-      !cfg.at("max_threads").is_number() ||
-      !cfg.at("thread_grid").is_array() || !cfg.at("pipeline").is_object()) {
-    return validation_error(config_path, "field with wrong type");
-  }
-  const int max_threads = cfg.at("max_threads").as_int();
-  if (max_threads < 1) {
-    return validation_error(config_path, "max_threads must be positive");
-  }
-  const auto& grid_json = cfg.at("thread_grid").as_array();
-  if (grid_json.empty()) {
-    return validation_error(config_path, "thread_grid is empty");
-  }
-  std::vector<int> thread_grid;
-  thread_grid.reserve(grid_json.size());
-  for (const auto& v : grid_json) {
-    if (!v.is_number() || !std::isfinite(v.as_number()) ||
-        v.as_number() != std::floor(v.as_number())) {
-      return validation_error(config_path,
-                              "thread_grid entry is not an integer");
-    }
-    const int p = v.as_int();
-    if (p < 1) {
-      return validation_error(config_path,
-                              "thread_grid entry must be positive");
-    }
-    if (!thread_grid.empty() && p <= thread_grid.back()) {
-      return validation_error(config_path,
-                              "thread_grid must be strictly increasing");
-    }
-    thread_grid.push_back(p);
-  }
-  if (thread_grid.back() > max_threads) {
-    return validation_error(config_path,
-                            "thread_grid exceeds max_threads");
-  }
+Expected<AdsalaGemm> AdsalaGemm::try_attach(const std::string& shm_path) {
+  auto artefacts = read_shm_region(shm_path);
+  if (!artefacts.ok()) return artefacts.error();
 
-  preprocess::Pipeline pipeline;
+  // The region carries raw bytes; decode failures here mean a torn or
+  // corrupted payload (the seqlock makes that unlikely but a crashed
+  // publisher can leave one behind).
+  Json model_blob;
+  Json config;
   try {
-    pipeline.load(cfg.at("pipeline"));
-  } catch (const std::exception&) {
-    return validation_error(config_path, "malformed pipeline section");
-  }
-  if (!known_schema_width(pipeline.n_input_features())) {
-    return validation_error(
-        config_path,
-        "unknown pipeline schema width " +
-            std::to_string(pipeline.n_input_features()) +
-            " (known: 17, 21.." +
-            std::to_string(preprocess::kNumOpAwareFeatures) + ")");
-  }
-
-  // --- model validation (kValidationError) --------------------------------
-  const Json& blob = model_blob.value();
-  if (!blob.is_object() || !blob.contains("model") ||
-      !blob.at("model").is_string()) {
-    return validation_error(model_path, "missing 'model' name field");
-  }
-  if (blob.contains("format") &&
-      (!blob.at("format").is_string() ||
-       blob.at("format").as_string() != kModelFormat)) {
-    return validation_error(model_path, "unknown model format stamp");
-  }
-  if (!all_finite(blob)) {
-    return validation_error(
-        model_path, "non-finite model weight (NaN serialises as null)");
-  }
-  std::unique_ptr<ml::Regressor> model;
-  try {
-    model = ml::load_model(blob);
+    model_blob = Json::parse(artefacts.value().model_json);
   } catch (const std::exception& e) {
-    return validation_error(model_path, e.what());
+    return Error{ErrorCode::kParseError,
+                 shm_path + "/model: " + e.what()};
+  }
+  try {
+    config = Json::parse(artefacts.value().config_json);
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kParseError,
+                 shm_path + "/config: " + e.what()};
   }
 
-  // --- all checks passed: construct ---------------------------------------
-  AdsalaGemm runtime;
-  runtime.model_ = std::move(model);
-  runtime.model_name_ = blob.at("model").as_string();
-  runtime.pipeline_ = std::move(pipeline);
-  runtime.platform_ = cfg.at("platform").as_string();
-  runtime.max_threads_ = max_threads;
-  runtime.thread_grid_ = std::move(thread_grid);
-  return runtime;
+  auto snap = try_load_blobs(std::move(model_blob), config,
+                             shm_path + "/model", shm_path + "/config");
+  if (!snap.ok()) return snap.error();
+  return AdsalaGemm(std::move(snap).value());
 }
 
 AdsalaGemm AdsalaGemm::load_or_fallback(const std::string& model_path,
@@ -250,128 +316,112 @@ AdsalaGemm AdsalaGemm::heuristic_fallback(int max_threads) {
   topo.smt_per_core = hw >= 2 ? 2 : 1;
   topo.cores_per_socket = std::max(1, hw / topo.smt_per_core);
 
-  AdsalaGemm runtime;
-  runtime.fallback_model_ = std::make_unique<simarch::MachineModel>(topo);
-  runtime.max_threads_ = hw;
-  runtime.thread_grid_ = default_thread_grid(hw);
-  runtime.platform_ = "heuristic-fallback";
-  runtime.model_name_ = "heuristic";
-  return runtime;
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->version = 1;
+  snap->fallback_model = std::make_shared<simarch::MachineModel>(topo);
+  snap->max_threads = hw;
+  snap->thread_grid = default_thread_grid(hw);
+  snap->platform = "heuristic-fallback";
+  snap->model_name = "heuristic";
+  return AdsalaGemm(std::move(snap));
+}
+
+std::uint64_t AdsalaGemm::publish(std::shared_ptr<ServingSnapshot> next) {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  next->version = generations_.back()->version + 1;
+  generations_.push_back(std::move(next));
+  active_.store(generations_.back().get(), std::memory_order_release);
+  return generations_.back()->version;
+}
+
+std::uint64_t AdsalaGemm::install(TrainOutput trained) {
+  return publish(snapshot_from(std::move(trained)));
+}
+
+std::uint64_t AdsalaGemm::install(
+    std::shared_ptr<const ServingSnapshot> source) {
+  // Clone the metadata, share the (immutable) model and fallback, start a
+  // fresh memo: stale decisions from the previous generation must never
+  // answer queries against the new one.
+  auto next = std::make_shared<ServingSnapshot>();
+  next->model = source->model;
+  next->pipeline = source->pipeline;
+  next->fallback_model = source->fallback_model;
+  next->thread_grid = source->thread_grid;
+  next->max_threads = source->max_threads;
+  next->platform = source->platform;
+  next->model_name = source->model_name;
+  return publish(std::move(next));
+}
+
+std::shared_ptr<const ServingSnapshot> AdsalaGemm::snapshot() const {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  return generations_.back();
 }
 
 ServingMode AdsalaGemm::serving_mode(blas::OpKind op) const {
-  if (model_ == nullptr) return ServingMode::kHeuristicFallback;
-  if (op == blas::OpKind::kGemm) return ServingMode::kModelServed;
-  if (op_aware() && preprocess::op_served_first_class(
-                        op, pipeline_.n_input_features())) {
-    return ServingMode::kModelServed;
-  }
-  return ServingMode::kGemmProxy;
+  return active()->mode_for(op);
 }
 
 void AdsalaGemm::save(const std::string& model_path,
                       const std::string& config_path) const {
-  if (model_ == nullptr) {
+  const ServingSnapshot* snap = active();
+  if (snap->model == nullptr) {
     throw std::logic_error(
         "AdsalaGemm::save: heuristic fallback has no artefacts to save");
   }
-  Json model_blob = model_->save();
+  Json model_blob = snap->model->save();
   model_blob["format"] = Json(kModelFormat);
   write_json_file(model_path, model_blob);
   Json config;
   config["format"] = Json(kConfigFormat);
-  config["platform"] = Json(platform_);
-  config["max_threads"] = Json(max_threads_);
+  config["platform"] = Json(snap->platform);
+  config["max_threads"] = Json(snap->max_threads);
   JsonArray grid;
-  for (int p : thread_grid_) grid.emplace_back(p);
+  for (int p : snap->thread_grid) grid.emplace_back(p);
   config["thread_grid"] = Json(std::move(grid));
-  config["pipeline"] = pipeline_.save();
-  config["model_name"] = Json(model_name_);
+  config["pipeline"] = snap->pipeline.save();
+  config["model_name"] = Json(snap->model_name);
   write_json_file(config_path, config);
 }
 
-bool AdsalaGemm::op_aware() const {
-  // An op indicator must have *survived* preprocessing: a GEMM-only campaign
-  // gathered with the op-aware schema drops the constant op_* columns at
-  // fit time and therefore answers family queries exactly like the proxy.
-  if (model_ == nullptr) return false;
-  const auto& names = pipeline_.input_feature_names();
-  for (std::size_t j : pipeline_.kept_features()) {
-    if (names[j].rfind("op_", 0) == 0) return true;
-  }
-  return false;
-}
-
-int AdsalaGemm::heuristic_threads(blas::OpKind op,
-                                  const simarch::GemmShape& shape) {
-  // Deterministic analytic argmin over the grid, through the op's registry
-  // cost model on the equivalent-GEMM shape — the same literals the
-  // simulated platforms are timed with, so the occupancy rule inherits
-  // their qualitative behaviour (skinny shapes cap out early, big cubes
-  // take the machine).
-  const simarch::OpCostModel& cost = op_traits(op).cost;
-  simarch::ExecPolicy policy;
-  int best = thread_grid_.front();
-  double best_time = 0.0;
-  for (std::size_t i = 0; i < thread_grid_.size(); ++i) {
-    policy.nthreads = thread_grid_[i];
-    const double t = fallback_model_->time_op(shape, policy, cost).total();
-    if (i == 0 || t < best_time) {
-      best_time = t;
-      best = thread_grid_[i];
-    }
-  }
-  return best;
-}
-
-int AdsalaGemm::select_threads_impl(blas::OpKind op, long m, long k, long n,
-                                    int elem_bytes) {
-  if (op == last_op_ && m == last_m_ && k == last_k_ && n == last_n_ &&
-      elem_bytes == last_elem_) {
-    return last_threads_;  // repeated-query fast path
-  }
-  simarch::GemmShape shape{m, k, n, elem_bytes};
-  int threads = 0;
-  if (model_ != nullptr) {
-    const std::size_t best =
-        predict_best_grid_index(*model_, pipeline_, shape, thread_grid_, op);
-    threads = thread_grid_[best];
-  } else {
-    threads = heuristic_threads(op, shape);  // degraded serving mode
-  }
-  last_op_ = op;
-  last_m_ = m;
-  last_k_ = k;
-  last_n_ = n;
-  last_elem_ = elem_bytes;
-  last_threads_ = threads;
-  return last_threads_;
-}
-
 int AdsalaGemm::select_threads(blas::OpKind op, long x, long y, long z,
-                               int elem_bytes) {
+                               int elem_bytes) const {
   // The registry canonicalises the family coordinates into the stored
   // equivalent-GEMM shape, which serves every schema tier: an op-aware
   // pipeline differentiates via the op_* one-hots, an older one sees the
   // plain GEMM-proxy query of the same shape, and the heuristic fallback
   // applies its occupancy rule to the same equivalent-GEMM work.
   const simarch::GemmShape shape = op_traits(op).to_shape(x, y, z, elem_bytes);
-  return select_threads_impl(op, shape.m, shape.k, shape.n, elem_bytes);
+  return active()->select_threads(op, shape.m, shape.k, shape.n, elem_bytes);
 }
 
-int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) {
-  return select_threads_impl(blas::OpKind::kGemm, m, k, n, elem_bytes);
+int AdsalaGemm::select_threads(long m, long k, long n, int elem_bytes) const {
+  return active()->select_threads(blas::OpKind::kGemm, m, k, n, elem_bytes);
 }
 
-int AdsalaGemm::select_threads_syrk(long n, long k, int elem_bytes) {
+AdsalaGemm::Decision AdsalaGemm::query(blas::OpKind op, long x, long y,
+                                       long z, int elem_bytes) const {
+  // One snapshot read for the whole answer: threads, rung and version are
+  // guaranteed mutually consistent even while install() races this call.
+  const ServingSnapshot* snap = active();
+  const simarch::GemmShape shape = op_traits(op).to_shape(x, y, z, elem_bytes);
+  Decision d;
+  d.threads = snap->select_threads(op, shape.m, shape.k, shape.n, elem_bytes);
+  d.mode = snap->mode_for(op);
+  d.version = snap->version;
+  return d;
+}
+
+int AdsalaGemm::select_threads_syrk(long n, long k, int elem_bytes) const {
   return select_threads(blas::OpKind::kSyrk, n, k, 0, elem_bytes);
 }
 
-int AdsalaGemm::select_threads_trsm(long n, long m, int elem_bytes) {
+int AdsalaGemm::select_threads_trsm(long n, long m, int elem_bytes) const {
   return select_threads(blas::OpKind::kTrsm, n, m, 0, elem_bytes);
 }
 
-int AdsalaGemm::select_threads_symm(long n, long m, int elem_bytes) {
+int AdsalaGemm::select_threads_symm(long n, long m, int elem_bytes) const {
   return select_threads(blas::OpKind::kSymm, n, m, 0, elem_bytes);
 }
 

@@ -3,10 +3,19 @@
 // AdsalaGemm wraps the installation-produced artefacts — trained model +
 // preprocessing/config — in a C++ class. At each BLAS call it evaluates the
 // model for every candidate thread count, picks the argmin, and runs the
-// call with that many threads. The last (op, shape) -> threads decision is
-// memoised, so loops over a fixed shape pay the model cost once
+// call with that many threads. Recent (op, shape) -> threads decisions are
+// memoised, so loops over fixed shapes pay the model cost once
 // (SS III-C: "the software will read and apply the predictions from the
 // responsible class attributes without re-evaluation").
+//
+// Serving is snapshot-based (core/snapshot.h): all loaded state lives in an
+// immutable ServingSnapshot published through one atomic pointer, so
+// select_threads takes no mutex and is safe to call from any number of
+// threads. install() hot-swaps a new generation in (version bump); queries
+// already in flight finish on the old snapshot, which stays alive for the
+// runtime's lifetime. This is the serve side of the tuning-as-a-service
+// design — the same runtime object backs the `adsala_cli serve` daemon and
+// any in-process caller concurrently.
 //
 // Queries are built against the feature schema the installed pipeline was
 // fitted with (the single source of truth is preprocess/features.h): the
@@ -17,15 +26,20 @@
 // shape (SYRK: (n, k, n); TRSM/SYMM/TRMM: (n, n, m)), whose parallel
 // structure transfers approximately.
 //
-// Fail-safe serving: try_load validates artefacts without throwing, and
-// load_or_fallback degrades to a built-in analytic occupancy heuristic when
-// they are missing or corrupt, so a drop-in sgemm replacement can promise
-// "never crashes on a bad install". serving_mode() reports which rung of
-// the ladder (model -> GEMM proxy -> heuristic) answered.
+// Fail-safe serving: try_load validates artefacts without throwing,
+// try_attach applies the same ladder to a shared-memory region
+// (core/shm_store.h), and load_or_fallback degrades to a built-in analytic
+// occupancy heuristic when artefacts are missing or corrupt, so a drop-in
+// sgemm replacement can promise "never crashes on a bad install".
+// serving_mode() reports which rung of the ladder (model -> GEMM proxy ->
+// heuristic) answered.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "blas/gemm.h"
 #include "blas/op.h"
@@ -33,24 +47,22 @@
 #include "blas/syrk.h"
 #include "blas/trsm.h"
 #include "common/status.h"
+#include "core/snapshot.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
 
-/// How a select_threads answer was produced — the fail-safe serving ladder
-/// (docs/OPERATIONS.md, "Failure modes and degraded serving"):
-///   kModelServed        the trained model answered for this op first-class
-///   kGemmProxy          the model answered, but through the equivalent-GEMM
-///                       proxy (op postdates the artefact's schema)
-///   kHeuristicFallback  no usable artefacts; a built-in analytic occupancy
-///                       rule (simarch::MachineModel literals) answered
-enum class ServingMode { kModelServed, kGemmProxy, kHeuristicFallback };
-
-/// Stable name for logs/CLI: "model", "gemm_proxy", "heuristic".
-const char* serving_mode_name(ServingMode mode);
-
 class AdsalaGemm {
  public:
+  /// One answer with the generation that produced it, so callers (the
+  /// daemon, the concurrency tests) can report a rung that is guaranteed
+  /// consistent with the thread count — both come from one snapshot read.
+  struct Decision {
+    int threads = 0;
+    ServingMode mode = ServingMode::kHeuristicFallback;
+    std::uint64_t version = 0;
+  };
+
   /// Builds directly from a finished training run.
   explicit AdsalaGemm(TrainOutput trained);
 
@@ -68,6 +80,14 @@ class AdsalaGemm {
   static Expected<AdsalaGemm> try_load(const std::string& model_path,
                                        const std::string& config_path);
 
+  /// Attaches to a published shared-memory artefact region
+  /// (core/shm_store.h): copies one stable generation of payloads out under
+  /// the region's seqlock, then runs them through the exact same validation
+  /// ladder as try_load. Adds the region failure classes on top: kNotFound
+  /// (no region), kValidationError (bad magic / stamp), kParseError (torn
+  /// region or payload), kUnavailable (generation counter mid-swap).
+  static Expected<AdsalaGemm> try_attach(const std::string& shm_path);
+
   /// The fail-safe entry point for serving: try_load, and on ANY failure a
   /// degraded runtime whose serving_mode() is kHeuristicFallback (the
   /// analytic occupancy rule below). Never throws for artefact problems;
@@ -80,8 +100,31 @@ class AdsalaGemm {
   /// occupancy heuristic. `max_threads` <= 0 means hardware concurrency.
   static AdsalaGemm heuristic_fallback(int max_threads = 0);
 
-  AdsalaGemm(AdsalaGemm&&) = default;
-  AdsalaGemm& operator=(AdsalaGemm&&) = default;
+  /// Moves are setup-time operations: not safe concurrently with queries.
+  AdsalaGemm(AdsalaGemm&& other) noexcept;
+  AdsalaGemm& operator=(AdsalaGemm&& other) noexcept;
+
+  // ---------------------------------------------------------- hot swapping
+
+  /// Publishes a freshly trained generation: builds an immutable snapshot
+  /// (version = current + 1, empty memo) and swaps the atomic pointer.
+  /// In-flight queries finish on the old snapshot; every new query sees the
+  /// new one. Returns the new version. This is the hook the continual-
+  /// retuning loop uses (install() publishes through it).
+  std::uint64_t install(TrainOutput trained);
+
+  /// Same, from an existing snapshot's state (model shared, memo fresh,
+  /// version re-stamped). Cheap: no model deep-copy.
+  std::uint64_t install(std::shared_ptr<const ServingSnapshot> source);
+
+  /// The currently published generation (shared ownership — safe to hold
+  /// across swaps; it just goes stale).
+  std::shared_ptr<const ServingSnapshot> snapshot() const;
+
+  /// Version of the currently published generation (1 at construction).
+  std::uint64_t snapshot_version() const { return active()->version; }
+
+  // -------------------------------------------------------------- querying
 
   /// The serving ladder rung answers for `op` currently come from. Depends
   /// on the op because one artefact can serve GEMM first-class while
@@ -95,21 +138,27 @@ class AdsalaGemm {
   /// so a newly registered operation is served without touching this class.
   /// With an op-aware model this selects from the op's own training rows;
   /// older artefacts degrade to the GEMM proxy of the equivalent shape.
-  /// The last decision is memoised; the memo key includes the operation and
-  /// element size, so mixed op / sgemm-dgemm call streams never reuse a
-  /// stale decision.
+  /// Decisions are memoised in the snapshot's bounded cache; the memo key
+  /// includes the operation and element size, so mixed op / sgemm-dgemm
+  /// call streams never reuse a stale decision. Lock-free and thread-safe.
   int select_threads(blas::OpKind op, long x, long y, long z = 0,
-                     int elem_bytes = 4);
+                     int elem_bytes = 4) const;
 
   /// Predicted-optimal thread count for a GEMM shape.
-  int select_threads(long m, long k, long n, int elem_bytes = 4);
+  int select_threads(long m, long k, long n, int elem_bytes = 4) const;
+
+  /// select_threads plus the rung and generation that answered, read from
+  /// ONE snapshot — a concurrent hot-swap can never pair an old answer with
+  /// a new rung.
+  Decision query(blas::OpKind op, long x, long y, long z = 0,
+                 int elem_bytes = 4) const;
 
   /// Compat wrappers over the generic entry point, one per pre-registry
   /// family: SYRK (n, k); left-side TRSM (A n x n triangular, m right-hand
   /// -side columns); left-side SYMM (A symmetric n x n, B/C n x m).
-  int select_threads_syrk(long n, long k, int elem_bytes = 4);
-  int select_threads_trsm(long n, long m, int elem_bytes = 4);
-  int select_threads_symm(long n, long m, int elem_bytes = 4);
+  int select_threads_syrk(long n, long k, int elem_bytes = 4) const;
+  int select_threads_trsm(long n, long m, int elem_bytes = 4) const;
+  int select_threads_symm(long n, long m, int elem_bytes = 4) const;
 
   /// Thread selection + the from-scratch BLAS, i.e. the paper's drop-in
   /// sgemm replacement for native runs. Row-major, C = alpha*A*B + beta*C.
@@ -146,15 +195,20 @@ class AdsalaGemm {
   /// False for PR-1-era artefacts *and* for GEMM-only campaigns gathered
   /// with the op-aware schema (their constant op columns are dropped at fit
   /// time, so SYRK queries reduce to the GEMM proxy).
-  bool op_aware() const;
+  bool op_aware() const { return active()->op_aware(); }
 
-  const std::string& platform() const { return platform_; }
-  int max_threads() const { return max_threads_; }
-  const std::vector<int>& thread_grid() const { return thread_grid_; }
+  // References below point into the *current* snapshot. They stay valid for
+  // the runtime's lifetime (generations are retained), but go stale across
+  // an install() — re-read after a hot-swap.
+  const std::string& platform() const { return active()->platform; }
+  int max_threads() const { return active()->max_threads; }
+  const std::vector<int>& thread_grid() const {
+    return active()->thread_grid;
+  }
   /// Only valid when serving_mode() != kHeuristicFallback.
-  const ml::Regressor& model() const { return *model_; }
-  const preprocess::Pipeline& pipeline() const { return pipeline_; }
-  const std::string& model_name() const { return model_name_; }
+  const ml::Regressor& model() const { return *active()->model; }
+  const preprocess::Pipeline& pipeline() const { return active()->pipeline; }
+  const std::string& model_name() const { return active()->model_name; }
 
   /// Saves the two artefacts (model file + config file), stamped with the
   /// format markers try_load validates ("adsala/model/v1",
@@ -163,27 +217,27 @@ class AdsalaGemm {
             const std::string& config_path) const;
 
  private:
-  AdsalaGemm() = default;  // used by try_load / heuristic_fallback
+  AdsalaGemm() = default;  // factories publish a snapshot before returning
+  explicit AdsalaGemm(std::shared_ptr<const ServingSnapshot> first);
 
-  int select_threads_impl(blas::OpKind op, long m, long k, long n,
-                          int elem_bytes);
-  /// Analytic occupancy argmin over thread_grid_ (heuristic mode only).
-  int heuristic_threads(blas::OpKind op, const simarch::GemmShape& shape);
+  /// Swaps `next` in as the new generation (writer path; mutex only here).
+  std::uint64_t publish(std::shared_ptr<ServingSnapshot> next);
 
-  std::unique_ptr<ml::Regressor> model_;
-  preprocess::Pipeline pipeline_;
-  /// Analytic stand-in model; non-null exactly in heuristic mode.
-  std::unique_ptr<simarch::MachineModel> fallback_model_;
-  std::vector<int> thread_grid_;
-  int max_threads_ = 0;
-  std::string platform_;
-  std::string model_name_;
+  const ServingSnapshot* active() const {
+    return active_.load(std::memory_order_acquire);
+  }
 
-  // Memoised last decision (paper SS III-C).
-  blas::OpKind last_op_ = blas::OpKind::kGemm;
-  long last_m_ = -1, last_k_ = -1, last_n_ = -1;
-  int last_elem_ = 0;
-  int last_threads_ = 0;
+  /// Hot path: one acquire load of a raw pointer — no mutex, no shared_ptr
+  /// control-block traffic (libstdc++'s atomic<shared_ptr> takes a pool
+  /// mutex, which would put a lock right back under select_threads).
+  std::atomic<const ServingSnapshot*> active_{nullptr};
+
+  /// Writer side. `generations_` retains every snapshot ever published so
+  /// readers racing a swap can never touch freed memory (hazard-free by
+  /// retention); its footprint is bounded by the number of install() calls,
+  /// which are rare retrain events by design.
+  mutable std::mutex install_mu_;
+  std::vector<std::shared_ptr<const ServingSnapshot>> generations_;
 };
 
 }  // namespace adsala::core

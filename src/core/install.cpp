@@ -1,10 +1,24 @@
 #include "core/install.h"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/adsala.h"
+#include "core/shm_store.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
 
 namespace adsala::core {
 
@@ -58,6 +72,20 @@ InstallReport install(GemmExecutor& executor, const InstallOptions& options) {
         "install: written artefacts fail validation (" +
         std::string(error_code_name(verify.error().code)) +
         "): " + verify.error().message);
+  }
+
+  // Publication happens only past this point: a shm region or a live
+  // runtime never receives bytes the validation ladder would reject.
+  if (!options.publish_shm.empty()) {
+    const Error err =
+        publish_shm_region(options.publish_shm, slurp(report.model_path),
+                           slurp(report.config_path));
+    if (!err.ok()) {
+      throw std::runtime_error("install: shm publish failed: " + err.message);
+    }
+  }
+  if (options.publish_to != nullptr) {
+    options.publish_to->install(verify.value().snapshot());
   }
 
   return report;

@@ -22,6 +22,17 @@ struct InstallOptions {
   /// (e.g. bench_native_host's) is re-trained without re-timing: one
   /// install() call turns an existing CSV into fresh runtime artefacts.
   std::string reuse_timings_csv;
+  /// When non-empty, also publish the write-then-verified artefact bytes
+  /// into a shared-memory region at this path (core/shm_store.h), so every
+  /// process attached via AdsalaGemm::try_attach picks the new model up on
+  /// its next attach. Publication happens only *after* verification passes:
+  /// a region never carries bytes the serving ladder would reject.
+  std::string publish_shm;
+  /// When non-null, hot-swap the verified artefacts into this live runtime
+  /// (AdsalaGemm::install, version bump; in-flight queries finish on the old
+  /// generation). This is the continual-retuning hook: the same object keeps
+  /// serving while a retrain lands.
+  class AdsalaGemm* publish_to = nullptr;
 };
 
 struct InstallReport {

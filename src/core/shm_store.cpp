@@ -1,0 +1,166 @@
+#include "core/shm_store.h"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace adsala::core {
+
+namespace {
+
+Error io_error(const std::string& path, const std::string& what) {
+  return Error{ErrorCode::kInternal,
+               path + ": " + what + ": " + std::strerror(errno)};
+}
+
+/// Cross-process atomic view of the mapped generation counter.
+std::atomic_ref<std::uint64_t> generation_ref(ShmHeader* header) {
+  return std::atomic_ref<std::uint64_t>(header->generation);
+}
+
+struct Mapping {
+  void* addr = MAP_FAILED;
+  std::size_t bytes = 0;
+  ~Mapping() {
+    if (addr != MAP_FAILED) ::munmap(addr, bytes);
+  }
+};
+
+}  // namespace
+
+Error publish_shm_region(const std::string& path,
+                         const std::string& model_json,
+                         const std::string& config_json) {
+  const std::uint64_t model_offset = kShmHeaderBytes;
+  const std::uint64_t config_offset = model_offset + model_json.size();
+  const std::uint64_t total = config_offset + config_json.size();
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return io_error(path, "cannot open shm region");
+
+  // Read the previous generation (if any) before growing the file, so the
+  // counter stays monotonic across publishes into a live region.
+  std::uint64_t prev_generation = 0;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 &&
+      st.st_size >= static_cast<off_t>(kShmHeaderBytes)) {
+    ShmHeader old{};
+    if (::pread(fd, &old, sizeof(old), 0) == sizeof(old) &&
+        old.magic == kShmMagic) {
+      prev_generation = old.generation;
+    }
+  }
+
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    const Error err = io_error(path, "cannot size shm region");
+    ::close(fd);
+    return err;
+  }
+  Mapping map;
+  map.bytes = total;
+  map.addr = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map.addr == MAP_FAILED) return io_error(path, "cannot map shm region");
+
+  auto* header = static_cast<ShmHeader*>(map.addr);
+  auto* bytes = static_cast<std::uint8_t*>(map.addr);
+
+  // Seqlock publish: generation goes odd, the payload and the rest of the
+  // header land, generation goes even. Readers double-check the counter, so
+  // the worst a concurrent attach can observe is "retry".
+  const std::uint64_t busy = (prev_generation | 1);
+  generation_ref(header).store(busy, std::memory_order_release);
+
+  header->magic = kShmMagic;
+  header->header_bytes = kShmHeaderBytes;
+  header->model_offset = model_offset;
+  header->model_bytes = model_json.size();
+  header->config_offset = config_offset;
+  header->config_bytes = config_json.size();
+  header->total_bytes = total;
+  header->reserved = 0;
+  std::memcpy(bytes + model_offset, model_json.data(), model_json.size());
+  std::memcpy(bytes + config_offset, config_json.data(), config_json.size());
+
+  generation_ref(header).store(busy + 1, std::memory_order_release);
+  return Error{};
+}
+
+Expected<ShmArtefacts> read_shm_region(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error{ErrorCode::kNotFound, path + ": no shm region"};
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Error err = io_error(path, "cannot stat shm region");
+    ::close(fd);
+    return err;
+  }
+  const auto mapped_bytes = static_cast<std::size_t>(st.st_size);
+  if (mapped_bytes < kShmHeaderBytes) {
+    ::close(fd);
+    return Error{ErrorCode::kParseError,
+                 path + ": region smaller than its header (torn create?)"};
+  }
+  Mapping map;
+  map.bytes = mapped_bytes;
+  map.addr = ::mmap(nullptr, mapped_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map.addr == MAP_FAILED) return io_error(path, "cannot map shm region");
+
+  auto* header = static_cast<ShmHeader*>(map.addr);
+  // The magic (and the format version in its low byte) never changes after
+  // creation, so it is checked outside the generation loop.
+  if (header->magic != kShmMagic) {
+    return Error{ErrorCode::kValidationError,
+                 path + ": bad shm magic (not an ADSALA region, or an "
+                        "incompatible format version)"};
+  }
+
+  const auto* bytes = static_cast<const std::uint8_t*>(map.addr);
+  // atomic_ref wants a mutable lvalue even for pure loads; the mapping is
+  // PROT_READ, and only load() is ever called through this view.
+  auto generation = generation_ref(header);
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint64_t g1 = generation.load(std::memory_order_acquire);
+    if (failpoint::triggered("shm-mid-swap")) g1 |= 1;  // forced mid-swap
+    if (g1 & 1) {
+      ::sched_yield();
+      continue;
+    }
+    const std::uint64_t model_off = header->model_offset;
+    const std::uint64_t model_len = header->model_bytes;
+    const std::uint64_t config_off = header->config_offset;
+    const std::uint64_t config_len = header->config_bytes;
+    if (model_off < kShmHeaderBytes || config_off < kShmHeaderBytes ||
+        model_off + model_len > mapped_bytes ||
+        config_off + config_len > mapped_bytes) {
+      return Error{ErrorCode::kParseError,
+                   path + ": payload bounds fall outside the region"};
+    }
+    ShmArtefacts out;
+    out.model_json.assign(reinterpret_cast<const char*>(bytes + model_off),
+                          model_len);
+    out.config_json.assign(reinterpret_cast<const char*>(bytes + config_off),
+                           config_len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (generation.load(std::memory_order_acquire) != g1) continue;  // torn
+    out.generation = g1;
+    return out;
+  }
+  return Error{ErrorCode::kUnavailable,
+               path + ": generation counter caught mid-swap (publisher "
+                      "active or crashed mid-publish); retry later"};
+}
+
+}  // namespace adsala::core

@@ -1,0 +1,91 @@
+// Versioned shared-memory artefact store.
+//
+// One host, N serving processes, one trained model: the installation
+// artefacts (model.json + config.json payloads, byte-for-byte) are published
+// into a single mmap-able region that every process attaches read-only.
+// Mapped from a tmpfs path (/dev/shm/...) the payload exists once in
+// physical memory no matter how many processes serve from it; any regular
+// file path works too (tests use /tmp scratch).
+//
+// The region's format discipline follows the fixed-offset, versioned-magic
+// control-block style of the Cai900205 libips exemplar (SNIPPETS.md #1):
+// every field lives at a compile-time offset, the magic word carries the
+// format version in its low byte, and a seqlock-style generation counter
+// makes torn publishes detectable instead of silently served.
+//
+//   offset  field          contents
+//   ------  -------------  -------------------------------------------
+//       0   magic          0xAD5A1A00 | format version (1)
+//       4   header_bytes   64 (lets future versions grow the header)
+//       8   generation     seqlock: odd = publish in progress; a reader
+//                          must see the same even value before and after
+//                          copying the payload
+//      16   model_offset   byte offset of the model.json payload
+//      24   model_bytes    its length
+//      32   config_offset  byte offset of the config.json payload
+//      40   config_bytes   its length
+//      48   total_bytes    whole-region length (bounds check anchor)
+//      56   reserved       0
+//      64   payload...
+//
+// publish_shm_region is the only writer (generation odd -> payload ->
+// generation even, release-ordered); read_shm_region copies the payloads
+// out under the generation check and retries a bounded number of times, so
+// attachers never serve from a half-swapped region. Validation of the
+// payload *content* is not done here — AdsalaGemm::try_attach feeds the
+// copied bytes through the exact same ladder try_load applies to files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace adsala::core {
+
+inline constexpr std::uint32_t kShmFormatVersion = 1;
+inline constexpr std::uint32_t kShmMagic = 0xAD5A1A00u | kShmFormatVersion;
+inline constexpr std::uint32_t kShmHeaderBytes = 64;
+
+/// The fixed-offset region header. POD on purpose: it is the wire format.
+struct ShmHeader {
+  std::uint32_t magic;
+  std::uint32_t header_bytes;
+  std::uint64_t generation;
+  std::uint64_t model_offset;
+  std::uint64_t model_bytes;
+  std::uint64_t config_offset;
+  std::uint64_t config_bytes;
+  std::uint64_t total_bytes;
+  std::uint64_t reserved;
+};
+static_assert(sizeof(ShmHeader) == kShmHeaderBytes,
+              "header layout is a wire format — do not let it drift");
+static_assert(offsetof(ShmHeader, generation) == 8 &&
+                  offsetof(ShmHeader, model_offset) == 16 &&
+                  offsetof(ShmHeader, total_bytes) == 48,
+              "field offsets are part of the format");
+
+/// A stable copy of one generation's payloads.
+struct ShmArtefacts {
+  std::string model_json;
+  std::string config_json;
+  std::uint64_t generation = 0;
+};
+
+/// Publishes an artefact pair into the region at `path` (created or
+/// overwritten in place under the seqlock protocol). Returns kOk, or a
+/// path-qualified I/O failure.
+Error publish_shm_region(const std::string& path,
+                         const std::string& model_json,
+                         const std::string& config_json);
+
+/// Attaches to the region and copies one *stable* generation of payloads
+/// out. Failure taxonomy: kNotFound (no region), kParseError (too small /
+/// payload bounds beyond the mapping — a torn create), kValidationError
+/// (wrong magic: not an ADSALA region or an incompatible format version),
+/// kUnavailable (generation counter caught mid-swap past the retry budget).
+Expected<ShmArtefacts> read_shm_region(const std::string& path);
+
+}  // namespace adsala::core

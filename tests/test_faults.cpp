@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "adsala_daemon.h"
 #include "blas/gemm.h"
 #include "blas/trmm.h"
 #include "common/csv.h"
@@ -29,6 +30,7 @@
 #include "core/adsala.h"
 #include "core/executor.h"
 #include "core/gather.h"
+#include "core/shm_store.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
@@ -45,6 +47,8 @@ TEST(Status, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kResourceExhausted),
                "resource_exhausted");
   EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(error_code_name(ErrorCode::kProtocolError), "protocol_error");
 }
 
 TEST(Status, ExitCodesAreDistinctPerFailureClass) {
@@ -54,6 +58,8 @@ TEST(Status, ExitCodesAreDistinctPerFailureClass) {
   EXPECT_EQ(exit_code_for(ErrorCode::kValidationError), 5);
   EXPECT_EQ(exit_code_for(ErrorCode::kResourceExhausted), 6);
   EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kUnavailable), 7);
+  EXPECT_EQ(exit_code_for(ErrorCode::kProtocolError), 8);
 }
 
 TEST(Status, ExpectedCarriesValueOrError) {
@@ -497,6 +503,337 @@ TEST(ArenaFaults, SerialCallDegradesToo) {
   blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0f, a.data(), k,
               b.data(), n, 0.0f, c.data(), n, 1);
   for (float v : c) ASSERT_FLOAT_EQ(v, 0.5f * 2.0f * k);
+}
+
+// ------------------------------------------- shared-memory artefact region
+
+/// Reuses the frozen good install: publishes it into a region file, then
+/// applies targeted binary surgery per test.
+class ShmRegion : public ArtefactCorpus {
+ protected:
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  /// Publishes the corpus artefacts into a fresh region and returns its path.
+  static std::string publish(const std::string& tag) {
+    const std::string path = *dir_ + "/region_" + tag;
+    const Error err =
+        publish_shm_region(path, slurp(model_path()), slurp(config_path()));
+    EXPECT_TRUE(err.ok()) << err.message;
+    return path;
+  }
+
+  /// Overwrites `len` bytes at `offset` in the region file.
+  static void poke(const std::string& path, std::size_t offset,
+                   const void* bytes, std::size_t len) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(static_cast<const char*>(bytes),
+            static_cast<std::streamsize>(len));
+  }
+};
+
+TEST_F(ShmRegion, PublishAttachServesIdenticallyToFiles) {
+  const std::string region = publish("good");
+  auto attached = AdsalaGemm::try_attach(region);
+  ASSERT_TRUE(attached.ok()) << attached.error().message;
+  auto from_files = AdsalaGemm::try_load(model_path(), config_path());
+  ASSERT_TRUE(from_files.ok());
+
+  // The acceptance bar: N attachers of one region answer exactly like a
+  // process that loaded the files — same model, same decisions, every op.
+  EXPECT_EQ(attached.value().model_name(), from_files.value().model_name());
+  EXPECT_EQ(attached.value().serving_mode(), ServingMode::kModelServed);
+  for (const blas::OpKind op : blas::all_ops()) {
+    for (long x : {48L, 300L, 1024L}) {
+      EXPECT_EQ(attached.value().select_threads(op, x, x, x),
+                from_files.value().select_threads(op, x, x, x))
+          << blas::op_name(op) << " x=" << x;
+    }
+  }
+}
+
+TEST_F(ShmRegion, TwoAttachersShareOneGeneration) {
+  const std::string region = publish("two");
+  auto first = AdsalaGemm::try_attach(region);
+  auto second = AdsalaGemm::try_attach(region);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  for (long x : {64L, 512L, 1500L}) {
+    EXPECT_EQ(first.value().select_threads(x, x, x),
+              second.value().select_threads(x, x, x));
+  }
+}
+
+TEST_F(ShmRegion, RepublishBumpsGenerationMonotonically) {
+  const std::string region = publish("gen");
+  auto g1 = read_shm_region(region);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(
+      publish_shm_region(region, slurp(model_path()), slurp(config_path()))
+          .ok());
+  auto g2 = read_shm_region(region);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GT(g2.value().generation, g1.value().generation);
+  EXPECT_EQ(g2.value().generation % 2, 0u) << "published generation is even";
+}
+
+TEST_F(ShmRegion, MissingRegionIsNotFound) {
+  auto result = AdsalaGemm::try_attach(*dir_ + "/region_absent");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
+}
+
+TEST_F(ShmRegion, BadMagicIsValidationError) {
+  const std::string region = publish("magic");
+  const std::uint32_t wrong = 0xDEADBEEF;
+  poke(region, 0, &wrong, sizeof(wrong));
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kValidationError);
+  EXPECT_NE(result.error().message.find("magic"), std::string::npos);
+}
+
+TEST_F(ShmRegion, WrongFormatVersionIsValidationError) {
+  // Same magic base, future format version: an incompatible layout must be
+  // rejected exactly like a foreign file.
+  const std::string region = publish("ver");
+  const std::uint32_t future = 0xAD5A1A00u | 99u;
+  poke(region, 0, &future, sizeof(future));
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kValidationError);
+}
+
+TEST_F(ShmRegion, OddGenerationIsUnavailable) {
+  // A publisher that died mid-swap leaves the counter odd; attach must give
+  // the retryable taxonomy row, not serve the half-written payload.
+  const std::string region = publish("odd");
+  std::uint64_t odd = 0;
+  {
+    std::ifstream in(region, std::ios::binary);
+    in.seekg(8);
+    in.read(reinterpret_cast<char*>(&odd), sizeof(odd));
+  }
+  odd |= 1;
+  poke(region, 8, &odd, sizeof(odd));
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(ShmRegion, MidSwapFailpointIsUnavailable) {
+  const std::string region = publish("failpoint");
+  failpoint::Scoped fp("shm-mid-swap");
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(ShmRegion, TruncatedRegionIsParseError) {
+  // Region cut inside the payload: header bounds point past the mapping.
+  const std::string region = publish("cut");
+  std::filesystem::resize_file(region, kShmHeaderBytes + 10);
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+
+  // Cut inside the *header* itself.
+  std::filesystem::resize_file(region, 20);
+  result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+}
+
+TEST_F(ShmRegion, CorruptPayloadIsParseOrValidationError) {
+  // Zero out the start of the model payload: the copied bytes survive the
+  // seqlock (the region is quiescent) but fail JSON decoding downstream —
+  // content validation stays the serving layer's job.
+  const std::string region = publish("payload");
+  const char junk[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  poke(region, kShmHeaderBytes, junk, sizeof(junk));
+  auto result = AdsalaGemm::try_attach(region);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError)
+      << result.error().message;
+}
+
+TEST_F(ShmRegion, StampMismatchInRegionIsValidationError) {
+  // Publish a pair whose config carries a future format stamp: the region
+  // machinery accepts any bytes, the artefact ladder must reject them.
+  auto [model, config] = scratch_copy("shm_stamp");
+  rewrite_json(config,
+               [](Json& doc) { doc["format"] = Json("adsala/config/v999"); });
+  const std::string path = *dir_ + "/region_stamp";
+  ASSERT_TRUE(publish_shm_region(path, slurp(model), slurp(config)).ok());
+  auto result = AdsalaGemm::try_attach(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kValidationError);
+}
+
+// ------------------------------------------------- daemon protocol hardening
+
+/// Frame-level fuzz against the daemon's pure handler: no sockets, no
+/// processes — exactly the code the serve loop runs per request.
+class DaemonProtocol : public ArtefactCorpus {
+ protected:
+  static AdsalaGemm runtime() {
+    auto loaded = AdsalaGemm::try_load(model_path(), config_path());
+    EXPECT_TRUE(loaded.ok());
+    return std::move(loaded).value();
+  }
+
+  static std::vector<std::uint8_t> good_frame(std::uint8_t op_code = 0,
+                                              std::int64_t x = 256,
+                                              std::int64_t y = 256,
+                                              std::int64_t z = 256) {
+    daemon::Request req;
+    req.op_code = op_code;
+    req.x = x;
+    req.y = y;
+    req.z = z;
+    std::vector<std::uint8_t> frame(daemon::kRequestBytes);
+    daemon::encode_request(req, frame.data());
+    return frame;
+  }
+};
+
+TEST_F(DaemonProtocol, GoodFrameAnswersOkWithGridValidThreads) {
+  const AdsalaGemm rt = runtime();
+  for (const blas::OpKind op : blas::all_ops()) {
+    const auto frame =
+        good_frame(static_cast<std::uint8_t>(blas::op_code(op)), 300, 200, 100);
+    const daemon::Ack ack =
+        daemon::handle_frame(rt, frame.data(), frame.size());
+    EXPECT_EQ(ack.status, ErrorCode::kOk) << blas::op_name(op);
+    bool on_grid = false;
+    for (int g : rt.thread_grid()) {
+      on_grid |= (g == static_cast<int>(ack.threads));
+    }
+    EXPECT_TRUE(on_grid) << blas::op_name(op) << " answered off the grid";
+    EXPECT_LE(ack.mode, 2u);
+  }
+}
+
+TEST_F(DaemonProtocol, AckMatchesInProcessQuery) {
+  const AdsalaGemm rt = runtime();
+  const auto frame = good_frame(0, 640, 320, 160);
+  const daemon::Ack ack = daemon::handle_frame(rt, frame.data(), frame.size());
+  const auto decision = rt.query(blas::OpKind::kGemm, 640, 320, 160);
+  EXPECT_EQ(static_cast<int>(ack.threads), decision.threads);
+  EXPECT_EQ(static_cast<core::ServingMode>(ack.mode), decision.mode);
+}
+
+TEST_F(DaemonProtocol, TruncatedFramesAreProtocolErrors) {
+  const AdsalaGemm rt = runtime();
+  const auto frame = good_frame();
+  // Every prefix of a valid frame, empty included, is a protocol error —
+  // never a crash, never a served answer.
+  for (std::size_t len = 0; len < daemon::kRequestBytes; ++len) {
+    const daemon::Ack ack = daemon::handle_frame(rt, frame.data(), len);
+    EXPECT_EQ(ack.status, ErrorCode::kProtocolError) << "len=" << len;
+  }
+}
+
+TEST_F(DaemonProtocol, WrongVersionByteIsProtocolError) {
+  const AdsalaGemm rt = runtime();
+  auto frame = good_frame();
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{2},
+                           std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
+    frame[0] = bad;
+    const daemon::Ack ack =
+        daemon::handle_frame(rt, frame.data(), frame.size());
+    EXPECT_EQ(ack.status, ErrorCode::kProtocolError)
+        << "version byte " << static_cast<int>(bad);
+  }
+}
+
+TEST_F(DaemonProtocol, UnknownOpCodeIsProtocolError) {
+  const AdsalaGemm rt = runtime();
+  for (std::uint8_t code : {std::uint8_t{5}, std::uint8_t{17},
+                            std::uint8_t{0xFF}}) {
+    const auto frame = good_frame(code);
+    const daemon::Ack ack =
+        daemon::handle_frame(rt, frame.data(), frame.size());
+    EXPECT_EQ(ack.status, ErrorCode::kProtocolError)
+        << "op code " << static_cast<int>(code);
+  }
+}
+
+TEST_F(DaemonProtocol, SemanticallyInvalidValuesAreValidationErrors) {
+  const AdsalaGemm rt = runtime();
+  // Element size 3 in an otherwise valid frame.
+  {
+    daemon::Request req;
+    req.elem_bytes = 3;
+    req.x = req.y = req.z = 64;
+    std::vector<std::uint8_t> frame(daemon::kRequestBytes);
+    daemon::encode_request(req, frame.data());
+    EXPECT_EQ(daemon::handle_frame(rt, frame.data(), frame.size()).status,
+              ErrorCode::kValidationError);
+  }
+  // Non-positive dimensions.
+  for (std::int64_t bad : {std::int64_t{0}, std::int64_t{-7}}) {
+    const auto frame = good_frame(0, bad, 64, 64);
+    EXPECT_EQ(daemon::handle_frame(rt, frame.data(), frame.size()).status,
+              ErrorCode::kValidationError)
+        << "x=" << bad;
+  }
+}
+
+TEST_F(DaemonProtocol, RandomFuzzNeverCrashes) {
+  // 10k random frames (random lengths included): every answer must be a
+  // well-formed ack, and kOk only ever pairs with a grid-valid count.
+  const AdsalaGemm rt = runtime();
+  std::uint64_t state = 0x5EED5EED5EED5EEDull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 10000; ++i) {
+    std::uint8_t frame[daemon::kRequestBytes];
+    for (auto& b : frame) b = static_cast<std::uint8_t>(next());
+    const std::size_t len = next() % (daemon::kRequestBytes + 1);
+    const daemon::Ack ack = daemon::handle_frame(rt, frame, len);
+    if (ack.status == ErrorCode::kOk) {
+      bool on_grid = false;
+      for (int g : rt.thread_grid()) {
+        on_grid |= (g == static_cast<int>(ack.threads));
+      }
+      EXPECT_TRUE(on_grid);
+    }
+  }
+}
+
+TEST(DaemonCodec, AckRoundTripsThroughitsFrame) {
+  daemon::Ack ack;
+  ack.status = ErrorCode::kOk;
+  ack.mode = 1;
+  ack.threads = 12;
+  std::uint8_t buf[daemon::kAckBytes];
+  daemon::encode_ack(ack, buf);
+  auto back = daemon::decode_ack(buf, sizeof(buf));
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().status, ErrorCode::kOk);
+  EXPECT_EQ(back.value().mode, 1u);
+  EXPECT_EQ(back.value().threads, 12u);
+}
+
+TEST(DaemonCodec, ShortOrGarbledAcksAreProtocolErrors) {
+  std::uint8_t buf[daemon::kAckBytes] = {daemon::kProtocolVersion, 0, 0, 0,
+                                         4, 0, 0, 0};
+  EXPECT_FALSE(daemon::decode_ack(buf, 3).ok());
+  EXPECT_EQ(daemon::decode_ack(buf, 3).error().code,
+            ErrorCode::kProtocolError);
+  buf[0] = 9;  // wrong protocol version in the answer
+  auto bad = daemon::decode_ack(buf, sizeof(buf));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kProtocolError);
 }
 
 // ----------------------------------------------------- CSV loader hardening

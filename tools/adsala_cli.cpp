@@ -3,10 +3,15 @@
 //   adsala install   --platform <native|setonix|gadi|tiny> [--samples N]
 //                    [--out DIR] [--cap-mb MB] [--no-tune]
 //                    [--ops <name>,...]
-//   adsala predict   --dir DIR [--fallback] [--shape MxKxN ...]
+//   adsala predict   --dir DIR | --shm PATH [--fallback] [--shape MxKxN ...]
 //                    [--<op> NxK|NxM ...]
 //   adsala inspect   --dir DIR
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
+//   adsala publish   --dir DIR --shm PATH
+//   adsala serve     --dir DIR | --shm PATH [--fallback] --socket PATH
+//                    [--max-requests N]
+//   adsala query     --socket PATH --shape MxKxN | --<op> XxY
+//                    [--send-malformed]
 //
 // `install` runs the full installation workflow and writes model.json /
 // config.json / timings.csv; `--ops` takes any comma list of registered
@@ -18,10 +23,20 @@
 // `time` measures one GEMM on the chosen backend at a given thread count
 // (or sweeps the default grid when --threads is omitted).
 //
+// Tuning-as-a-service verbs (docs/OPERATIONS.md):
+// `publish` validates a directory's artefacts and copies them into a
+// shared-memory region (core/shm_store.h) that any number of processes can
+// serve from (`predict --shm`, `serve --shm`). `serve` runs the resident
+// daemon on a Unix-domain socket; `query` is its client (and `--send-
+// malformed` deliberately sends a wrong-version frame so CI can check the
+// protocol-error path end to end).
+//
 // Exit codes follow the error taxonomy (common/status.h, exit_code_for):
 //   0 success        2 usage error            3 artefact file missing
 //   4 artefact undecodable                    5 artefact fails validation
-//   6 out of memory  1 any other internal error
+//   6 out of memory  7 temporarily unavailable (shm mid-swap, daemon down)
+//   8 protocol error (malformed daemon frame)
+//   1 any other internal error
 // Artefact problems print one line to stderr: "error (<code>): <message>".
 // `predict --fallback` never fails on artefact problems — it serves from
 // the degraded heuristic instead and reports the serving mode.
@@ -29,17 +44,21 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <memory>
 #include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "adsala_daemon.h"
 #include "blas/op.h"
 #include "common/status.h"
 #include "core/adsala.h"
 #include "core/install.h"
 #include "core/op_registry.h"
+#include "core/shm_store.h"
 #include "preprocess/features.h"
 
 using namespace adsala;
@@ -53,8 +72,13 @@ struct Args {
   std::size_t samples = 150;
   std::size_t cap_mb = 100;
   bool tune = true;
-  bool fallback = false;  ///< predict: degrade instead of failing
+  bool fallback = false;  ///< predict/serve: degrade instead of failing
   int threads = 0;
+  std::string shm;                 ///< shared-memory region path
+  std::string socket;              ///< daemon Unix-domain socket path
+  long max_requests = -1;          ///< serve: exit after N answers (< 0: run)
+  bool send_malformed = false;     ///< query: send a wrong-version frame
+  std::vector<std::string> models; ///< install: candidate zoo override
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   /// Predict queries in parse order; shapes carry the op's stored
   /// equivalent-GEMM convention (canonicalised by the registry).
@@ -96,7 +120,12 @@ std::string op_name_list() {
                "[--shape MxKxN ...]%s\n"
                "  adsala inspect --dir DIR\n"
                "  adsala time    --platform <...> --shape MxKxN "
-               "[--threads P]\n",
+               "[--threads P]\n"
+               "  adsala publish --dir DIR --shm PATH\n"
+               "  adsala serve   --dir DIR | --shm PATH [--fallback] "
+               "--socket PATH [--max-requests N]\n"
+               "  adsala query   --socket PATH --shape MxKxN | --<op> XxY "
+               "[--send-malformed]\n",
                op_name_list().c_str(), family_flag_usage().c_str());
   std::exit(2);
 }
@@ -136,6 +165,28 @@ Args parse(int argc, char** argv) {
       args.fallback = true;
     } else if (flag == "--threads") {
       args.threads = std::stoi(value());
+    } else if (flag == "--shm") {
+      args.shm = value();
+    } else if (flag == "--socket") {
+      args.socket = value();
+    } else if (flag == "--max-requests") {
+      args.max_requests = std::stol(value());
+    } else if (flag == "--send-malformed") {
+      args.send_malformed = true;
+    } else if (flag == "--models") {
+      // Candidate zoo override for install (comma list, e.g.
+      // "decision_tree"): committed CI artefacts pin a compact model so the
+      // repository does not carry a megabyte ensemble.
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        args.models.push_back(list.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (flag == "--shape") {
       args.queries.emplace_back(blas::OpKind::kGemm, parse_shape(value()));
     } else if (flag.rfind("--", 0) == 0 && blas::parse_op(flag.substr(2)) &&
@@ -203,6 +254,7 @@ int cmd_install(const Args& args) {
         std::min<long>(options.gather.domain.dim_max, 2000);
   }
   options.train.tune = args.tune;
+  options.train.candidates = args.models;
   options.output_dir = args.dir;
   std::filesystem::create_directories(args.dir);
 
@@ -238,28 +290,37 @@ void report_error(const Error& err) {
                err.message.c_str());
 }
 
+/// Builds the serving runtime per the flags: --shm attaches to a shared
+/// region, --dir loads files, and --fallback turns ANY artefact problem
+/// into the degraded heuristic (reported to stderr) instead of a failure.
+/// On error (without --fallback) reports it and returns nullptr with
+/// *exit_code set.
+std::unique_ptr<core::AdsalaGemm> load_runtime(const Args& args,
+                                               int* exit_code) {
+  auto loaded = !args.shm.empty()
+                    ? core::AdsalaGemm::try_attach(args.shm)
+                    : core::AdsalaGemm::try_load(args.dir + "/model.json",
+                                                 args.dir + "/config.json");
+  if (loaded.ok()) {
+    return std::make_unique<core::AdsalaGemm>(std::move(loaded).value());
+  }
+  if (args.fallback) {
+    report_error(loaded.error());
+    return std::make_unique<core::AdsalaGemm>(
+        core::AdsalaGemm::heuristic_fallback());
+  }
+  report_error(loaded.error());
+  *exit_code = exit_code_for(loaded.error().code);
+  return nullptr;
+}
+
 int cmd_predict(const Args& args) {
   if (args.queries.empty()) {
     usage("predict needs at least one --shape or family flag");
   }
-  const std::string model_path = args.dir + "/model.json";
-  const std::string config_path = args.dir + "/config.json";
-  std::unique_ptr<core::AdsalaGemm> runtime;
-  if (args.fallback) {
-    // Fail-safe serving: any artefact problem degrades to the built-in
-    // heuristic instead of failing the command.
-    Error why;
-    runtime = std::make_unique<core::AdsalaGemm>(
-        core::AdsalaGemm::load_or_fallback(model_path, config_path, &why));
-    if (!why.ok()) report_error(why);
-  } else {
-    auto loaded = core::AdsalaGemm::try_load(model_path, config_path);
-    if (!loaded.ok()) {
-      report_error(loaded.error());
-      return exit_code_for(loaded.error().code);
-    }
-    runtime = std::make_unique<core::AdsalaGemm>(std::move(loaded).value());
-  }
+  int exit_code = 0;
+  auto runtime = load_runtime(args, &exit_code);
+  if (runtime == nullptr) return exit_code;
   std::printf("platform %s, model %s, max threads %d, op-aware %s\n",
               runtime->platform().c_str(), runtime->model_name().c_str(),
               runtime->max_threads(), runtime->op_aware() ? "yes" : "no");
@@ -354,6 +415,100 @@ int cmd_time(const Args& args) {
   return 0;
 }
 
+int cmd_publish(const Args& args) {
+  if (args.shm.empty()) usage("publish needs --shm PATH");
+  const std::string model_path = args.dir + "/model.json";
+  const std::string config_path = args.dir + "/config.json";
+  // Validate before publishing: a region must never carry bytes the serving
+  // ladder would reject (attachers would all degrade at once).
+  auto loaded = core::AdsalaGemm::try_load(model_path, config_path);
+  if (!loaded.ok()) {
+    report_error(loaded.error());
+    return exit_code_for(loaded.error().code);
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const Error err = core::publish_shm_region(args.shm, slurp(model_path),
+                                             slurp(config_path));
+  if (!err.ok()) {
+    report_error(err);
+    return exit_code_for(err.code);
+  }
+  std::printf("published %s -> %s (platform %s, model %s)\n",
+              args.dir.c_str(), args.shm.c_str(),
+              loaded.value().platform().c_str(),
+              loaded.value().model_name().c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.socket.empty()) usage("serve needs --socket PATH");
+  int exit_code = 0;
+  auto runtime = load_runtime(args, &exit_code);
+  if (runtime == nullptr) return exit_code;
+  std::printf("serving platform %s, model %s (mode %s) on %s\n",
+              runtime->platform().c_str(), runtime->model_name().c_str(),
+              core::serving_mode_name(runtime->serving_mode()),
+              args.socket.c_str());
+  std::fflush(stdout);
+  daemon::ServeOptions options;
+  options.socket_path = args.socket;
+  options.max_requests = args.max_requests;
+  const Error err = daemon::serve(*runtime, options);
+  if (!err.ok()) {
+    report_error(err);
+    return exit_code_for(err.code);
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.socket.empty()) usage("query needs --socket PATH");
+  if (args.queries.size() != 1) {
+    usage("query needs exactly one --shape or family flag");
+  }
+  const auto& [op, shape] = args.queries.front();
+  const auto& traits = core::op_traits(op);
+  long coords[3] = {0, 0, 0};
+  traits.from_shape(shape, &coords[0], &coords[1], &coords[2]);
+
+  daemon::Request req;
+  req.op_code = static_cast<std::uint8_t>(blas::op_code(op));
+  req.elem_bytes = 4;
+  req.x = coords[0];
+  req.y = coords[1];
+  req.z = coords[2];
+  if (args.send_malformed) {
+    // Deliberately violate the protocol (wrong version byte) so CI can
+    // drive the daemon's protocol-error path over a real socket.
+    req.version = 0x7F;
+  }
+
+  auto answer = daemon::query(args.socket, req);
+  if (!answer.ok()) {
+    report_error(answer.error());
+    return exit_code_for(answer.error().code);
+  }
+  const daemon::Ack& ack = answer.value();
+  if (ack.status != ErrorCode::kOk) {
+    const Error err{ack.status, "daemon rejected the request"};
+    report_error(err);
+    return exit_code_for(err.code);
+  }
+  std::printf("%s", blas::op_name(op));
+  for (int d = 0; d < traits.family_dims; ++d) {
+    std::printf(" %s=%ld", traits.coord_names[d], coords[d]);
+  }
+  std::printf(" -> %u threads (mode %s)\n", ack.threads,
+              core::serving_mode_name(
+                  static_cast<core::ServingMode>(ack.mode)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -363,6 +518,9 @@ int main(int argc, char** argv) {
     if (args.command == "predict") return cmd_predict(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "time") return cmd_time(args);
+    if (args.command == "publish") return cmd_publish(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "query") return cmd_query(args);
   } catch (const std::bad_alloc&) {
     const Error err{ErrorCode::kResourceExhausted, "out of memory"};
     report_error(err);

@@ -1,0 +1,249 @@
+#include "adsala_daemon.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "blas/op.h"
+
+namespace adsala::daemon {
+
+namespace {
+
+void put_u32le(std::uint8_t* buf, std::uint32_t v) {
+  buf[0] = static_cast<std::uint8_t>(v);
+  buf[1] = static_cast<std::uint8_t>(v >> 8);
+  buf[2] = static_cast<std::uint8_t>(v >> 16);
+  buf[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_i64le(std::uint8_t* buf, std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(u >> (8 * i));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* buf) {
+  return static_cast<std::uint32_t>(buf[0]) |
+         (static_cast<std::uint32_t>(buf[1]) << 8) |
+         (static_cast<std::uint32_t>(buf[2]) << 16) |
+         (static_cast<std::uint32_t>(buf[3]) << 24);
+}
+
+std::int64_t get_i64le(const std::uint8_t* buf) {
+  std::uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) u |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return static_cast<std::int64_t>(u);
+}
+
+/// Reads exactly `len` bytes; returns the count read (short on EOF/error).
+std::size_t read_full(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+bool write_full(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Ack protocol_error_ack() {
+  Ack ack;
+  ack.status = ErrorCode::kProtocolError;
+  return ack;
+}
+
+}  // namespace
+
+void encode_request(const Request& req, std::uint8_t* buf) {
+  buf[0] = req.version;
+  buf[1] = req.op_code;
+  buf[2] = req.elem_bytes;
+  buf[3] = 0;
+  put_i64le(buf + 4, req.x);
+  put_i64le(buf + 12, req.y);
+  put_i64le(buf + 20, req.z);
+}
+
+void encode_ack(const Ack& ack, std::uint8_t* buf) {
+  buf[0] = ack.version;
+  buf[1] = static_cast<std::uint8_t>(ack.status);
+  buf[2] = ack.mode;
+  buf[3] = 0;
+  put_u32le(buf + 4, ack.threads);
+}
+
+Expected<Ack> decode_ack(const std::uint8_t* buf, std::size_t len) {
+  if (len < kAckBytes) {
+    return Error{ErrorCode::kProtocolError,
+                 "short ack frame: " + std::to_string(len) + " of " +
+                     std::to_string(kAckBytes) + " bytes"};
+  }
+  if (buf[0] != kProtocolVersion) {
+    return Error{ErrorCode::kProtocolError,
+                 "ack protocol version " + std::to_string(buf[0]) +
+                     " (expected " + std::to_string(kProtocolVersion) + ")"};
+  }
+  Ack ack;
+  ack.version = buf[0];
+  ack.status = static_cast<ErrorCode>(buf[1]);
+  ack.mode = buf[2];
+  ack.threads = get_u32le(buf + 4);
+  return ack;
+}
+
+Ack handle_frame(const core::AdsalaGemm& runtime, const std::uint8_t* frame,
+                 std::size_t len) {
+  // Frame damage first: a truncated or version-mismatched request tells us
+  // nothing reliable about what the client wanted.
+  if (len < kRequestBytes) return protocol_error_ack();
+  if (frame[0] != kProtocolVersion) return protocol_error_ack();
+  const auto op = blas::op_from_code(frame[1]);
+  if (!op.has_value()) return protocol_error_ack();
+
+  const int elem = frame[2];
+  const std::int64_t x = get_i64le(frame + 4);
+  const std::int64_t y = get_i64le(frame + 12);
+  const std::int64_t z = get_i64le(frame + 20);
+
+  // A well-formed frame with unusable values is the client's semantic
+  // mistake, not wire damage: distinct status so callers can tell.
+  Ack ack;
+  if ((elem != 4 && elem != 8) || x < 1 || y < 1 || z < 0 ||
+      (*op == blas::OpKind::kGemm && z < 1)) {
+    ack.status = ErrorCode::kValidationError;
+    return ack;
+  }
+
+  const core::AdsalaGemm::Decision d =
+      runtime.query(*op, x, y, z, elem);
+  ack.status = ErrorCode::kOk;
+  ack.mode = static_cast<std::uint8_t>(d.mode);
+  ack.threads = static_cast<std::uint32_t>(d.threads);
+  return ack;
+}
+
+Error serve(const core::AdsalaGemm& runtime, const ServeOptions& options) {
+  sockaddr_un addr{};
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Error{ErrorCode::kValidationError,
+                 options.socket_path + ": socket path too long"};
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("socket: ") + std::strerror(errno)};
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Error err{ErrorCode::kInternal, options.socket_path + ": bind: " +
+                                              std::strerror(errno)};
+    ::close(listener);
+    return err;
+  }
+  if (::listen(listener, 16) != 0) {
+    const Error err{ErrorCode::kInternal, options.socket_path +
+                                              ": listen: " +
+                                              std::strerror(errno)};
+    ::close(listener);
+    return err;
+  }
+
+  long answered = 0;
+  while (options.max_requests < 0 || answered < options.max_requests) {
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_acquire)) {
+      break;
+    }
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      const Error err{ErrorCode::kInternal, options.socket_path +
+                                                ": accept: " +
+                                                std::strerror(errno)};
+      ::close(listener);
+      return err;
+    }
+    // One connection can stream multiple requests; a malformed frame acks
+    // kProtocolError and drops the connection (the stream framing is gone).
+    while (options.max_requests < 0 || answered < options.max_requests) {
+      std::uint8_t frame[kRequestBytes];
+      const std::size_t got = read_full(conn, frame, kRequestBytes);
+      if (got == 0) break;  // clean client disconnect
+      const Ack ack = handle_frame(runtime, frame, got);
+      std::uint8_t out[kAckBytes];
+      encode_ack(ack, out);
+      const bool sent = write_full(conn, out, kAckBytes);
+      ++answered;
+      if (!sent || ack.status == ErrorCode::kProtocolError) break;
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(options.socket_path.c_str());
+  return Error{};
+}
+
+Expected<Ack> query(const std::string& socket_path, const Request& req) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Error{ErrorCode::kValidationError,
+                 socket_path + ": socket path too long"};
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("socket: ") + std::strerror(errno)};
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    if (saved == ENOENT) {
+      return Error{ErrorCode::kNotFound,
+                   socket_path + ": no daemon socket at this path"};
+    }
+    return Error{ErrorCode::kUnavailable,
+                 socket_path + ": daemon not reachable: " +
+                     std::strerror(saved)};
+  }
+
+  std::uint8_t frame[kRequestBytes];
+  encode_request(req, frame);
+  if (!write_full(fd, frame, kRequestBytes)) {
+    const Error err{ErrorCode::kUnavailable,
+                    socket_path + ": daemon hung up mid-request"};
+    ::close(fd);
+    return err;
+  }
+  std::uint8_t back[kAckBytes];
+  const std::size_t got = read_full(fd, back, kAckBytes);
+  ::close(fd);
+  return decode_ack(back, got);
+}
+
+}  // namespace adsala::daemon

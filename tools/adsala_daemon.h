@@ -1,0 +1,107 @@
+// Resident tuning daemon: `adsala_cli serve` answers shape -> threads
+// queries over a Unix-domain socket, so short-lived processes (launchers,
+// schedulers, scripting layers) get model-quality thread counts without
+// paying artefact load + model setup per invocation.
+//
+// Wire protocol (version 1) — fixed layouts in the libips control-block
+// style (SNIPPETS.md #1): every field at a compile-time offset, a version
+// byte first, integers little-endian.
+//
+//   request (28 bytes)                    ack (8 bytes)
+//   ------  -----------------            ------  ----------------------
+//       0   protocol version (1)             0   protocol version (1)
+//       1   op code (blas/op.h)              1   status (ErrorCode as u8)
+//       2   element size in bytes            2   serving-mode rung
+//       3   reserved (0)                         (0 model, 1 gemm_proxy,
+//       4   x  (int64 LE)                        2 heuristic)
+//      12   y  (int64 LE)                    3   reserved (0)
+//      20   z  (int64 LE)                    4   threads (uint32 LE)
+//
+// (x, y, z) are the op's family coordinates exactly as select_threads takes
+// them: GEMM (m, k, n); SYRK (n, k, -); TRSM/SYMM/TRMM (n, m, -).
+//
+// Error discipline: a malformed frame (short read, wrong version byte,
+// unknown op code) is answered with an ack whose status is kProtocolError
+// and the connection is closed — the daemon itself never exits on bad
+// input. Semantically invalid values in a well-formed frame (element size
+// other than 4/8, non-positive dimensions) ack kValidationError. The codec
+// and the frame handler are pure functions so the test battery can fuzz
+// them without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/adsala.h"
+
+namespace adsala::daemon {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kRequestBytes = 28;
+inline constexpr std::size_t kAckBytes = 8;
+
+/// One decoded query. `op_code` is kept raw (not blas::OpKind) because an
+/// unknown code must survive decoding long enough to be rejected.
+struct Request {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t op_code = 0;
+  std::uint8_t elem_bytes = 4;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+};
+
+/// One answer. `status` mirrors the error taxonomy (common/status.h); the
+/// threads/mode fields are meaningful only when status == kOk.
+struct Ack {
+  std::uint8_t version = kProtocolVersion;
+  ErrorCode status = ErrorCode::kOk;
+  std::uint8_t mode = 2;  ///< serving rung: 0 model, 1 proxy, 2 heuristic
+  std::uint32_t threads = 0;
+};
+
+/// Serialises a request into its 28-byte frame (buf must hold kRequestBytes).
+void encode_request(const Request& req, std::uint8_t* buf);
+
+/// Serialises an ack into its 8-byte frame (buf must hold kAckBytes).
+void encode_ack(const Ack& ack, std::uint8_t* buf);
+
+/// Decodes an ack frame. kProtocolError on short frames or a version
+/// mismatch — garbled server answers must not be mistaken for decisions.
+Expected<Ack> decode_ack(const std::uint8_t* buf, std::size_t len);
+
+/// The daemon's whole brain, socket-free: validates one request frame and
+/// answers it against the runtime. Never throws; every failure becomes an
+/// ack status per the taxonomy (kProtocolError for frame damage,
+/// kValidationError for bad values in a valid frame).
+Ack handle_frame(const core::AdsalaGemm& runtime, const std::uint8_t* frame,
+                 std::size_t len);
+
+struct ServeOptions {
+  std::string socket_path;
+  /// Exit the accept loop after answering this many requests (< 0 = serve
+  /// forever). CI smoke tests use a small positive count so the daemon
+  /// terminates deterministically.
+  long max_requests = -1;
+  /// Optional external stop flag, polled between connections.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Binds a Unix-domain socket at options.socket_path (replacing any stale
+/// file) and serves queries against `runtime` until max_requests is
+/// exhausted or *stop goes true. Returns kOk on a clean exit, kInternal on
+/// socket-layer failures (bind, listen). Protocol errors from clients are
+/// acked and logged, never fatal.
+Error serve(const core::AdsalaGemm& runtime, const ServeOptions& options);
+
+/// Client side: sends one request to a serving daemon and returns the
+/// decoded ack. kNotFound when no socket exists at the path, kUnavailable
+/// when nothing is accepting on it, kProtocolError on a garbled answer.
+/// Note the transport-level status is distinct from ack.status — a healthy
+/// round-trip can still carry a non-kOk ack.
+Expected<Ack> query(const std::string& socket_path, const Request& req);
+
+}  // namespace adsala::daemon
