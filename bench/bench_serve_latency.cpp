@@ -1,20 +1,32 @@
-// Serving-path latency proof for the snapshot refactor (ISSUE 7).
+// Serving-path latency proof for the snapshot refactor (ISSUE 7) and the
+// serve-time telemetry sampler (ISSUE 8).
 //
-// Three regimes over one trained runtime:
-//   repeat : the same shape every call       -> memo hit        (was: hit)
+// Five regimes over one trained runtime:
+//   repeat  : the same shape every call      -> memo hit        (was: hit)
+//   gated   : repeat + the sampling gate with sampling OFF -> memo hit +
+//             one thread-local countdown decrement per call
+//   sampled : the same gated loop with 1-in-1024 sampling ON; 1 call in
+//             1024 also pays the (buffered) log append
 //   pingpong: two shapes alternating         -> memo hit        (was: MISS —
 //             the old single-entry memo thrashed on any alternation)
-//   stream : a fresh shape every call        -> memo miss, full model argmin
+//   stream  : a fresh shape every call       -> memo miss, full model argmin
 //
-// The acceptance bar is that `repeat` stays in the same ballpark as the old
-// memoised path (tens of nanoseconds: one atomic pointer load + one atomic
-// word probe), and `pingpong` now matches `repeat` instead of `stream`.
+// The acceptance bars are that `repeat` stays in the same ballpark as the
+// old memoised path (tens of nanoseconds: one atomic pointer load + one
+// atomic word probe), `pingpong` matches `repeat` instead of `stream`, and
+// `sampled` regresses `gated` by < 5% — the cost of turning sampling on
+// through the identical gate-compiled-in loop, the sampler's overhead
+// budget (ISSUE 8 acceptance), recorded in the BENCH json as
+// sampling_overhead_pct.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
+#include "bench_util.h"
 #include "core/adsala.h"
 #include "core/executor.h"
 #include "core/gather.h"
+#include "core/telemetry_log.h"
 #include "core/trainer.h"
 
 using namespace adsala;
@@ -39,16 +51,24 @@ core::AdsalaGemm make_runtime() {
 
 template <typename Fn>
 double ns_per_call(Fn&& fn, long iters) {
-  // Warm-up pass populates the memo so steady-state regimes measure
-  // steady state.
+  // Best-of-3: at single-digit-ns per call, one scheduler hiccup mid-pass
+  // skews a mean by more than the sampler overhead we are trying to
+  // resolve; noise only ever adds time, so the min is the estimator.
+  // The first pass doubles as warm-up (populates the memo), so steady-state
+  // regimes measure steady state.
   long sink = 0;
-  for (long i = 0; i < iters / 10 + 1; ++i) sink += fn(i);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (long i = 0; i < iters; ++i) sink += fn(i);
-  const auto t1 = std::chrono::steady_clock::now();
+  double best = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < iters; ++i) sink += fn(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    if (pass == 0 || ns < best) best = ns;
+  }
   if (sink == 42) std::printf("");  // keep the loop observable
-  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
-         static_cast<double>(iters);
+  return best;
 }
 
 }  // namespace
@@ -58,6 +78,43 @@ int main() {
 
   const double repeat = ns_per_call(
       [&](long) { return runtime.select_threads(512, 512, 512); }, 2000000);
+
+  // The sampled regime drives a real log file exactly as a production
+  // caller would: gate every call, wall-time + append only the 1-in-1024
+  // that the gate picks (the measured-ns value is a placeholder — the point
+  // is the gate + amortised append cost, not the GEMM underneath).
+  //
+  // The overhead comparison runs ONE lambda — select + gate + conditional
+  // record — twice, with sampling off and then on. The BLAS execution
+  // wrappers compile the gate in unconditionally, so "what does enabling
+  // sampling cost" is off-vs-on through identical machine code; comparing
+  // against the gate-free `repeat` loop instead would mostly measure the
+  // extra call and branch in the loop body, not the sampler.
+  auto gated = [&](long) {
+    const int p = runtime.select_threads(512, 512, 512);
+    if (runtime.sample_tick()) {
+      runtime.record_sample(blas::OpKind::kGemm, 512, 512, 512, 4, p, 100);
+    }
+    return p;
+  };
+  const double repeat_gated = ns_per_call(gated, 2000000);
+
+  const std::string log_path = "bench_serve_latency_telemetry.bin";
+  std::filesystem::remove(log_path);
+  double repeat_sampled = 0.0;
+  {
+    auto log = core::TelemetryLog::open(log_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "telemetry log open failed: %s\n",
+                   log.error().message.c_str());
+      return 1;
+    }
+    runtime.enable_sampling(
+        std::make_shared<core::TelemetryLog>(std::move(log).value()), 1024);
+    repeat_sampled = ns_per_call(gated, 2000000);
+    runtime.disable_sampling();
+  }
+  std::filesystem::remove(log_path);
 
   const double pingpong = ns_per_call(
       [&](long i) {
@@ -75,11 +132,34 @@ int main() {
       },
       50000);
 
+  const double overhead_pct =
+      (repeat_sampled - repeat_gated) / repeat_gated * 100.0;
+
   std::printf("serve latency (ns/query), model=%s platform=%s\n",
               runtime.model_name().c_str(), runtime.platform().c_str());
   std::printf("  %-28s %10.1f\n", "repeat (memo hit)", repeat);
+  std::printf("  %-28s %10.1f\n", "repeat + gate (sampling off)", repeat_gated);
+  std::printf("  %-28s %10.1f\n", "repeat + 1/1024 sampling", repeat_sampled);
   std::printf("  %-28s %10.1f\n", "pingpong (memo hit, 2 keys)", pingpong);
   std::printf("  %-28s %10.1f\n", "stream (memo miss, argmin)", stream);
   std::printf("  hit/miss ratio: %.1fx\n", stream / repeat);
+  std::printf("  sampling overhead: %+.2f%% (budget < 5%%)\n", overhead_pct);
+
+  bench::BenchJson json("serve_latency");
+  json.meta("platform", Json(runtime.platform()));
+  json.meta("model", Json(runtime.model_name()));
+  json.meta("sampling_period", Json(1024));
+  json.meta("sampling_overhead_pct", Json(overhead_pct));
+  auto row = [&](const char* regime, double ns) {
+    JsonObject r;
+    r["regime"] = Json(regime);
+    r["ns_per_call"] = Json(ns);
+    json.add(std::move(r));
+  };
+  row("repeat", repeat);
+  row("repeat_gated", repeat_gated);
+  row("repeat_sampled", repeat_sampled);
+  row("pingpong", pingpong);
+  row("stream", stream);
   return 0;
 }

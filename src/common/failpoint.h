@@ -21,6 +21,9 @@
 //                     failure; ops must degrade to per-call buffers)
 //   worker-throw      a ThreadPool region worker (tid != 0) throws; the
 //                     region must capture and rethrow on the caller
+//   telemetry-torn-tail  TelemetryLog::flush persists only a prefix of its
+//                     buffer and wedges the handle (crash mid-write); the
+//                     next open() must truncate the torn tail away
 #pragma once
 
 #include <string_view>

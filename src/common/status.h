@@ -35,6 +35,9 @@ enum class ErrorCode {
                         ///< mid-swap, tuning daemon not reachable — retry later
   kProtocolError,       ///< malformed daemon frame: truncated request, wrong
                         ///< protocol version byte, unknown op code
+  kPreconditionFailed,  ///< valid inputs, but the operation's precondition
+                        ///< does not hold: rollback target not retained,
+                        ///< too little telemetry to retrain on
 };
 
 /// Stable lower-case name of a code ("not_found", "parse_error", ...);
@@ -49,6 +52,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kPreconditionFailed: return "precondition_failed";
   }
   return "internal";
 }
@@ -66,6 +70,7 @@ inline int exit_code_for(ErrorCode code) {
     case ErrorCode::kInternal: return 1;
     case ErrorCode::kUnavailable: return 7;
     case ErrorCode::kProtocolError: return 8;
+    case ErrorCode::kPreconditionFailed: return 9;
   }
   return 1;
 }

@@ -1,10 +1,13 @@
 #include "core/adsala.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "blas/kernels/dispatch.h"
 #include "common/failpoint.h"
 #include "common/json.h"
 #include "core/executor.h"
@@ -229,18 +232,26 @@ AdsalaGemm::AdsalaGemm(const std::string& model_path,
 }
 
 AdsalaGemm::AdsalaGemm(AdsalaGemm&& other) noexcept
-    : generations_(std::move(other.generations_)) {
+    : generations_(std::move(other.generations_)),
+      samplers_(std::move(other.samplers_)) {
   active_.store(other.active_.load(std::memory_order_acquire),
                 std::memory_order_release);
   other.active_.store(nullptr, std::memory_order_release);
+  sampler_.store(other.sampler_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  other.sampler_.store(nullptr, std::memory_order_release);
 }
 
 AdsalaGemm& AdsalaGemm::operator=(AdsalaGemm&& other) noexcept {
   if (this != &other) {
     generations_ = std::move(other.generations_);
+    samplers_ = std::move(other.samplers_);
     active_.store(other.active_.load(std::memory_order_acquire),
                   std::memory_order_release);
     other.active_.store(nullptr, std::memory_order_release);
+    sampler_.store(other.sampler_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    other.sampler_.store(nullptr, std::memory_order_release);
   }
   return *this;
 }
@@ -359,6 +370,97 @@ std::shared_ptr<const ServingSnapshot> AdsalaGemm::snapshot() const {
   return generations_.back();
 }
 
+std::vector<std::uint64_t> AdsalaGemm::retained_versions() const {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(generations_.size());
+  for (const auto& gen : generations_) out.push_back(gen->version);
+  return out;
+}
+
+std::shared_ptr<const ServingSnapshot> AdsalaGemm::snapshot_at(
+    std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  for (const auto& gen : generations_) {
+    if (gen->version == version) return gen;
+  }
+  return nullptr;
+}
+
+std::size_t AdsalaGemm::evict_below(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  const ServingSnapshot* current = active_.load(std::memory_order_acquire);
+  const std::size_t before = generations_.size();
+  generations_.erase(
+      std::remove_if(generations_.begin(), generations_.end(),
+                     [&](const std::shared_ptr<const ServingSnapshot>& gen) {
+                       return gen->version < version && gen.get() != current;
+                     }),
+      generations_.end());
+  return before - generations_.size();
+}
+
+void AdsalaGemm::enable_sampling(std::shared_ptr<TelemetryLog> log,
+                                 std::uint32_t one_in_n) {
+  auto next = std::make_shared<TelemetrySampler>();
+  next->log = std::move(log);
+  std::uint64_t period = 1;
+  while (period < std::max<std::uint32_t>(one_in_n, 1)) period <<= 1;
+  next->mask = period - 1;
+  std::lock_guard<std::mutex> lock(install_mu_);
+  samplers_.push_back(std::move(next));
+  sampler_.store(samplers_.back().get(), std::memory_order_release);
+}
+
+void AdsalaGemm::disable_sampling() {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  sampler_.store(nullptr, std::memory_order_release);
+}
+
+bool AdsalaGemm::sample_tick_slow(std::uint64_t& countdown) const {
+  const TelemetrySampler* s = sampler_.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    countdown = kSamplerOffRecheckCalls;
+    return false;
+  }
+  countdown = s->mask + 1;
+  s->ticks.fetch_add(s->mask + 1, std::memory_order_relaxed);
+  return true;
+}
+
+void AdsalaGemm::record_sample(blas::OpKind op, long x, long y, long z,
+                               int elem_bytes, int threads,
+                               std::uint64_t measured_ns) const {
+  const TelemetrySampler* s = sampler_.load(std::memory_order_acquire);
+  if (s == nullptr || s->log == nullptr) return;
+  const simarch::GemmShape shape = op_traits(op).to_shape(x, y, z, elem_bytes);
+  TelemetryRecord rec;
+  rec.op = op;
+  rec.elem_bytes = elem_bytes;
+  rec.kernel = blas::kernels::active_variant();
+  rec.threads = threads;
+  rec.m = shape.m;
+  rec.k = shape.k;
+  rec.n = shape.n;
+  rec.measured_ns = measured_ns;
+  rec.model_version = active()->version;
+  if (s->log->append(rec).ok()) {
+    s->recorded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t AdsalaGemm::samples_recorded() const {
+  const TelemetrySampler* s = sampler_.load(std::memory_order_acquire);
+  return s != nullptr ? s->recorded.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t AdsalaGemm::samples_dropped() const {
+  const TelemetrySampler* s = sampler_.load(std::memory_order_acquire);
+  return s != nullptr ? s->dropped.load(std::memory_order_relaxed) : 0;
+}
+
 ServingMode AdsalaGemm::serving_mode(blas::OpKind op) const {
   return active()->mode_for(op);
 }
@@ -425,62 +527,103 @@ int AdsalaGemm::select_threads_symm(long n, long m, int elem_bytes) const {
   return select_threads(blas::OpKind::kSymm, n, m, 0, elem_bytes);
 }
 
+namespace {
+
+/// Shared sampling shim for the BLAS execution wrappers: when this call
+/// lands on a 1-in-N sampling tick, wall-time it and append the telemetry
+/// record; otherwise run it untouched. The unsampled path adds exactly the
+/// sample_tick() gate on top of PR 7's decision cost.
+template <typename Fn>
+void run_sampled(const AdsalaGemm& runtime, blas::OpKind op, long x, long y,
+                 long z, int elem_bytes, int threads, Fn&& call) {
+  if (!runtime.sample_tick()) {
+    call();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  call();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  runtime.record_sample(
+      op, x, y, z, elem_bytes, threads,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+}
+
+}  // namespace
+
 void AdsalaGemm::sgemm(int m, int n, int k, float alpha, const float* a,
                        int lda, const float* b, int ldb, float beta, float* c,
                        int ldc) {
   const int p = select_threads(m, k, n, 4);
-  blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
-              ldb, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kGemm, m, k, n, 4, p, [&] {
+    blas::sgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
+                ldb, beta, c, ldc, p);
+  });
 }
 
 void AdsalaGemm::dgemm(int m, int n, int k, double alpha, const double* a,
                        int lda, const double* b, int ldb, double beta,
                        double* c, int ldc) {
   const int p = select_threads(m, k, n, 8);
-  blas::dgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
-              ldb, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kGemm, m, k, n, 8, p, [&] {
+    blas::dgemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, alpha, a, lda, b,
+                ldb, beta, c, ldc, p);
+  });
 }
 
 void AdsalaGemm::ssyrk(blas::Uplo uplo, int n, int k, float alpha,
                        const float* a, int lda, float beta, float* c,
                        int ldc) {
   const int p = select_threads_syrk(n, k, 4);
-  blas::ssyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kSyrk, n, k, 0, 4, p, [&] {
+    blas::ssyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+  });
 }
 
 void AdsalaGemm::dsyrk(blas::Uplo uplo, int n, int k, double alpha,
                        const double* a, int lda, double beta, double* c,
                        int ldc) {
   const int p = select_threads_syrk(n, k, 8);
-  blas::dsyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kSyrk, n, k, 0, 8, p, [&] {
+    blas::dsyrk(uplo, blas::Trans::kNo, n, k, alpha, a, lda, beta, c, ldc, p);
+  });
 }
 
 void AdsalaGemm::strsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag,
                        int n, int m, float alpha, const float* a, int lda,
                        float* b, int ldb) {
   const int p = select_threads_trsm(n, m, 4);
-  blas::strsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+  run_sampled(*this, blas::OpKind::kTrsm, n, m, 0, 4, p, [&] {
+    blas::strsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+  });
 }
 
 void AdsalaGemm::dtrsm(blas::Uplo uplo, blas::Trans trans, blas::Diag diag,
                        int n, int m, double alpha, const double* a, int lda,
                        double* b, int ldb) {
   const int p = select_threads_trsm(n, m, 8);
-  blas::dtrsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+  run_sampled(*this, blas::OpKind::kTrsm, n, m, 0, 8, p, [&] {
+    blas::dtrsm(uplo, trans, diag, n, m, alpha, a, lda, b, ldb, p);
+  });
 }
 
 void AdsalaGemm::ssymm(blas::Uplo uplo, int n, int m, float alpha,
                        const float* a, int lda, const float* b, int ldb,
                        float beta, float* c, int ldc) {
   const int p = select_threads_symm(n, m, 4);
-  blas::ssymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kSymm, n, m, 0, 4, p, [&] {
+    blas::ssymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
+  });
 }
 
 void AdsalaGemm::dsymm(blas::Uplo uplo, int n, int m, double alpha,
                        const double* a, int lda, const double* b, int ldb,
                        double beta, double* c, int ldc) {
   const int p = select_threads_symm(n, m, 8);
-  blas::dsymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
+  run_sampled(*this, blas::OpKind::kSymm, n, m, 0, 8, p, [&] {
+    blas::dsymm(uplo, n, m, alpha, a, lda, b, ldb, beta, c, ldc, p);
+  });
 }
 
 }  // namespace adsala::core

@@ -48,9 +48,38 @@
 #include "blas/trsm.h"
 #include "common/status.h"
 #include "core/snapshot.h"
+#include "core/telemetry_log.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
+
+/// How often a thread with sampling OFF re-reads the sampler pointer from
+/// its gate slow path (see sample_tick): enabling sampling becomes visible
+/// to a hot thread within this many of its calls. Small enough to react in
+/// microseconds at serve rates, large enough that the off path stays one
+/// thread-local decrement per call.
+inline constexpr std::uint64_t kSamplerOffRecheckCalls = 1024;
+
+/// One generation of serve-time sampler state (continual-retuning loop).
+/// Published through an atomic pointer and retained like snapshots, so
+/// enable/disable is safe under concurrent queries. The gate's per-call
+/// path is a thread-local countdown decrement and a branch — no division,
+/// no lock, no shared-cacheline RMW, not even a sampler-pointer load (a
+/// per-call fetch_add on a shared counter, or two dependent loads, cost
+/// more than the whole ~4 ns memo-hit path; the global tick counter is
+/// instead bumped by a whole period at once on the 1-in-N firing ticks,
+/// so it stays accurate while the per-call cost amortises to ~nothing).
+struct TelemetrySampler {
+  std::shared_ptr<TelemetryLog> log;
+  /// 1-in-N sampling with N rounded UP to a power of two, stored as N-1.
+  std::uint64_t mask = 1023;
+  /// Approximate gated-call count: bumped by mask+1 per firing tick.
+  mutable std::atomic<std::uint64_t> ticks{0};
+  mutable std::atomic<std::uint64_t> recorded{0};
+  /// Samples lost to log append failures. Telemetry must never break
+  /// serving, so a failed append drops the sample and counts it here.
+  mutable std::atomic<std::uint64_t> dropped{0};
+};
 
 class AdsalaGemm {
  public:
@@ -123,6 +152,71 @@ class AdsalaGemm {
 
   /// Version of the currently published generation (1 at construction).
   std::uint64_t snapshot_version() const { return active()->version; }
+
+  /// Versions of every retained generation, ascending (the last one is the
+  /// active version). Grows by one per install() until evict_below trims it.
+  std::vector<std::uint64_t> retained_versions() const;
+
+  /// A retained generation by version (nullptr when evicted or never
+  /// published). Handing this to install() re-publishes it — the in-process
+  /// rollback path.
+  std::shared_ptr<const ServingSnapshot> snapshot_at(
+      std::uint64_t version) const;
+
+  /// Bounds the retain-forever growth: drops every retained generation with
+  /// version < `version`, never the active one. Returns how many were
+  /// dropped. Snapshots pinned via snapshot()/snapshot_at stay alive through
+  /// their shared_ptr. Raw-pointer readers (select_threads in flight) only
+  /// touch the snapshot that was active when their call started, so the
+  /// caller must let queries begun before the last install() drain before
+  /// evicting the generations that install replaced (a grace period, or
+  /// evicting only versions at least one swap old — which `version <=
+  /// previous install()'s return value` guarantees).
+  std::size_t evict_below(std::uint64_t version);
+
+  // ------------------------------------------------- serve-time telemetry
+
+  /// Turns on 1-in-`one_in_n` sampling of the BLAS execution wrappers
+  /// (sgemm/dgemm/...): a sampled call is wall-timed and appended to `log`
+  /// with the snapshot version that chose its thread count. `one_in_n` is
+  /// rounded up to a power of two so the sampling gate stays division-free.
+  /// Swapping the sampler is safe under concurrent queries (old state is
+  /// retained like snapshots).
+  void enable_sampling(std::shared_ptr<TelemetryLog> log,
+                       std::uint32_t one_in_n = 1024);
+  void disable_sampling();
+  bool sampling_enabled() const {
+    return sampler_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// The sampling gate, exposed for the latency bench and for callers that
+  /// time their own BLAS substitute: true on the 1-in-N ticks that should
+  /// be measured and recorded. The non-firing path is one thread-local
+  /// decrement and a branch — it does not even read the sampler pointer
+  /// (two dependent loads per call were measurable against the ~4 ns
+  /// memo-hit latency; the < 5% budget leaves room for neither). The
+  /// sampler is consulted only when the countdown expires: when sampling
+  /// is off the slow path re-arms a recheck interval, so enabling takes
+  /// effect within kSamplerOffRecheckCalls calls per thread rather than
+  /// instantly. Each thread samples 1-in-N of its own traffic; the
+  /// countdown is shared across runtimes on a thread (sampling stays
+  /// probabilistic, and exact in the one-runtime-per-process norm).
+  bool sample_tick() const {
+    thread_local std::uint64_t countdown = 1;
+    if (--countdown != 0) return false;
+    return sample_tick_slow(countdown);
+  }
+
+  /// Appends one sampled measurement, stamped with the current snapshot
+  /// version and the active micro-kernel variant. (x, y, z) are the op's
+  /// family coordinates exactly as select_threads takes them. Never throws;
+  /// append failures drop the sample (see TelemetrySampler::dropped).
+  void record_sample(blas::OpKind op, long x, long y, long z, int elem_bytes,
+                     int threads, std::uint64_t measured_ns) const;
+
+  /// Counters of the current sampler generation (0 when sampling is off).
+  std::uint64_t samples_recorded() const;
+  std::uint64_t samples_dropped() const;
 
   // -------------------------------------------------------------- querying
 
@@ -235,9 +329,20 @@ class AdsalaGemm {
   /// Writer side. `generations_` retains every snapshot ever published so
   /// readers racing a swap can never touch freed memory (hazard-free by
   /// retention); its footprint is bounded by the number of install() calls,
-  /// which are rare retrain events by design.
+  /// which are rare retrain events by design — and evict_below() lets a
+  /// long-lived retuning loop trim generations it has proven quiescent.
   mutable std::mutex install_mu_;
   std::vector<std::shared_ptr<const ServingSnapshot>> generations_;
+
+  /// Countdown-expired half of sample_tick: reads the sampler, re-arms
+  /// `countdown` (the period when sampling is on, a recheck interval when
+  /// off), and accounts a whole period of ticks at once on firing.
+  bool sample_tick_slow(std::uint64_t& countdown) const;
+
+  /// Sampler state mirrors the snapshot discipline: one atomic pointer on
+  /// the read side, retained generations on the write side.
+  std::atomic<const TelemetrySampler*> sampler_{nullptr};
+  std::vector<std::shared_ptr<const TelemetrySampler>> samplers_;
 };
 
 }  // namespace adsala::core

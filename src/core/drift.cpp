@@ -1,0 +1,92 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace adsala::core {
+
+namespace {
+
+/// One exact serving query: every record with this key got (or would get)
+/// the same answer from the snapshot.
+using GroupKey = std::tuple<int /*op code*/, long, long, long, int /*elem*/>;
+
+struct Group {
+  blas::OpKind op = blas::OpKind::kGemm;
+  long m = 0, k = 0, n = 0;
+  int elem_bytes = 4;
+  /// threads -> best (minimum) measured nanoseconds at that count.
+  std::map<int, std::uint64_t> best_ns;
+};
+
+}  // namespace
+
+DriftReport detect_drift(std::span<const TelemetryRecord> records,
+                         const ServingSnapshot& snapshot,
+                         const DriftOptions& options) {
+  DriftReport report;
+  if (options.window > 0 && records.size() > options.window) {
+    records = records.subspan(records.size() - options.window);
+  }
+  report.window_records = records.size();
+
+  std::map<GroupKey, Group> groups;
+  std::map<int, std::size_t> records_per_op;  // op code -> windowed records
+  for (const TelemetryRecord& rec : records) {
+    if (rec.measured_ns == 0 || rec.threads <= 0) continue;  // unusable
+    ++records_per_op[blas::op_code(rec.op)];
+    Group& g = groups[GroupKey{blas::op_code(rec.op), rec.m, rec.k, rec.n,
+                               rec.elem_bytes}];
+    g.op = rec.op;
+    g.m = rec.m;
+    g.k = rec.k;
+    g.n = rec.n;
+    g.elem_bytes = rec.elem_bytes;
+    auto [it, inserted] = g.best_ns.emplace(rec.threads, rec.measured_ns);
+    if (!inserted) it->second = std::min(it->second, rec.measured_ns);
+  }
+
+  // Accumulate per-op regret over the measurable groups.
+  std::map<int, OpDriftStats> per_op;
+  for (auto& [code, count] : records_per_op) {
+    OpDriftStats stats;
+    stats.op = *blas::op_from_code(code);
+    stats.records = count;
+    per_op[code] = stats;
+  }
+  for (const auto& [key, g] : groups) {
+    (void)key;
+    const int chosen =
+        snapshot.select_threads(g.op, g.m, g.k, g.n, g.elem_bytes);
+    const auto at_chosen = g.best_ns.find(chosen);
+    if (at_chosen == g.best_ns.end()) continue;  // off-policy group
+    std::uint64_t best = at_chosen->second;
+    for (const auto& [threads, ns] : g.best_ns) {
+      (void)threads;
+      best = std::min(best, ns);
+    }
+    if (best == 0) continue;
+    const double regret = static_cast<double>(at_chosen->second) /
+                              static_cast<double>(best) -
+                          1.0;
+    OpDriftStats& stats = per_op[blas::op_code(g.op)];
+    ++stats.groups;
+    stats.mean_regret += regret;  // sum for now; divided below
+    stats.max_regret = std::max(stats.max_regret, regret);
+  }
+
+  for (auto& [code, stats] : per_op) {
+    (void)code;
+    if (stats.groups > 0) {
+      stats.mean_regret /= static_cast<double>(stats.groups);
+    }
+    stats.fired = stats.groups >= options.min_groups &&
+                  stats.mean_regret > options.threshold;
+    report.fired = report.fired || stats.fired;
+    report.per_op.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace adsala::core

@@ -1,0 +1,72 @@
+// Model-drift detection over serve-time telemetry (continual-retuning
+// loop, docs/OPERATIONS.md "Continual retuning").
+//
+// The question a retuning loop has to answer before spending a retrain is
+// "is the live model still choosing well on the traffic it actually sees?".
+// detect_drift replays recent telemetry records through the live snapshot's
+// predictions and measures *relative regret*: group the window's records by
+// exact query (op, m, k, n, elem), and for every group that contains a
+// measurement at the model's currently chosen thread count,
+//
+//   regret = t_measured(chosen threads) / min over group t_measured  -  1
+//
+// i.e. how much slower the model's choice ran than the best thread count the
+// traffic itself demonstrated. Groups with no measurement at the chosen
+// count are skipped (regret is unmeasurable off-policy — the sampler's
+// job is to occasionally cover the grid so groups complete). Repeated
+// measurements of one (query, threads) pair keep the minimum, which makes
+// the statistic robust to one-off timing noise.
+//
+// The detector fires per op when the mean regret over measurable groups
+// exceeds `threshold` with at least `min_groups` groups of evidence; the
+// report also carries the max regret and raw counts so operators can tell
+// "everything is 12% off" from "one shape fell off a cliff". Deterministic:
+// same records + same snapshot -> same report, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blas/op.h"
+#include "core/snapshot.h"
+#include "core/telemetry_log.h"
+
+namespace adsala::core {
+
+struct DriftOptions {
+  /// Fire when mean relative regret exceeds this (0.10 = the model's
+  /// choices run >10% slower than the traffic-demonstrated best).
+  double threshold = 0.10;
+  /// Minimum measurable groups per op before that op may fire — below this
+  /// the evidence is too thin to spend a retrain on.
+  std::size_t min_groups = 8;
+  /// Only the most recent `window` records are considered (0 = all). Keeps
+  /// the verdict about *current* traffic on a long-lived log.
+  std::size_t window = 4096;
+};
+
+/// Per-op drift statistics over the window.
+struct OpDriftStats {
+  blas::OpKind op = blas::OpKind::kGemm;
+  std::size_t records = 0;      ///< windowed records for this op
+  std::size_t groups = 0;       ///< groups where regret was measurable
+  double mean_regret = 0.0;     ///< over measurable groups
+  double max_regret = 0.0;
+  bool fired = false;
+};
+
+struct DriftReport {
+  std::vector<OpDriftStats> per_op;  ///< ops present in the window, code order
+  std::size_t window_records = 0;    ///< records actually considered
+  bool fired = false;                ///< any per-op fired
+};
+
+/// Replays `records` (windowed per options) through `snapshot`'s
+/// predictions. Pure function of its inputs; safe concurrently with serving
+/// (the snapshot is only read, via its lock-free query path).
+DriftReport detect_drift(std::span<const TelemetryRecord> records,
+                         const ServingSnapshot& snapshot,
+                         const DriftOptions& options = {});
+
+}  // namespace adsala::core

@@ -1,0 +1,105 @@
+// Retrain-and-hot-swap from serve-time telemetry — the closing arc of the
+// continual-retuning loop (docs/OPERATIONS.md "Continual retuning").
+//
+//   sampler (core/adsala.h) -> telemetry log (core/telemetry_log.h)
+//     -> drift detector (core/drift.h)
+//     -> retune(): telemetry -> timing rows -> install() with
+//        reuse_timings_csv -> write-then-verify -> version bump
+//        -> shm republish / live hot-swap
+//     -> rollback(): re-publish any retained prior version
+//
+// The artefact directory becomes a tiny versioned store:
+//
+//   DIR/model.json, DIR/config.json   the currently served artefacts
+//   DIR/VERSION                       current version (one decimal integer)
+//   DIR/versions/<v>/model.json,...   retained copy of every version
+//
+// Versions are monotonic and never reused: a rollback does not rewind the
+// counter, it *republishes old content as a new version* — so "which bytes
+// is every attacher on" stays a single monotonically answerable question,
+// mirroring AdsalaGemm's in-process snapshot versioning. A pre-existing
+// unversioned directory is adopted in place: its current artefacts become
+// version 1 on the first retune()/rollback() touch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/drift.h"
+#include "core/gather.h"
+#include "core/telemetry_log.h"
+#include "core/trainer.h"
+
+namespace adsala::core {
+
+class AdsalaGemm;
+
+/// Folds telemetry records into gathering-campaign form: records with the
+/// same (op, shape, elem, kernel) become one GatherRecord curve (first-
+/// appearance order, threads ascending, minimum measured time per thread
+/// count), and the returned thread_grid is the first curve's thread list —
+/// deliberately the same convention as GatherData::load_csv, so this data
+/// and its CSV round-trip train identically. The caller stamps `platform` —
+/// telemetry does not carry it. This is what makes the existing
+/// reuse_timings_csv machinery retrain straight from production traffic.
+GatherData telemetry_to_gather_data(std::span<const TelemetryRecord> records);
+
+/// Current version of a versioned artefact directory: the DIR/VERSION
+/// integer, or 0 when the directory is not (yet) versioned.
+std::uint64_t artefact_version(const std::string& dir);
+
+/// Versions retained under DIR/versions/, ascending.
+std::vector<std::uint64_t> retained_artefact_versions(const std::string& dir);
+
+struct RetuneOptions {
+  std::string telemetry_path;
+  std::string artefact_dir;
+  DriftOptions drift;
+  /// Retrain even when the drift detector did not fire.
+  bool force = false;
+  /// Minimum telemetry records before retuning is even considered
+  /// (kPreconditionFailed below it). The trainer separately requires >= 10
+  /// distinct shape curves.
+  std::size_t min_records = 10;
+  TrainOptions train;
+  /// Forwarded to install(): republish the verified artefacts into this shm
+  /// region (empty = none) / hot-swap them into this live runtime (null =
+  /// none).
+  std::string publish_shm;
+  AdsalaGemm* publish_to = nullptr;
+};
+
+struct RetuneReport {
+  DriftReport drift;
+  bool retrained = false;
+  std::uint64_t previous_version = 0;
+  std::uint64_t new_version = 0;  ///< == previous_version when !retrained
+  std::string selected_model;
+  std::size_t telemetry_records = 0;  ///< records read from the log
+};
+
+/// The full retune step. Loads + validates the directory's current
+/// artefacts, reads the telemetry log, runs the drift detector, and — when
+/// it fired (or `force`) — retrains through install()'s reuse_timings_csv
+/// path (platform preserved from the current config), write-then-verifies,
+/// retains the old version, bumps DIR/VERSION and publishes. Failure
+/// classes: artefact/log problems pass through (kNotFound/kParseError/
+/// kValidationError), too little telemetry is kPreconditionFailed, a
+/// retrain that produces unservable artefacts is kInternal (and the
+/// previous artefacts stay current — publication is post-verify only).
+Expected<RetuneReport> retune(const RetuneOptions& options);
+
+/// Re-publishes retained version `version` as the new current version
+/// (monotonic bump, see the file comment). kPreconditionFailed when the
+/// version is not retained; the retained copy is re-validated through
+/// try_load before anything is overwritten. Optional shm republish and live
+/// hot-swap as in retune(). Returns the new current version.
+Expected<std::uint64_t> rollback(const std::string& dir,
+                                 std::uint64_t version,
+                                 const std::string& publish_shm = "",
+                                 AdsalaGemm* publish_to = nullptr);
+
+}  // namespace adsala::core

@@ -1,0 +1,261 @@
+#include "core/telemetry_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace adsala::core {
+
+namespace {
+
+void put_u32(std::uint8_t* buf, std::uint32_t v) {
+  buf[0] = static_cast<std::uint8_t>(v);
+  buf[1] = static_cast<std::uint8_t>(v >> 8);
+  buf[2] = static_cast<std::uint8_t>(v >> 16);
+  buf[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* buf) {
+  return static_cast<std::uint32_t>(buf[0]) |
+         static_cast<std::uint32_t>(buf[1]) << 8 |
+         static_cast<std::uint32_t>(buf[2]) << 16 |
+         static_cast<std::uint32_t>(buf[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* buf) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// FNV-1a 64 over the checksummed prefix of a record frame.
+std::uint64_t checksum(const std::uint8_t* buf, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= buf[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::size_t kChecksumOffset = 40;
+
+/// Scan result over a log's bytes: the decodable records, plus how many
+/// bytes of valid prefix precede the (possibly empty) torn tail.
+struct Scan {
+  std::vector<TelemetryRecord> records;
+  std::size_t valid_bytes = 0;
+};
+
+/// Applies the shared tail/corruption contract to raw file content.
+Expected<Scan> scan_log(const std::vector<std::uint8_t>& bytes,
+                        const std::string& path) {
+  Scan scan;
+  std::size_t offset = 0;
+  while (offset + kTelemetryRecordBytes <= bytes.size()) {
+    TelemetryRecord rec;
+    if (!decode_telemetry_record(bytes.data() + offset, &rec)) {
+      if (offset + kTelemetryRecordBytes == bytes.size()) {
+        // A full-size but undecodable final record: a crash can land here
+        // (all 48 bytes issued, only some persisted) — torn tail.
+        return scan;
+      }
+      return Error{ErrorCode::kParseError,
+                   path + ": telemetry record " +
+                       std::to_string(scan.records.size()) +
+                       " fails its checksum with valid data after it "
+                       "(mid-file corruption, not a torn tail)"};
+    }
+    scan.records.push_back(rec);
+    offset += kTelemetryRecordBytes;
+    scan.valid_bytes = offset;
+  }
+  // Trailing bytes shorter than one record are always a torn tail.
+  return scan;
+}
+
+Expected<std::vector<std::uint8_t>> slurp_bytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error{ErrorCode::kNotFound,
+                 path + ": " + std::strerror(errno)};
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const int read_errno = errno;
+  ::close(fd);
+  if (n < 0) {
+    return Error{ErrorCode::kNotFound,
+                 path + ": read: " + std::strerror(read_errno)};
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void encode_telemetry_record(const TelemetryRecord& rec, std::uint8_t* buf) {
+  buf[0] = kTelemetryMagic;
+  buf[1] = static_cast<std::uint8_t>(blas::op_code(rec.op));
+  buf[2] = static_cast<std::uint8_t>(rec.elem_bytes);
+  buf[3] = static_cast<std::uint8_t>(rec.kernel);
+  put_u32(buf + 4, static_cast<std::uint32_t>(rec.threads));
+  put_u32(buf + 8, static_cast<std::uint32_t>(rec.m));
+  put_u32(buf + 12, static_cast<std::uint32_t>(rec.k));
+  put_u32(buf + 16, static_cast<std::uint32_t>(rec.n));
+  put_u32(buf + 20, 0);
+  put_u64(buf + 24, rec.measured_ns);
+  put_u64(buf + 32, rec.model_version);
+  put_u64(buf + kChecksumOffset, checksum(buf, kChecksumOffset));
+}
+
+bool decode_telemetry_record(const std::uint8_t* buf, TelemetryRecord* out) {
+  if (buf[0] != kTelemetryMagic) return false;
+  if (get_u64(buf + kChecksumOffset) != checksum(buf, kChecksumOffset)) {
+    return false;
+  }
+  const auto op = blas::op_from_code(buf[1]);
+  if (!op) return false;
+  out->op = *op;
+  out->elem_bytes = buf[2];
+  out->kernel = static_cast<blas::kernels::Variant>(buf[3]);
+  out->threads = static_cast<int>(get_u32(buf + 4));
+  out->m = static_cast<long>(get_u32(buf + 8));
+  out->k = static_cast<long>(get_u32(buf + 12));
+  out->n = static_cast<long>(get_u32(buf + 16));
+  out->measured_ns = get_u64(buf + 24);
+  out->model_version = get_u64(buf + 32);
+  return true;
+}
+
+Expected<TelemetryLog> TelemetryLog::open(const std::string& path) {
+  // Heal first: scan whatever is on disk and cut a torn tail off, so every
+  // append lands on a record boundary. Creation races are benign — O_CREAT
+  // below is atomic and a fresh file scans as zero records.
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0 && st.st_size > 0) {
+    auto bytes = slurp_bytes(path);
+    if (!bytes.ok()) return bytes.error();
+    auto scan = scan_log(bytes.value(), path);
+    if (!scan.ok()) return scan.error();
+    if (scan.value().valid_bytes != bytes.value().size()) {
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(scan.value().valid_bytes)) != 0) {
+        return Error{ErrorCode::kInternal,
+                     path + ": truncate torn tail: " + std::strerror(errno)};
+      }
+    }
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    return Error{ErrorCode::kNotFound,
+                 path + ": " + std::strerror(errno)};
+  }
+  return TelemetryLog(path, fd);
+}
+
+TelemetryLog::TelemetryLog(TelemetryLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      wedged_(other.wedged_),
+      appended_(other.appended_),
+      buffer_(std::move(other.buffer_)) {}
+
+TelemetryLog& TelemetryLog::operator=(TelemetryLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      (void)flush();
+      ::close(fd_);
+    }
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    wedged_ = other.wedged_;
+    appended_ = other.appended_;
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+TelemetryLog::~TelemetryLog() {
+  if (fd_ >= 0) {
+    (void)flush();
+    ::close(fd_);
+  }
+}
+
+Error TelemetryLog::append(const TelemetryRecord& rec) {
+  std::uint8_t frame[kTelemetryRecordBytes];
+  encode_telemetry_record(rec, frame);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || wedged_) {
+    return Error{ErrorCode::kInternal,
+                 path_ + ": telemetry log handle is wedged after a torn "
+                         "write; reopen to heal"};
+  }
+  buffer_.insert(buffer_.end(), frame, frame + sizeof frame);
+  ++appended_;
+  if (buffer_.size() >= kTelemetryFlushRecords * kTelemetryRecordBytes) {
+    return flush_locked();
+  }
+  return Error{};
+}
+
+Error TelemetryLog::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_locked();
+}
+
+Error TelemetryLog::flush_locked() {
+  if (buffer_.empty()) return Error{};
+  if (fd_ < 0 || wedged_) {
+    return Error{ErrorCode::kInternal,
+                 path_ + ": telemetry log handle is wedged after a torn "
+                         "write; reopen to heal"};
+  }
+  std::size_t len = buffer_.size();
+  if (failpoint::triggered("telemetry-torn-tail")) {
+    // Simulated crash mid-write: persist only a prefix of the first record.
+    // The handle wedges (below) because writing after a torn record would
+    // turn a healable tail into mid-file corruption.
+    len = 17;
+  }
+  const ssize_t written = ::write(fd_, buffer_.data(), len);
+  if (written != static_cast<ssize_t>(buffer_.size())) {
+    wedged_ = true;
+    return Error{ErrorCode::kInternal,
+                 path_ + ": telemetry flush wrote " +
+                     std::to_string(written < 0 ? 0 : written) + "/" +
+                     std::to_string(buffer_.size()) + " bytes"};
+  }
+  buffer_.clear();
+  return Error{};
+}
+
+Expected<std::vector<TelemetryRecord>> read_telemetry_log(
+    const std::string& path) {
+  auto bytes = slurp_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  auto scan = scan_log(bytes.value(), path);
+  if (!scan.ok()) return scan.error();
+  return std::move(scan).value().records;
+}
+
+}  // namespace adsala::core

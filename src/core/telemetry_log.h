@@ -1,0 +1,135 @@
+// Append-only, crash-tolerant serve-time telemetry log — the data feed of
+// the continual-retuning loop (docs/OPERATIONS.md, "Continual retuning").
+//
+// The serve-time sampler (AdsalaGemm::record_sample) appends one fixed-size
+// record per sampled BLAS call; `adsala_cli retune` reads the log back,
+// replays it through the live model (core/drift.h) and retrains from it
+// (core/retune.h). The format is deliberately dumb so a crashed writer can
+// never poison the loop:
+//
+//   record (48 bytes, little-endian, every field at a fixed offset)
+//   ------  ---------------------------------------------------------
+//       0   magic (0xA7 — a zeroed page never scans as a record)
+//       1   op code (blas/op.h)
+//       2   element size in bytes (4 or 8)
+//       3   micro-kernel variant code (blas::kernels::Variant)
+//       4   threads the call ran with          (uint32)
+//       8   m  — stored equivalent-GEMM shape  (uint32)
+//      12   k                                  (uint32)
+//      16   n                                  (uint32)
+//      20   reserved (0)                       (uint32)
+//      24   measured wall time in nanoseconds  (uint64)
+//      32   model snapshot version that chose `threads` (uint64)
+//      40   FNV-1a 64 checksum of bytes [0, 40)         (uint64)
+//
+// Crash tolerance contract:
+//   - append() buffers whole encoded records; flush() — called explicitly,
+//     at the batch threshold (kTelemetryFlushRecords), or on destruction —
+//     issues ONE write(2) of the record-aligned buffer on an O_APPEND
+//     descriptor. A crash therefore leaves at most one partial record, and
+//     only at the tail (a torn multi-record write persists a prefix: whole
+//     records, then at most one partial one). Buffered-but-unflushed
+//     records are lost in a crash — acceptable for sampling telemetry, and
+//     the price of keeping the serve-path overhead amortised to ~nothing.
+//   - open() scans the existing file and TRUNCATES a torn tail (a trailing
+//     partial record, or a trailing full-size record whose checksum fails)
+//     before appending — the log self-heals across crashes.
+//   - A bad record *followed by more bytes* is not a torn tail but real
+//     corruption (bit rot, concurrent unsynchronised writers): open() and
+//     read_telemetry_log() refuse with kParseError rather than resyncing,
+//     because a resync heuristic could silently fabricate records.
+//
+// The `telemetry-torn-tail` failpoint (common/failpoint.h) makes one
+// flush() write only a prefix of its buffer and wedge the handle,
+// simulating a crash mid-write so tests can drive the self-heal path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blas/kernels/kernel_set.h"
+#include "blas/op.h"
+#include "common/status.h"
+
+namespace adsala::core {
+
+inline constexpr std::size_t kTelemetryRecordBytes = 48;
+inline constexpr std::uint8_t kTelemetryMagic = 0xA7;
+/// append() auto-flushes after this many buffered records (6 KiB).
+inline constexpr std::size_t kTelemetryFlushRecords = 128;
+
+/// One sampled BLAS call. Shapes are stored in the op's equivalent-GEMM
+/// convention (docs/OPERATIONS.md), exactly as GatherRecord stores them, so
+/// telemetry converts losslessly into training rows.
+struct TelemetryRecord {
+  blas::OpKind op = blas::OpKind::kGemm;
+  int elem_bytes = 4;
+  blas::kernels::Variant kernel = blas::kernels::Variant::kGeneric;
+  int threads = 0;
+  long m = 0;
+  long k = 0;
+  long n = 0;
+  std::uint64_t measured_ns = 0;
+  std::uint64_t model_version = 0;
+};
+
+/// Serialises one record into its 48-byte frame (buf must hold
+/// kTelemetryRecordBytes); computes and stores the checksum.
+void encode_telemetry_record(const TelemetryRecord& rec, std::uint8_t* buf);
+
+/// Decodes one 48-byte frame. False when the magic or checksum does not
+/// match (the frame is torn or corrupt); *out is untouched then.
+bool decode_telemetry_record(const std::uint8_t* buf, TelemetryRecord* out);
+
+/// Append handle over one log file. Thread-safe: concurrent append() calls
+/// from any number of threads interleave whole records under one mutex.
+/// Move-only.
+class TelemetryLog {
+ public:
+  /// Opens (creating if needed) for appending. Scans existing content:
+  /// a torn tail is truncated away (see the file-format contract above);
+  /// unreadable files map to kNotFound, mid-file corruption to kParseError.
+  static Expected<TelemetryLog> open(const std::string& path);
+
+  TelemetryLog(TelemetryLog&& other) noexcept;
+  TelemetryLog& operator=(TelemetryLog&& other) noexcept;
+  ~TelemetryLog();  ///< best-effort flush of buffered records
+
+  /// Buffers one encoded record, auto-flushing at kTelemetryFlushRecords.
+  /// kInternal when the handle is wedged or an auto-flush fails.
+  Error append(const TelemetryRecord& rec);
+
+  /// Writes every buffered record (one write(2), O_APPEND). kInternal on a
+  /// short or failed write — the handle is then wedged (every later append
+  /// and flush refuses) because the file may end in a torn record that only
+  /// a fresh open() is allowed to heal.
+  Error flush();
+
+  const std::string& path() const { return path_; }
+
+  /// Records accepted by append() through this handle (buffered + flushed).
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  TelemetryLog(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Error flush_locked();
+
+  std::string path_;
+  int fd_ = -1;
+  bool wedged_ = false;
+  std::uint64_t appended_ = 0;
+  std::vector<std::uint8_t> buffer_;
+  std::mutex mu_;
+};
+
+/// Reads every record of a log. The same tail/corruption contract as
+/// TelemetryLog::open — a torn tail is silently dropped, mid-file
+/// corruption is kParseError (record index in the message), a missing file
+/// is kNotFound. An empty or tail-only file reads as zero records.
+Expected<std::vector<TelemetryRecord>> read_telemetry_log(
+    const std::string& path);
+
+}  // namespace adsala::core

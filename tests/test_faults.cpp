@@ -31,6 +31,7 @@
 #include "core/executor.h"
 #include "core/gather.h"
 #include "core/shm_store.h"
+#include "core/telemetry_log.h"
 #include "core/trainer.h"
 
 namespace adsala::core {
@@ -49,6 +50,8 @@ TEST(Status, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
   EXPECT_STREQ(error_code_name(ErrorCode::kUnavailable), "unavailable");
   EXPECT_STREQ(error_code_name(ErrorCode::kProtocolError), "protocol_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kPreconditionFailed),
+               "precondition_failed");
 }
 
 TEST(Status, ExitCodesAreDistinctPerFailureClass) {
@@ -60,6 +63,7 @@ TEST(Status, ExitCodesAreDistinctPerFailureClass) {
   EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 1);
   EXPECT_EQ(exit_code_for(ErrorCode::kUnavailable), 7);
   EXPECT_EQ(exit_code_for(ErrorCode::kProtocolError), 8);
+  EXPECT_EQ(exit_code_for(ErrorCode::kPreconditionFailed), 9);
 }
 
 TEST(Status, ExpectedCarriesValueOrError) {
@@ -878,6 +882,41 @@ TEST(CsvFaults, TrailingJunkRejected) {
     out << "m,k\n1,2\n3,4x\n";
   }
   EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------- telemetry failpoint
+
+TEST(TelemetryFaults, TornTailFailpointWedgesHandleAndNextOpenHeals) {
+  // The crash the continual-retuning loop must survive: a writer dies (or
+  // is torn by the failpoint) mid-flush. The wedged handle refuses further
+  // work, and the NEXT open() truncates the torn tail so the loop keeps
+  // retraining from the intact prefix.
+  const std::string path = "/tmp/adsala_faults_telemetry.bin";
+  std::filesystem::remove(path);
+  TelemetryRecord rec;
+  rec.threads = 4;
+  rec.m = rec.k = rec.n = 256;
+  rec.measured_ns = 1000;
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().append(rec).ok());
+    ASSERT_TRUE(log.value().flush().ok());
+    ASSERT_TRUE(log.value().append(rec).ok());
+
+    failpoint::Scoped fp("telemetry-torn-tail");
+    EXPECT_EQ(log.value().flush().code, ErrorCode::kInternal);
+    EXPECT_EQ(log.value().append(rec).code, ErrorCode::kInternal);  // wedged
+  }
+  ASSERT_GT(std::filesystem::file_size(path), kTelemetryRecordBytes);
+
+  auto healed = TelemetryLog::open(path);
+  ASSERT_TRUE(healed.ok()) << healed.error().message;
+  EXPECT_EQ(std::filesystem::file_size(path), kTelemetryRecordBytes);
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 1u);
   std::filesystem::remove(path);
 }
 

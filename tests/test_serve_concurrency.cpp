@@ -131,6 +131,40 @@ TEST_F(ServeConcurrency, InFlightSnapshotSurvivesSwaps) {
   EXPECT_GT(rt.snapshot_version(), pinned_version);
 }
 
+TEST(SnapshotRetention, EvictBelowDropsOnlyOldUnpinnedGenerations) {
+  // The retention contract the continual-retuning loop leans on:
+  // retained_versions grows by one per install, evict_below(v) drops
+  // strictly-older generations but NEVER the active one, and a shared_ptr
+  // pinned before eviction keeps its snapshot alive and answering.
+  AdsalaGemm rt = AdsalaGemm::heuristic_fallback(16);
+  EXPECT_EQ(rt.retained_versions(), (std::vector<std::uint64_t>{1}));
+
+  for (int i = 0; i < 3; ++i) rt.install(rt.snapshot());
+  EXPECT_EQ(rt.retained_versions(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(rt.snapshot_version(), 4u);
+
+  const auto pinned = rt.snapshot_at(2);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->version, 2u);
+  const int pinned_answer =
+      pinned->select_threads(blas::OpKind::kGemm, 512, 512, 512, 4);
+
+  EXPECT_EQ(rt.evict_below(4), 3u);
+  EXPECT_EQ(rt.retained_versions(), (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(rt.snapshot_at(2), nullptr);  // evicted from the runtime...
+  // ...but the caller's pin keeps it alive and unchanged.
+  EXPECT_EQ(pinned->version, 2u);
+  EXPECT_EQ(pinned->select_threads(blas::OpKind::kGemm, 512, 512, 512, 4),
+            pinned_answer);
+
+  // The active generation is never evicted, whatever the bound.
+  EXPECT_EQ(rt.evict_below(99), 0u);
+  EXPECT_EQ(rt.retained_versions(), (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(rt.snapshot_version(), 4u);
+  EXPECT_GE(rt.select_threads(512, 512, 512), 1);
+}
+
 // ------------------------------------------------------ differential serving
 
 TEST_F(ServeConcurrency, SnapshotPathMatchesDirectModelArgmin) {

@@ -1,0 +1,509 @@
+// Telemetry-log + drift-detector battery (ISSUE 8 satellites).
+//
+// Log contract under test (core/telemetry_log.h): fixed-size checksummed
+// records, every torn-tail prefix self-heals on open(), mid-file corruption
+// refuses with kParseError, concurrent appenders interleave whole records
+// (this binary runs under TSan in CI). Drift contract (core/drift.h):
+// zero-regret traffic never fires, a step change fires at the documented
+// threshold, the record window is honoured exactly, and reports are
+// deterministic bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/adsala.h"
+#include "core/drift.h"
+#include "core/telemetry_log.h"
+
+namespace adsala::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TelemetryRecord make_record(int threads, std::uint64_t ns, long m = 512,
+                            long k = 256, long n = 128) {
+  TelemetryRecord rec;
+  rec.op = blas::OpKind::kGemm;
+  rec.elem_bytes = 4;
+  rec.kernel = blas::kernels::Variant::kGeneric;
+  rec.threads = threads;
+  rec.m = m;
+  rec.k = k;
+  rec.n = n;
+  rec.measured_ns = ns;
+  rec.model_version = 3;
+  return rec;
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------------------- codec
+
+TEST(TelemetryCodec, RecordRoundTripsThroughItsFrame) {
+  TelemetryRecord rec;
+  rec.op = blas::OpKind::kSyrk;
+  rec.elem_bytes = 8;
+  rec.kernel = blas::kernels::Variant::kAvx2;
+  rec.threads = 12;
+  rec.m = 640;
+  rec.k = 320;
+  rec.n = 640;
+  rec.measured_ns = 123456789ull;
+  rec.model_version = 42;
+
+  std::uint8_t frame[kTelemetryRecordBytes];
+  encode_telemetry_record(rec, frame);
+  EXPECT_EQ(frame[0], kTelemetryMagic);
+
+  TelemetryRecord back;
+  ASSERT_TRUE(decode_telemetry_record(frame, &back));
+  EXPECT_EQ(back.op, rec.op);
+  EXPECT_EQ(back.elem_bytes, rec.elem_bytes);
+  EXPECT_EQ(back.kernel, rec.kernel);
+  EXPECT_EQ(back.threads, rec.threads);
+  EXPECT_EQ(back.m, rec.m);
+  EXPECT_EQ(back.k, rec.k);
+  EXPECT_EQ(back.n, rec.n);
+  EXPECT_EQ(back.measured_ns, rec.measured_ns);
+  EXPECT_EQ(back.model_version, rec.model_version);
+}
+
+TEST(TelemetryCodec, EveryFlippedByteIsRejected) {
+  std::uint8_t frame[kTelemetryRecordBytes];
+  encode_telemetry_record(make_record(4, 1000), frame);
+  for (std::size_t i = 0; i < kTelemetryRecordBytes; ++i) {
+    std::uint8_t corrupt[kTelemetryRecordBytes];
+    std::copy(frame, frame + kTelemetryRecordBytes, corrupt);
+    corrupt[i] ^= 0x01;
+    TelemetryRecord out;
+    EXPECT_FALSE(decode_telemetry_record(corrupt, &out))
+        << "flip at byte " << i << " must fail the checksum";
+  }
+}
+
+TEST(TelemetryCodec, ZeroedFrameIsNotARecord) {
+  std::uint8_t frame[kTelemetryRecordBytes] = {};
+  TelemetryRecord out;
+  EXPECT_FALSE(decode_telemetry_record(frame, &out));
+}
+
+// ------------------------------------------------------------- append/read
+
+TEST(TelemetryLogIo, AppendFlushReadRoundTrip) {
+  const std::string path = tmp_path("adsala_telemetry_roundtrip.bin");
+  fs::remove(path);
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok()) << log.error().message;
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(log.value().append(make_record(i, 1000 + i)).ok());
+    }
+    EXPECT_EQ(log.value().appended(), 5u);
+    // Destructor flushes the buffered records.
+  }
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records.value().size(), 5u);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(records.value()[i - 1].threads, i);
+    EXPECT_EQ(records.value()[i - 1].measured_ns, 1000u + i);
+  }
+}
+
+TEST(TelemetryLogIo, ReopenAppendsAfterExistingRecords) {
+  const std::string path = tmp_path("adsala_telemetry_reopen.bin");
+  fs::remove(path);
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().append(make_record(1, 100)).ok());
+  }
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().append(make_record(2, 200)).ok());
+  }
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].threads, 1);
+  EXPECT_EQ(records.value()[1].threads, 2);
+  fs::remove(path);
+}
+
+TEST(TelemetryLogIo, AutoFlushAtBatchThreshold) {
+  const std::string path = tmp_path("adsala_telemetry_autoflush.bin");
+  fs::remove(path);
+  auto log = TelemetryLog::open(path);
+  ASSERT_TRUE(log.ok());
+  for (std::size_t i = 0; i < kTelemetryFlushRecords; ++i) {
+    ASSERT_TRUE(log.value().append(make_record(2, 100)).ok());
+  }
+  // The threshold append flushed without an explicit flush() call.
+  EXPECT_EQ(file_bytes(path).size(),
+            kTelemetryFlushRecords * kTelemetryRecordBytes);
+  fs::remove(path);
+}
+
+TEST(TelemetryLogIo, MissingFileReadsAsNotFound) {
+  auto records = read_telemetry_log(tmp_path("adsala_telemetry_absent.bin"));
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.error().code, ErrorCode::kNotFound);
+}
+
+// ------------------------------------------------------- torn-write corpus
+
+/// Every possible crash prefix: K good records followed by the first L
+/// bytes of a valid record, for L in [1, record size). open() must heal
+/// each one back to exactly K records and then append cleanly.
+TEST(TelemetryTornTail, EveryTruncationPrefixHeals) {
+  const std::string path = tmp_path("adsala_telemetry_torn.bin");
+  std::vector<std::uint8_t> good;
+  for (int i = 1; i <= 3; ++i) {
+    std::uint8_t frame[kTelemetryRecordBytes];
+    encode_telemetry_record(make_record(i, 1000 + i), frame);
+    good.insert(good.end(), frame, frame + sizeof frame);
+  }
+  std::uint8_t torn[kTelemetryRecordBytes];
+  encode_telemetry_record(make_record(9, 9999), torn);
+
+  for (std::size_t len = 1; len < kTelemetryRecordBytes; ++len) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes.insert(bytes.end(), torn, torn + len);
+    write_bytes(path, bytes);
+
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok()) << "prefix " << len << ": " << log.error().message;
+    ASSERT_TRUE(log.value().append(make_record(4, 4000)).ok());
+    ASSERT_TRUE(log.value().flush().ok());
+
+    auto records = read_telemetry_log(path);
+    ASSERT_TRUE(records.ok()) << "prefix " << len;
+    ASSERT_EQ(records.value().size(), 4u) << "prefix " << len;
+    EXPECT_EQ(records.value()[3].threads, 4) << "prefix " << len;
+  }
+  fs::remove(path);
+}
+
+TEST(TelemetryTornTail, CorruptFinalFullSizeRecordIsTruncated) {
+  // All 48 bytes present but garbled (a crash can persist any prefix of the
+  // page it was writing): still a torn tail because nothing follows it.
+  const std::string path = tmp_path("adsala_telemetry_torn_final.bin");
+  std::vector<std::uint8_t> bytes;
+  for (int i = 1; i <= 2; ++i) {
+    std::uint8_t frame[kTelemetryRecordBytes];
+    encode_telemetry_record(make_record(i, 100 * i), frame);
+    bytes.insert(bytes.end(), frame, frame + sizeof frame);
+  }
+  bytes[bytes.size() - 5] ^= 0xFF;  // garble the final record
+
+  write_bytes(path, bytes);
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 1u);
+
+  auto log = TelemetryLog::open(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(file_bytes(path).size(), kTelemetryRecordBytes);  // healed
+  fs::remove(path);
+}
+
+TEST(TelemetryTornTail, MidFileCorruptionIsParseErrorNotHealed) {
+  const std::string path = tmp_path("adsala_telemetry_midfile.bin");
+  std::vector<std::uint8_t> bytes;
+  for (int i = 1; i <= 3; ++i) {
+    std::uint8_t frame[kTelemetryRecordBytes];
+    encode_telemetry_record(make_record(i, 100 * i), frame);
+    bytes.insert(bytes.end(), frame, frame + sizeof frame);
+  }
+  bytes[kTelemetryRecordBytes + 7] ^= 0x10;  // corrupt record 1 of [0..2]
+
+  write_bytes(path, bytes);
+  auto records = read_telemetry_log(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.error().code, ErrorCode::kParseError);
+  EXPECT_NE(records.error().message.find("record 1"), std::string::npos)
+      << records.error().message;
+
+  auto log = TelemetryLog::open(path);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.error().code, ErrorCode::kParseError);
+  // Refusing means not destroying evidence: the file is untouched.
+  EXPECT_EQ(file_bytes(path), bytes);
+  fs::remove(path);
+}
+
+TEST(TelemetryTornTail, FailpointTearsOneWriteAndWedgesThenHeals) {
+  const std::string path = tmp_path("adsala_telemetry_failpoint.bin");
+  fs::remove(path);
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().append(make_record(1, 100)).ok());
+    ASSERT_TRUE(log.value().flush().ok());
+
+    ASSERT_TRUE(log.value().append(make_record(2, 200)).ok());
+    Error torn;
+    {
+      failpoint::Scoped fp("telemetry-torn-tail");
+      torn = log.value().flush();
+    }
+    EXPECT_EQ(torn.code, ErrorCode::kInternal);
+    // Wedged: the file may end mid-record, so the handle refuses everything.
+    EXPECT_EQ(log.value().append(make_record(3, 300)).code,
+              ErrorCode::kInternal);
+    EXPECT_EQ(log.value().flush().code, ErrorCode::kInternal);
+  }
+  // The torn prefix is on disk; a fresh open() heals it back to record 1.
+  EXPECT_EQ(file_bytes(path).size(), kTelemetryRecordBytes + 17);
+  auto healed = TelemetryLog::open(path);
+  ASSERT_TRUE(healed.ok());
+  ASSERT_TRUE(healed.value().append(make_record(4, 400)).ok());
+  ASSERT_TRUE(healed.value().flush().ok());
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].threads, 1);
+  EXPECT_EQ(records.value()[1].threads, 4);
+  fs::remove(path);
+}
+
+// -------------------------------------------------------------- concurrency
+
+TEST(TelemetryConcurrency, ParallelAppendersInterleaveWholeRecords) {
+  const std::string path = tmp_path("adsala_telemetry_concurrent.bin");
+  fs::remove(path);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;  // > kTelemetryFlushRecords: races flushes
+  {
+    auto log = TelemetryLog::open(path);
+    ASSERT_TRUE(log.ok());
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&log, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ASSERT_TRUE(log.value().append(make_record(t + 1, 1000)).ok());
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    EXPECT_EQ(log.value().appended(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+  }
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records.value().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<int> per_thread(kThreads + 1, 0);
+  for (const auto& rec : records.value()) {
+    ASSERT_GE(rec.threads, 1);
+    ASSERT_LE(rec.threads, kThreads);
+    ++per_thread[rec.threads];
+  }
+  for (int t = 1; t <= kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+  fs::remove(path);
+}
+
+TEST(TelemetryConcurrency, SamplerGateAndRecordUnderConcurrentQueries) {
+  const std::string path = tmp_path("adsala_telemetry_sampler.bin");
+  fs::remove(path);
+  AdsalaGemm runtime = AdsalaGemm::heuristic_fallback(16);
+  {
+    auto opened = TelemetryLog::open(path);
+    ASSERT_TRUE(opened.ok());
+    auto log = std::make_shared<TelemetryLog>(std::move(opened).value());
+    runtime.enable_sampling(log, 1);  // every gated call fires
+    ASSERT_TRUE(runtime.sampling_enabled());
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&runtime] {
+        for (int i = 0; i < 200; ++i) {
+          const int p = runtime.select_threads(512, 256, 128);
+          if (runtime.sample_tick()) {
+            runtime.record_sample(blas::OpKind::kGemm, 512, 256, 128, 4, p,
+                                  1000);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(runtime.samples_recorded(), 800u);
+    EXPECT_EQ(runtime.samples_dropped(), 0u);
+    runtime.disable_sampling();
+    EXPECT_FALSE(runtime.sampling_enabled());
+    EXPECT_FALSE(runtime.sample_tick());
+    ASSERT_TRUE(log->flush().ok());
+  }
+  auto records = read_telemetry_log(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 800u);
+  // Every record carries the version of the snapshot that chose its threads.
+  for (const auto& rec : records.value()) {
+    EXPECT_EQ(rec.model_version, runtime.snapshot_version());
+    EXPECT_EQ(rec.m, 512);
+  }
+  fs::remove(path);
+}
+
+// ------------------------------------------------------------------- drift
+
+/// Shared fixture: a deterministic serving snapshot plus helpers that
+/// construct telemetry *relative to its own choices*, so the tests pin
+/// regret arithmetic without assuming which thread count the model picks.
+class Drift : public ::testing::Test {
+ protected:
+  Drift() : runtime_(AdsalaGemm::heuristic_fallback(16)) {}
+
+  /// One record group for shape (m, k, n): a measurement at the snapshot's
+  /// chosen count running `chosen_ns`, and one at another grid count
+  /// running `other_ns`.
+  void add_group(std::vector<TelemetryRecord>* records, long m, long k,
+                 long n, std::uint64_t chosen_ns, std::uint64_t other_ns) {
+    const int chosen = runtime_.select_threads(m, k, n);
+    int other = runtime_.thread_grid().front();
+    if (other == chosen) other = runtime_.thread_grid().back();
+    ASSERT_NE(other, chosen);
+    records->push_back(make_record(chosen, chosen_ns, m, k, n));
+    records->push_back(make_record(other, other_ns, m, k, n));
+  }
+
+  /// `count` groups over distinct shapes. chosen 30% slower than best ->
+  /// regret 0.30 per group when drifted, 0 when healthy.
+  std::vector<TelemetryRecord> traffic(std::size_t count, bool drifted) {
+    std::vector<TelemetryRecord> records;
+    for (std::size_t i = 0; i < count; ++i) {
+      const long m = 64 + 32 * static_cast<long>(i);
+      add_group(&records, m, 128, 256, drifted ? 1300 : 1000,
+                drifted ? 1000 : 1300);
+    }
+    return records;
+  }
+
+  AdsalaGemm runtime_;
+  DriftOptions options_;  // defaults: threshold 0.10, min_groups 8
+};
+
+TEST_F(Drift, ZeroRegretTrafficNeverFires) {
+  const auto records = traffic(12, /*drifted=*/false);
+  const auto report =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  ASSERT_EQ(report.per_op.size(), 1u);
+  EXPECT_FALSE(report.fired);
+  EXPECT_FALSE(report.per_op[0].fired);
+  EXPECT_EQ(report.per_op[0].groups, 12u);
+  EXPECT_DOUBLE_EQ(report.per_op[0].mean_regret, 0.0);
+  EXPECT_DOUBLE_EQ(report.per_op[0].max_regret, 0.0);
+}
+
+TEST_F(Drift, StepChangeFiresAboveThreshold) {
+  const auto records = traffic(12, /*drifted=*/true);
+  const auto report =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  ASSERT_EQ(report.per_op.size(), 1u);
+  EXPECT_TRUE(report.fired);
+  EXPECT_TRUE(report.per_op[0].fired);
+  EXPECT_NEAR(report.per_op[0].mean_regret, 0.30, 1e-12);
+  EXPECT_NEAR(report.per_op[0].max_regret, 0.30, 1e-12);
+}
+
+TEST_F(Drift, RegretBelowThresholdDoesNotFire) {
+  // chosen 5% slower than best: under the 10% threshold.
+  std::vector<TelemetryRecord> records;
+  for (std::size_t i = 0; i < 12; ++i) {
+    add_group(&records, 64 + 32 * static_cast<long>(i), 128, 256, 1050,
+              1000);
+  }
+  const auto report =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  EXPECT_FALSE(report.fired);
+  EXPECT_NEAR(report.per_op[0].mean_regret, 0.05, 1e-12);
+}
+
+TEST_F(Drift, MinGroupsBoundaryIsExact) {
+  // min_groups - 1 high-regret groups: too little evidence, no fire;
+  // exactly min_groups: fires. The off-by-one that silences real drift.
+  const auto thin = traffic(options_.min_groups - 1, /*drifted=*/true);
+  EXPECT_FALSE(detect_drift(thin, *runtime_.snapshot(), options_).fired);
+
+  const auto enough = traffic(options_.min_groups, /*drifted=*/true);
+  EXPECT_TRUE(detect_drift(enough, *runtime_.snapshot(), options_).fired);
+}
+
+TEST_F(Drift, WindowBoundaryExcludesExactlyTheOldestRecord) {
+  // One drifted group first (oldest), then `window` zero-regret records.
+  // window = newer-record count: the drifted pair must fall outside and the
+  // detector must not fire; window + 2 pulls it back in and fires.
+  std::vector<TelemetryRecord> records;
+  add_group(&records, 4096, 128, 256, 1300, 1000);  // oldest, drifted
+  const auto healthy = traffic(options_.min_groups, /*drifted=*/false);
+  records.insert(records.end(), healthy.begin(), healthy.end());
+
+  options_.threshold = 0.01;  // any drifted group in the window fires
+  options_.min_groups = 1;
+
+  options_.window = healthy.size();
+  const auto outside =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  EXPECT_EQ(outside.window_records, healthy.size());
+  EXPECT_FALSE(outside.fired);
+
+  options_.window = healthy.size() + 2;
+  const auto inside =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  EXPECT_EQ(inside.window_records, records.size());
+  EXPECT_TRUE(inside.fired);
+}
+
+TEST_F(Drift, OffPolicyGroupsAreSkippedNotGuessed) {
+  // A group with no measurement at the chosen count has unmeasurable
+  // regret: it must not contribute, in either direction.
+  std::vector<TelemetryRecord> records;
+  const int chosen = runtime_.select_threads(777, 128, 256);
+  int other = runtime_.thread_grid().front();
+  if (other == chosen) other = runtime_.thread_grid().back();
+  records.push_back(make_record(other, 1, 777, 128, 256));  // off-policy only
+  const auto report =
+      detect_drift(records, *runtime_.snapshot(), options_);
+  ASSERT_EQ(report.per_op.size(), 1u);
+  EXPECT_EQ(report.per_op[0].records, 1u);
+  EXPECT_EQ(report.per_op[0].groups, 0u);
+  EXPECT_FALSE(report.fired);
+}
+
+TEST_F(Drift, ReportIsDeterministic) {
+  const auto records = traffic(10, /*drifted=*/true);
+  const auto a = detect_drift(records, *runtime_.snapshot(), options_);
+  const auto b = detect_drift(records, *runtime_.snapshot(), options_);
+  ASSERT_EQ(a.per_op.size(), b.per_op.size());
+  EXPECT_EQ(a.fired, b.fired);
+  for (std::size_t i = 0; i < a.per_op.size(); ++i) {
+    EXPECT_EQ(a.per_op[i].mean_regret, b.per_op[i].mean_regret);  // bitwise
+    EXPECT_EQ(a.per_op[i].max_regret, b.per_op[i].max_regret);
+    EXPECT_EQ(a.per_op[i].groups, b.per_op[i].groups);
+  }
+}
+
+}  // namespace
+}  // namespace adsala::core

@@ -9,9 +9,16 @@
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //   adsala publish   --dir DIR --shm PATH
 //   adsala serve     --dir DIR | --shm PATH [--fallback] --socket PATH
-//                    [--max-requests N]
+//                    [--max-requests N] [--reattach]
 //   adsala query     --socket PATH --shape MxKxN | --<op> XxY
 //                    [--send-malformed]
+//   adsala sample    --dir DIR | --shm PATH --platform <...> --telemetry PATH
+//                    [--samples N] [--ops <name>,...]
+//   adsala retune    --dir DIR --telemetry PATH [--force] [--threshold X]
+//                    [--window N] [--min-groups N] [--models <name>,...]
+//                    [--no-tune] [--shm PATH]
+//   adsala rollback  --dir DIR --to VERSION [--shm PATH]
+//   adsala versions  --dir DIR
 //
 // `install` runs the full installation workflow and writes model.json /
 // config.json / timings.csv; `--ops` takes any comma list of registered
@@ -29,13 +36,26 @@
 // serve from (`predict --shm`, `serve --shm`). `serve` runs the resident
 // daemon on a Unix-domain socket; `query` is its client (and `--send-
 // malformed` deliberately sends a wrong-version frame so CI can check the
-// protocol-error path end to end).
+// protocol-error path end to end). `serve --shm --reattach` keeps watching
+// the region between connections and hot-swaps in any new generation a
+// retune republished.
+//
+// Continual-retuning verbs (docs/OPERATIONS.md "Continual retuning"):
+// `sample` drives measured traffic through a serving runtime with the
+// telemetry sampler recording every call (1-in-1 sampling) — the loop's
+// traffic generator for CI and offline campaigns. `retune` runs the drift
+// detector over a telemetry log and, when it fires (or --force), retrains
+// through the reuse-timings path, write-then-verifies, bumps the artefact
+// version and optionally republishes to --shm. `rollback --to V`
+// republishes retained version V as a new current version; `versions`
+// lists the store.
 //
 // Exit codes follow the error taxonomy (common/status.h, exit_code_for):
 //   0 success        2 usage error            3 artefact file missing
 //   4 artefact undecodable                    5 artefact fails validation
 //   6 out of memory  7 temporarily unavailable (shm mid-swap, daemon down)
 //   8 protocol error (malformed daemon frame)
+//   9 precondition failed (rollback target not retained, telemetry too thin)
 //   1 any other internal error
 // Artefact problems print one line to stderr: "error (<code>): <message>".
 // `predict --fallback` never fails on artefact problems — it serves from
@@ -58,6 +78,7 @@
 #include "core/adsala.h"
 #include "core/install.h"
 #include "core/op_registry.h"
+#include "core/retune.h"
 #include "core/shm_store.h"
 #include "preprocess/features.h"
 
@@ -78,7 +99,14 @@ struct Args {
   std::string socket;              ///< daemon Unix-domain socket path
   long max_requests = -1;          ///< serve: exit after N answers (< 0: run)
   bool send_malformed = false;     ///< query: send a wrong-version frame
-  std::vector<std::string> models; ///< install: candidate zoo override
+  std::vector<std::string> models; ///< install/retune: candidate zoo override
+  std::string telemetry;           ///< sample/retune: telemetry log path
+  bool force = false;              ///< retune: retrain even without drift
+  double threshold = 0.10;         ///< retune: drift mean-regret threshold
+  std::size_t window = 4096;       ///< retune: drift window (records)
+  std::size_t min_groups = 8;      ///< retune: min shape groups per op
+  std::uint64_t to_version = 0;    ///< rollback: retained version to republish
+  bool reattach = false;           ///< serve: hot-swap new shm generations in
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   /// Predict queries in parse order; shapes carry the op's stored
   /// equivalent-GEMM convention (canonicalised by the registry).
@@ -123,9 +151,16 @@ std::string op_name_list() {
                "[--threads P]\n"
                "  adsala publish --dir DIR --shm PATH\n"
                "  adsala serve   --dir DIR | --shm PATH [--fallback] "
-               "--socket PATH [--max-requests N]\n"
+               "--socket PATH [--max-requests N] [--reattach]\n"
                "  adsala query   --socket PATH --shape MxKxN | --<op> XxY "
-               "[--send-malformed]\n",
+               "[--send-malformed]\n"
+               "  adsala sample  --dir DIR | --shm PATH --platform <...> "
+               "--telemetry PATH [--samples N] [--ops ...]\n"
+               "  adsala retune  --dir DIR --telemetry PATH [--force] "
+               "[--threshold X] [--window N] [--min-groups N] "
+               "[--models ...] [--no-tune] [--shm PATH]\n"
+               "  adsala rollback --dir DIR --to VERSION [--shm PATH]\n"
+               "  adsala versions --dir DIR\n",
                op_name_list().c_str(), family_flag_usage().c_str());
   std::exit(2);
 }
@@ -173,6 +208,20 @@ Args parse(int argc, char** argv) {
       args.max_requests = std::stol(value());
     } else if (flag == "--send-malformed") {
       args.send_malformed = true;
+    } else if (flag == "--telemetry") {
+      args.telemetry = value();
+    } else if (flag == "--force") {
+      args.force = true;
+    } else if (flag == "--threshold") {
+      args.threshold = std::stod(value());
+    } else if (flag == "--window") {
+      args.window = std::stoul(value());
+    } else if (flag == "--min-groups") {
+      args.min_groups = std::stoul(value());
+    } else if (flag == "--to") {
+      args.to_version = std::stoull(value());
+    } else if (flag == "--reattach") {
+      args.reattach = true;
     } else if (flag == "--models") {
       // Candidate zoo override for install (comma list, e.g.
       // "decision_tree"): committed CI artefacts pin a compact model so the
@@ -447,22 +496,147 @@ int cmd_publish(const Args& args) {
 
 int cmd_serve(const Args& args) {
   if (args.socket.empty()) usage("serve needs --socket PATH");
+  if (args.reattach && args.shm.empty()) {
+    usage("serve --reattach needs --shm PATH (the region to watch)");
+  }
   int exit_code = 0;
   auto runtime = load_runtime(args, &exit_code);
   if (runtime == nullptr) return exit_code;
-  std::printf("serving platform %s, model %s (mode %s) on %s\n",
+  std::printf("serving platform %s, model %s (mode %s) on %s%s\n",
               runtime->platform().c_str(), runtime->model_name().c_str(),
               core::serving_mode_name(runtime->serving_mode()),
-              args.socket.c_str());
+              args.socket.c_str(),
+              args.reattach ? " (reattach on new shm generations)" : "");
   std::fflush(stdout);
   daemon::ServeOptions options;
   options.socket_path = args.socket;
   options.max_requests = args.max_requests;
+  if (args.reattach) options.reattach_shm = args.shm;
   const Error err = daemon::serve(*runtime, options);
   if (!err.ok()) {
     report_error(err);
     return exit_code_for(err.code);
   }
+  return 0;
+}
+
+/// Traffic generator for the retuning loop: measures sampled shapes on the
+/// chosen backend across the serving grid, recording every measurement into
+/// the telemetry log through the runtime's own sampler (1-in-1 sampling, so
+/// the log carries exactly what was measured).
+int cmd_sample(const Args& args) {
+  if (args.telemetry.empty()) usage("sample needs --telemetry PATH");
+  int exit_code = 0;
+  auto runtime = load_runtime(args, &exit_code);
+  if (runtime == nullptr) return exit_code;
+
+  auto opened = core::TelemetryLog::open(args.telemetry);
+  if (!opened.ok()) {
+    report_error(opened.error());
+    return exit_code_for(opened.error().code);
+  }
+  auto log =
+      std::make_shared<core::TelemetryLog>(std::move(opened).value());
+  runtime->enable_sampling(log, 1);
+
+  auto executor = make_backend(args.platform);
+  sampling::DomainConfig domain;
+  domain.memory_cap_bytes = args.cap_mb * 1024ull * 1024;
+  for (const auto op : args.ops) {
+    const auto& traits = core::op_traits(op);
+    auto sampler = traits.make_sampler(domain);
+    for (const auto& shape : sampler->sample(args.samples)) {
+      long x = 0, y = 0, z = 0;
+      traits.from_shape(shape, &x, &y, &z);
+      for (int p : runtime->thread_grid()) {
+        const double seconds = executor->measure_op(op, shape, p, 3);
+        runtime->record_sample(op, x, y, z, shape.elem_bytes, p,
+                               static_cast<std::uint64_t>(seconds * 1e9));
+      }
+    }
+  }
+  if (const Error err = log->flush(); !err.ok()) {
+    report_error(err);
+    return exit_code_for(err.code);
+  }
+  std::printf("sampled %llu records into %s (%llu dropped)\n",
+              static_cast<unsigned long long>(runtime->samples_recorded()),
+              args.telemetry.c_str(),
+              static_cast<unsigned long long>(runtime->samples_dropped()));
+  return runtime->samples_dropped() == 0 ? 0 : 1;
+}
+
+int cmd_retune(const Args& args) {
+  if (args.telemetry.empty()) usage("retune needs --telemetry PATH");
+  core::RetuneOptions options;
+  options.telemetry_path = args.telemetry;
+  options.artefact_dir = args.dir;
+  options.drift.threshold = args.threshold;
+  options.drift.window = args.window;
+  options.drift.min_groups = args.min_groups;
+  options.force = args.force;
+  options.train.tune = args.tune;
+  options.train.candidates = args.models;
+  options.publish_shm = args.shm;
+
+  auto result = core::retune(options);
+  if (!result.ok()) {
+    report_error(result.error());
+    return exit_code_for(result.error().code);
+  }
+  const core::RetuneReport& report = result.value();
+  std::printf("telemetry: %zu records (%zu in drift window)\n",
+              report.telemetry_records, report.drift.window_records);
+  for (const auto& stats : report.drift.per_op) {
+    std::printf("  %-6s %4zu records %3zu groups  mean regret %6.2f%%  "
+                "max %6.2f%%%s\n",
+                blas::op_name(stats.op), stats.records, stats.groups,
+                100.0 * stats.mean_regret, 100.0 * stats.max_regret,
+                stats.fired ? "  DRIFT" : "");
+  }
+  if (!report.retrained) {
+    std::printf("no drift above threshold %.0f%%; artefacts unchanged "
+                "(version %llu)\n",
+                100.0 * args.threshold,
+                static_cast<unsigned long long>(report.previous_version));
+    return 0;
+  }
+  std::printf("retrained (model %s): version %llu -> %llu%s\n",
+              report.selected_model.c_str(),
+              static_cast<unsigned long long>(report.previous_version),
+              static_cast<unsigned long long>(report.new_version),
+              args.shm.empty() ? "" : ", republished to shm");
+  return 0;
+}
+
+int cmd_rollback(const Args& args) {
+  if (args.to_version == 0) usage("rollback needs --to VERSION");
+  auto result =
+      core::rollback(args.dir, args.to_version, args.shm, nullptr);
+  if (!result.ok()) {
+    report_error(result.error());
+    return exit_code_for(result.error().code);
+  }
+  std::printf("rolled back to retained version %llu, now current as "
+              "version %llu%s\n",
+              static_cast<unsigned long long>(args.to_version),
+              static_cast<unsigned long long>(result.value()),
+              args.shm.empty() ? "" : ", republished to shm");
+  return 0;
+}
+
+int cmd_versions(const Args& args) {
+  const std::uint64_t current = core::artefact_version(args.dir);
+  if (current == 0) {
+    std::printf("%s: unversioned (no VERSION file yet)\n", args.dir.c_str());
+    return 0;
+  }
+  std::printf("current: %llu\nretained:",
+              static_cast<unsigned long long>(current));
+  for (const std::uint64_t v : core::retained_artefact_versions(args.dir)) {
+    std::printf(" %llu", static_cast<unsigned long long>(v));
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -521,6 +695,10 @@ int main(int argc, char** argv) {
     if (args.command == "publish") return cmd_publish(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "query") return cmd_query(args);
+    if (args.command == "sample") return cmd_sample(args);
+    if (args.command == "retune") return cmd_retune(args);
+    if (args.command == "rollback") return cmd_rollback(args);
+    if (args.command == "versions") return cmd_versions(args);
   } catch (const std::bad_alloc&) {
     const Error err{ErrorCode::kResourceExhausted, "out of memory"};
     report_error(err);

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "blas/op.h"
+#include "core/shm_store.h"
 
 namespace adsala::daemon {
 
@@ -141,7 +143,32 @@ Ack handle_frame(const core::AdsalaGemm& runtime, const std::uint8_t* frame,
   return ack;
 }
 
-Error serve(const core::AdsalaGemm& runtime, const ServeOptions& options) {
+namespace {
+
+/// One reattach probe (see ServeOptions::reattach_shm): when the region's
+/// generation moved past `last_generation`, attach + validate the new
+/// artefacts and hot-swap them in. Every failure mode is a skip-and-retry,
+/// never a degradation of what is already being served.
+void maybe_reattach(core::AdsalaGemm& runtime, const std::string& shm_path,
+                    std::uint64_t* last_generation) {
+  auto region = core::read_shm_region(shm_path);
+  if (!region.ok()) return;
+  if (region.value().generation == *last_generation) return;
+  auto attached = core::AdsalaGemm::try_attach(shm_path);
+  if (!attached.ok()) return;  // torn or mid-swap: retry next connection
+  const std::uint64_t version = runtime.install(attached.value().snapshot());
+  *last_generation = region.value().generation;
+  std::fprintf(stderr,
+               "[serve] reattached %s (shm generation %llu) as snapshot "
+               "version %llu\n",
+               shm_path.c_str(),
+               static_cast<unsigned long long>(*last_generation),
+               static_cast<unsigned long long>(version));
+}
+
+}  // namespace
+
+Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
   sockaddr_un addr{};
   if (options.socket_path.size() >= sizeof(addr.sun_path)) {
     return Error{ErrorCode::kValidationError,
@@ -171,11 +198,25 @@ Error serve(const core::AdsalaGemm& runtime, const ServeOptions& options) {
     return err;
   }
 
+  // Baseline the reattach generation against what is in the region right
+  // now: the runtime was just loaded from these (or equivalent) bytes, and
+  // re-installing them would only burn a snapshot version.
+  std::uint64_t shm_generation = 0;
+  if (!options.reattach_shm.empty()) {
+    if (auto region = core::read_shm_region(options.reattach_shm);
+        region.ok()) {
+      shm_generation = region.value().generation;
+    }
+  }
+
   long answered = 0;
   while (options.max_requests < 0 || answered < options.max_requests) {
     if (options.stop != nullptr &&
         options.stop->load(std::memory_order_acquire)) {
       break;
+    }
+    if (!options.reattach_shm.empty()) {
+      maybe_reattach(runtime, options.reattach_shm, &shm_generation);
     }
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {

@@ -88,14 +88,24 @@ struct ServeOptions {
   long max_requests = -1;
   /// Optional external stop flag, polled between connections.
   const std::atomic<bool>* stop = nullptr;
+  /// Continual-retuning integration: when non-empty, re-check this
+  /// shared-memory region between client connections and — whenever its
+  /// generation counter moved past what this daemon last served from —
+  /// try_attach the new artefacts and hot-swap them into the runtime
+  /// (AdsalaGemm::install; in-flight answers finish on the old snapshot).
+  /// A region that is missing, torn, or caught mid-swap is skipped and
+  /// retried at the next connection; the daemon never degrades what it is
+  /// already serving because a *re*-attach failed.
+  std::string reattach_shm;
 };
 
 /// Binds a Unix-domain socket at options.socket_path (replacing any stale
 /// file) and serves queries against `runtime` until max_requests is
 /// exhausted or *stop goes true. Returns kOk on a clean exit, kInternal on
 /// socket-layer failures (bind, listen). Protocol errors from clients are
-/// acked and logged, never fatal.
-Error serve(const core::AdsalaGemm& runtime, const ServeOptions& options);
+/// acked and logged, never fatal. Non-const runtime: the reattach_shm
+/// option hot-swaps new generations in (queries stay lock-free).
+Error serve(core::AdsalaGemm& runtime, const ServeOptions& options);
 
 /// Client side: sends one request to a serving daemon and returns the
 /// decoded ack. kNotFound when no socket exists at the path, kUnavailable
