@@ -21,6 +21,7 @@
 
 #include "blas/gemm.h"
 #include "blas/kernels/dispatch.h"
+#include "blas/pack_pipeline.h"
 #include "common/aligned_buffer.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -155,6 +156,51 @@ void BM_KernelTierRatio1024(benchmark::State& state) {
   state.counters["ratio"] = avx512 / avx2;
 }
 
+void BM_PackComputeOverlap(benchmark::State& state, bool ragged) {
+  // The pack-pipeline regime: mid sizes where B-pack time is a real
+  // fraction of runtime. `ragged` offsets m off the MC grid (dim + 13) so
+  // the tail tiles exist and the steal counters must move; square keeps the
+  // canonical dims. Counters come from the process-wide PipelineStats:
+  // pack_fraction is packing's share of the measured pack+compute wall time
+  // (overlap drives it toward the pack/compute bandwidth ratio instead of
+  // the serial-schedule sum), steals/tiles/panels are schedule-shape
+  // counts. Timing is enabled only for this bench, so the other regimes
+  // never pay the two clock reads per tile.
+  const auto dim = static_cast<int>(state.range(0));
+  const int m = ragged ? dim + 13 : dim;
+  AlignedBuffer<float> a(static_cast<std::size_t>(m) * dim);
+  AlignedBuffer<float> b(static_cast<std::size_t>(dim) * dim);
+  AlignedBuffer<float> c(static_cast<std::size_t>(m) * dim);
+  fill_random(a, 13);
+  fill_random(b, 14);
+  const auto tuning = tuning_for(kernels::Variant::kAuto);
+  auto& stats = blas::detail::pipeline_stats();
+  stats.timing_enabled.store(true, std::memory_order_relaxed);
+  stats.reset();
+  for (auto _ : state) {
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, m, dim, dim, 1.0f,
+                      a.data(), dim, b.data(), dim, 0.0f, c.data(), dim, 0,
+                      tuning);
+    benchmark::DoNotOptimize(c.data());
+  }
+  stats.timing_enabled.store(false, std::memory_order_relaxed);
+  const auto pack_ns =
+      static_cast<double>(stats.pack_ns.load(std::memory_order_relaxed));
+  const auto compute_ns =
+      static_cast<double>(stats.compute_ns.load(std::memory_order_relaxed));
+  state.counters["pack_fraction"] =
+      pack_ns / std::max(1.0, pack_ns + compute_ns);
+  state.counters["steals"] =
+      static_cast<double>(stats.steals.load(std::memory_order_relaxed));
+  state.counters["tiles"] =
+      static_cast<double>(stats.tiles.load(std::memory_order_relaxed));
+  state.counters["panels"] =
+      static_cast<double>(stats.panels.load(std::memory_order_relaxed));
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * dim * dim * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_DgemmSquare(benchmark::State& state, kernels::Variant variant) {
   const auto dim = static_cast<int>(state.range(0));
   AlignedBuffer<double> a(static_cast<std::size_t>(dim) * dim);
@@ -209,6 +255,19 @@ bool verify_variant(kernels::Variant variant, double tol) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Provenance context, mirroring BenchJson's envelope stamps: bench_diff
+  // refuses debug-built or high-load baselines (tools/bench_diff.cpp).
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_type", "release");
+#else
+  benchmark::AddCustomContext("build_type", "debug");
+#endif
+  {
+    double load[1] = {-1.0};
+    if (getloadavg(load, 1) != 1) load[0] = -1.0;
+    benchmark::AddCustomContext("load_avg_1min", std::to_string(load[0]));
+  }
+
   bool ok = true;
   for (const auto variant : kernels::supported_variants()) {
     ok &= verify_variant<float>(variant, 1e-4);
@@ -244,6 +303,16 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kSecond)
         ->Iterations(1);
   }
+  // Pack-pipeline regimes (active variant, max threads): square and ragged
+  // (m = dim + 13, off the MC grid) at the tuner's mid sizes.
+  benchmark::RegisterBenchmark("BM_PackComputeOverlap/square",
+                               BM_PackComputeOverlap, false)
+      ->Arg(512)->Arg(1024)->Arg(2048)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("BM_PackComputeOverlap/ragged",
+                               BM_PackComputeOverlap, true)
+      ->Arg(512)->Arg(1024)->Arg(2048)
+      ->Unit(benchmark::kMicrosecond);
 
   // Console output for humans plus BENCH_gemm_kernel.json for the perf
   // trajectory (same convention as the BenchJson figure benches). An

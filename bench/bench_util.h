@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -184,9 +185,32 @@ inline std::string json_slug(std::string_view title) {
   return out;
 }
 
+/// Build type the library was compiled as, for the envelope's provenance
+/// stamp. A debug-built bench measures the optimiser, not the code — the
+/// stamp lets tools/bench_diff refuse such baselines outright.
+inline const char* build_type_stamp() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// 1-minute load average (-1 when the host cannot say). Captured at bench
+/// START, before the run drives load toward one per busy core: the stamp
+/// measures external busyness, not the bench's own footprint.
+inline double load_avg_stamp() {
+#if defined(__linux__) || defined(__APPLE__)
+  double load[1] = {-1.0};
+  if (getloadavg(load, 1) == 1) return load[0];
+#endif
+  return -1.0;
+}
+
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(json_slug(name)) {}
+  explicit BenchJson(std::string name)
+      : name_(json_slug(name)), load_avg_at_start_(load_avg_stamp()) {}
 
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
@@ -208,6 +232,11 @@ class BenchJson {
       doc["bench"] = Json(name_);
       doc["kernel_variant"] =
           Json(blas::kernels::variant_name(blas::kernels::active_variant()));
+      // Provenance: bench_diff refuses debug-built or high-load baselines.
+      doc["build_type"] = Json(build_type_stamp());
+      doc["load_avg"] = Json(load_avg_at_start_);
+      doc["num_cpus"] =
+          Json(static_cast<double>(std::thread::hardware_concurrency()));
       for (auto& [k, v] : meta_) doc[k] = std::move(v);
       JsonArray rows;
       for (auto& r : rows_) rows.emplace_back(std::move(r));
@@ -223,6 +252,7 @@ class BenchJson {
 
  private:
   std::string name_;
+  double load_avg_at_start_;
   JsonObject meta_;
   std::vector<Json> rows_;
 };

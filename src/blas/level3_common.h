@@ -25,6 +25,7 @@
 
 #include "blas/gemm.h"
 #include "blas/kernels/kernel_set.h"
+#include "blas/pack_pipeline.h"
 #include "common/aligned_buffer.h"
 #include "common/pack_arena.h"
 #include "common/thread_pool.h"
@@ -161,6 +162,121 @@ T* thread_slab_or_fallback(std::size_t count,
   } catch (const std::bad_alloc&) {
     fallback = std::make_shared<AlignedBuffer<T>>(count);
     return fallback->data();
+  }
+}
+
+/// Ping/pong pair of equally-sized shared-slab carves: the double-buffered
+/// B panels of the pack pipeline. One shared_slab call covers both halves
+/// (a second call could grow the slab and invalidate the first pointer);
+/// padded_count keeps the pong half 64-byte aligned. Degrades to one
+/// per-call buffer (kept alive through `fallback`) when arena growth
+/// throws, exactly like shared_slab_or_fallback. Call from the
+/// orchestrating thread before the region opens.
+template <typename T>
+struct SharedPair {
+  T* bufs[2] = {nullptr, nullptr};
+  std::shared_ptr<AlignedBuffer<T>> fallback;
+};
+
+template <typename T>
+SharedPair<T> carve_shared_pair(std::size_t count) {
+  const std::size_t padded = PackArena::padded_count<T>(count);
+  SharedPair<T> pair;
+  T* base = shared_slab_or_fallback<T>(2 * padded, pair.fallback);
+  pair.bufs[0] = base;
+  pair.bufs[1] = base + padded;
+  return pair;
+}
+
+/// The pipelined level-3 macro-loop, run by EVERY participant of a parallel
+/// region (GEMM first, and the SYMM/TRMM loops that share its structure).
+/// Enumerates the (jc, pc) panel grid in order; for each panel the
+/// cooperative pack of the NEXT panel proceeds into the other half of the
+/// ping/pong pair while this panel is computed, and MC-row tiles are
+/// claimed through the stealable deck instead of a static row split.
+///
+///   pack_chunk(jc, pc, kc_eff, q, dst)
+///     packs NR-column micro-panel q (columns [jc + q*nr, ...)) of the
+///     kc_eff-deep B block into dst (contiguous kc_eff * nr elements).
+///   tile_op(jc, pc, nc_eff, kc_eff, first_panel_of_jc, ic, mc_eff, b_buf)
+///     computes C rows [ic, ic+mc_eff) x columns [jc, jc+nc_eff) against
+///     the packed B block at b_buf. `first_panel_of_jc` is true on the
+///     jc-block's first pc iteration — where a driver folds its beta scale
+///     into the tile, first-touch style, so no separate pre-scale barrier
+///     orders against the stolen tiles.
+///
+/// The caller sizes each half of `b_bufs` for the widest panel
+/// (b_panel_elems at the resolved kc/nc); within a panel the packed layout
+/// is q * kc_eff * nr, matching the pre-pipeline cooperative pack.
+template <typename T, typename PackChunkFn, typename TileOpFn>
+void pipelined_macro_loop(std::size_t tid, std::size_t nt, int rows, int cols,
+                          int kdim, const BlockGeom& g, int nr,
+                          T* const (&b_bufs)[2], PackPipeline& pipe,
+                          TileDeck& deck, PackChunkFn&& pack_chunk,
+                          TileOpFn&& tile_op) {
+  const int t = static_cast<int>(tid);
+  const long pc_steps = (kdim + g.kc - 1) / g.kc;
+  const long jc_steps = (cols + g.nc - 1) / g.nc;
+  const long total_panels = jc_steps * pc_steps;
+
+  PipelineStats& stats = pipeline_stats();
+  const bool timed = stats.timing_enabled.load(std::memory_order_relaxed);
+  std::uint64_t pack_ns = 0, compute_ns = 0, tiles_done = 0;
+
+  // This thread's static share of one panel's cooperative pack: NR-panel
+  // chunks [share_lo(q_panels), share_hi(q_panels)).
+  const auto pack_share = [&](long panel) {
+    const int jc = static_cast<int>(panel / pc_steps) * g.nc;
+    const int pc = static_cast<int>(panel % pc_steps) * g.kc;
+    const int nc_eff = std::min(g.nc, cols - jc);
+    const int kc_eff = std::min(g.kc, kdim - pc);
+    const int q_panels = (nc_eff + nr - 1) / nr;
+    const int q_lo = static_cast<int>(static_cast<long>(t) * q_panels /
+                                      static_cast<long>(nt));
+    const int q_hi = static_cast<int>(static_cast<long>(t + 1) * q_panels /
+                                      static_cast<long>(nt));
+    pipe.wait_buffer_free(panel);
+    const std::uint64_t t0 = timed ? stats_now_ns() : 0;
+    T* buf = b_bufs[panel & 1];
+    for (int q = q_lo; q < q_hi; ++q) {
+      pack_chunk(jc, pc, kc_eff, q, buf + static_cast<long>(q) * kc_eff * nr);
+    }
+    if (timed) pack_ns += stats_now_ns() - t0;
+    pipe.pack_contribution_done(panel);
+  };
+
+  // Pipeline prologue: panel 0 is packed cooperatively before any compute.
+  pack_share(0);
+
+  for (long panel = 0; panel < total_panels; ++panel) {
+    // Pack-ahead: panel+1 goes into the other buffer while panel computes.
+    // The only steady-state wait inside pack_share is the previous panel
+    // draining — one synchronisation point per panel, not two barriers.
+    if (panel + 1 < total_panels) pack_share(panel + 1);
+
+    pipe.wait_computable(panel);
+    const int jc = static_cast<int>(panel / pc_steps) * g.nc;
+    const int pc = static_cast<int>(panel % pc_steps) * g.kc;
+    const int nc_eff = std::min(g.nc, cols - jc);
+    const int kc_eff = std::min(g.kc, kdim - pc);
+    const bool first_of_jc = pc == 0;
+    const T* b_buf = b_bufs[panel & 1];
+    const std::uint64_t t0 = timed ? stats_now_ns() : 0;
+    for (int tile = deck.claim(t, panel); tile >= 0;
+         tile = deck.claim(t, panel)) {
+      const int ic = tile * g.mc;
+      const int mc_eff = std::min(g.mc, rows - ic);
+      tile_op(jc, pc, nc_eff, kc_eff, first_of_jc, ic, mc_eff, b_buf);
+      ++tiles_done;
+    }
+    if (timed) compute_ns += stats_now_ns() - t0;
+    pipe.compute_contribution_done(panel);
+  }
+
+  stats.tiles.fetch_add(tiles_done, std::memory_order_relaxed);
+  if (timed) {
+    stats.pack_ns.fetch_add(pack_ns, std::memory_order_relaxed);
+    stats.compute_ns.fetch_add(compute_ns, std::memory_order_relaxed);
   }
 }
 

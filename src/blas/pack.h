@@ -158,4 +158,20 @@ void pack_b_trans(const T* b, int ldb, int kc, int nc, int nr, T* dst) {
   }
 }
 
+/// One NR-column chunk of a kc-deep B block, dispatching on the transpose:
+/// packs logical rows [pc, pc+kc) x columns [j0, j0+nc) of op(B). This is
+/// the unit of the cooperative pack in the pipelined macro-loop
+/// (blas/pack_pipeline.h) — each participant packs its share of a panel's
+/// chunks independently, so the chunk form owns the origin arithmetic that
+/// differs between op(B) = B and op(B) = B^T.
+template <typename T>
+void pack_b_chunk(bool trans, const T* b, int ldb, int pc, int j0, int kc,
+                  int nc, int nr, T* dst) {
+  if (!trans) {
+    pack_b(b + static_cast<long>(pc) * ldb + j0, ldb, kc, nc, nr, dst);
+  } else {
+    pack_b_trans(b + static_cast<long>(j0) * ldb + pc, ldb, kc, nc, nr, dst);
+  }
+}
+
 }  // namespace adsala::blas::detail

@@ -7,6 +7,7 @@
 #include "blas/kernels/dispatch.h"
 #include "blas/level3_common.h"
 #include "blas/pack.h"
+#include "blas/pack_pipeline.h"
 #include "common/aligned_buffer.h"
 #include "common/pack_arena.h"
 #include "common/thread_pool.h"
@@ -79,6 +80,30 @@ void trmm_rows_blocked(const kernels::KernelSet<T>& ks, bool trans,
   }
 }
 
+/// Kernel sweep of one triangular-packed A block against one packed B
+/// block, accumulating into B's rows [ic, ic+mc_eff).
+template <typename T>
+void trmm_macro_kernel(const kernels::KernelSet<T>& ks, int mc_eff,
+                       int nc_eff, int kc_eff, T alpha, const T* a_pack,
+                       const T* b_pack, T* c_block, int ldb) {
+  const int mr = ks.mr;
+  const int nr = ks.nr;
+  for (int jr = 0; jr < nc_eff; jr += nr) {
+    const int cols = std::min(nr, nc_eff - jr);
+    const T* b_panel = b_pack + static_cast<long>(jr / nr) * kc_eff * nr;
+    for (int ir = 0; ir < mc_eff; ir += mr) {
+      const int rows = std::min(mr, mc_eff - ir);
+      const T* a_panel = a_pack + static_cast<long>(ir / mr) * kc_eff * mr;
+      T* c_tile = c_block + static_cast<long>(ir) * ldb + jr;
+      if (rows == mr && cols == nr) {
+        ks.full(kc_eff, alpha, a_panel, b_panel, c_tile, ldb);
+      } else {
+        ks.edge(kc_eff, alpha, a_panel, b_panel, c_tile, ldb, rows, cols);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -139,19 +164,29 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
   if (!copy_in_arena) copy_fallback = AlignedBuffer<T>(copy_elems);
   T* b_copy;
   detail::PanelCarve<T> serial_carve;
+  detail::SharedPair<T> pair;                             // parallel only
   std::shared_ptr<AlignedBuffer<T>> shared_oom_fallback;  // arena-OOM degrade
+  const std::size_t b_pack_elems = detail::b_panel_elems(ks, nc, m, kc);
   if (serial) {
     // One carve covers the copy (when it fits the per-thread budget) and
-    // both panels; parallel participants carve their panels inside the
-    // second region instead.
+    // both panels.
     serial_carve = detail::carve_private_panels<T>(
         ks, mc, kc, nc, m,
         copy_in_arena ? PackArena::padded_count<T>(copy_elems) : 0);
     b_copy = copy_in_arena ? serial_carve.extra : copy_fallback.data();
   } else {
-    b_copy = copy_in_arena ? detail::shared_slab_or_fallback<T>(
-                                 copy_elems, shared_oom_fallback)
-                           : copy_fallback.data();
+    // ONE shared-slab call covers the dense copy (when it fits the budget)
+    // and both ping/pong pack halves: shared_slab always returns the slab
+    // base, so a second call would alias the first carve (and could grow
+    // the slab out from under it).
+    const std::size_t pair_padded = PackArena::padded_count<T>(b_pack_elems);
+    const std::size_t copy_padded =
+        copy_in_arena ? PackArena::padded_count<T>(copy_elems) : 0;
+    T* base = detail::shared_slab_or_fallback<T>(copy_padded + 2 * pair_padded,
+                                                 shared_oom_fallback);
+    b_copy = copy_in_arena ? base : copy_fallback.data();
+    pair.bufs[0] = base + copy_padded;
+    pair.bufs[1] = base + copy_padded + pair_padded;
   }
 
   pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
@@ -164,20 +199,55 @@ void trmm(Uplo uplo, Trans trans, Diag diag, int n, int m, T alpha,
       std::fill(src, src + m, T(0));
     }
   });
-  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
-    // Area-balanced partition: row i of an effective-lower product touches
-    // ~i+1 of the n k-columns, so an even row split would leave the last
-    // thread ~2x the mean micro-tile count (same load shape as SYRK's
-    // triangle, same fix).
-    const int lo = detail::triangle_split(lower_eff, n, tid, nt);
-    const int hi = detail::triangle_split(lower_eff, n, tid + 1, nt);
-    const auto carve = serial
-                           ? serial_carve
-                           : detail::carve_private_panels<T>(ks, mc, kc, nc,
-                                                             m);
+  if (serial) {
     trmm_rows_blocked(ks, trans == Trans::kYes, lower_eff,
                       diag == Diag::kUnit, n, m, alpha, a, lda, b_copy, b,
-                      ldb, lo, hi, mc, kc, nc, carve.a_pack, carve.b_pack);
+                      ldb, 0, n, mc, kc, nc, serial_carve.a_pack,
+                      serial_carve.b_pack);
+    return;
+  }
+
+  // Parallel accumulate pass: the pack pipeline (see blas/pack_pipeline.h).
+  // The pre-pipeline schedule gave each thread an area-balanced triangle
+  // split and a private full-B pack; the cooperative ping/pong pack copies
+  // each kc panel once, and the triangle's load skew — the very thing the
+  // old triangle_split existed for — is absorbed by tile stealing instead:
+  // a thread whose tiles sit outside the panel's triangle extent finishes
+  // its skips instantly and steals real work. Every kc panel intersects at
+  // least one row tile's extent, so no panel-level skip is needed; TRMM's
+  // ~half-GEMM FLOP count is preserved by the per-tile skip below.
+  const bool unit = diag == Diag::kUnit;
+  const bool trans_eff = trans == Trans::kYes;
+  const detail::BlockGeom g{mc, kc, nc};
+  const std::size_t a_pack_elems = detail::a_panel_elems(ks, mc, kc);
+
+  const int row_tiles = (n + mc - 1) / mc;
+  detail::PackPipeline pipe(p);
+  detail::TileDeck deck(p, row_tiles);
+
+  pool.parallel_region(p, [&](std::size_t tid, std::size_t nt) {
+    std::shared_ptr<AlignedBuffer<T>> a_fallback;
+    T* a_pack = detail::thread_slab_or_fallback<T>(a_pack_elems, a_fallback);
+
+    detail::pipelined_macro_loop<T>(
+        tid, nt, n, m, n, g, ks.nr, pair.bufs, pipe, deck,
+        [&](int jc, int pc, int kc_eff, int q, T* dst) {
+          const int j0 = jc + q * ks.nr;
+          const int cols = std::min(ks.nr, m - j0);
+          detail::pack_b<T>(b_copy + static_cast<long>(pc) * m + j0, m,
+                            kc_eff, cols, ks.nr, dst);
+        },
+        [&](int jc, int pc, int nc_eff, int kc_eff, bool /*first_of_jc*/,
+            int ic, int mc_eff, const T* b_buf) {
+          // Per-tile triangle skip: this slab contributes only zeros to rows
+          // [ic, ic+mc_eff) when it lies outside their triangle extent.
+          if (lower_eff ? pc >= ic + mc_eff : pc + kc_eff <= ic) return;
+          detail::pack_a_tri<T>(a, lda, trans_eff, lower_eff, unit, ic, pc,
+                                mc_eff, kc_eff, ks.mr, a_pack);
+          trmm_macro_kernel<T>(ks, mc_eff, nc_eff, kc_eff, alpha, a_pack,
+                               b_buf, b + static_cast<long>(ic) * ldb + jc,
+                               ldb);
+        });
   });
 }
 

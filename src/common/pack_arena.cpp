@@ -1,11 +1,114 @@
 #include "common/pack_arena.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "common/failpoint.h"
 
+#if defined(ADSALA_HAVE_NUMA)
+#include <numa.h>
+#endif
+
 namespace adsala {
+
+namespace {
+
+enum class NumaMode { kFirstTouch, kNode, kOff };
+
+struct NumaConfig {
+  NumaMode mode = NumaMode::kFirstTouch;
+  int node = -1;
+};
+
+/// Parses ADSALA_NUMA once per process. Unrecognised values warn once and
+/// fall back to the first-touch default — a placement knob must never turn
+/// a working BLAS into an aborting one.
+NumaConfig parse_numa_config() {
+  NumaConfig cfg;
+  const char* env = std::getenv("ADSALA_NUMA");
+  if (env == nullptr || *env == '\0' ||
+      std::strcmp(env, "firsttouch") == 0) {
+    return cfg;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    cfg.mode = NumaMode::kOff;
+    return cfg;
+  }
+  if (std::strncmp(env, "node:", 5) == 0) {
+    char* end = nullptr;
+    const long node = std::strtol(env + 5, &end, 10);
+    if (end != env + 5 && *end == '\0' && node >= 0) {
+      cfg.mode = NumaMode::kNode;
+      cfg.node = static_cast<int>(node);
+      return cfg;
+    }
+  }
+  std::fprintf(stderr,
+               "adsala: ignoring unrecognised ADSALA_NUMA=\"%s\" "
+               "(expected node:<k>, firsttouch, or off); using firsttouch\n",
+               env);
+  return cfg;
+}
+
+const NumaConfig& numa_config() {
+  static const NumaConfig cfg = parse_numa_config();
+  return cfg;
+}
+
+/// True when libnuma was compiled in AND the running kernel exposes NUMA.
+bool numa_runtime_available() {
+#if defined(ADSALA_HAVE_NUMA)
+  static const bool avail = numa_available() >= 0;
+  return avail;
+#else
+  return false;
+#endif
+}
+
+/// Set once the first slab bind succeeds; surfaced through arena_stats().
+std::atomic<bool> g_numa_bound{false};
+
+void warn_node_degraded(const char* why) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "adsala: ADSALA_NUMA=node:%d unavailable (%s); "
+                 "degrading to first-touch placement\n",
+                 numa_config().node, why);
+  }
+}
+
+/// Applies the configured placement to a freshly grown slab. Called by the
+/// thread that owns the slab (thread slabs) or the orchestrator (shared
+/// slab), so the first-touch fault puts pages on the right node. Binding
+/// failures degrade, never throw: placement is an optimisation.
+void place_slab(void* data, std::size_t bytes) {
+  const NumaConfig& cfg = numa_config();
+  if (cfg.mode == NumaMode::kOff || bytes == 0) return;
+  if (cfg.mode == NumaMode::kNode) {
+#if defined(ADSALA_HAVE_NUMA)
+    if (numa_runtime_available()) {
+      numa_tonode_memory(data, bytes, cfg.node);
+      g_numa_bound.store(true, std::memory_order_relaxed);
+      // numa_tonode_memory moves the pages; still touch them below so the
+      // allocation is faulted in before the hot path reads it.
+    } else {
+      warn_node_degraded("numa_available() < 0");
+    }
+#else
+    warn_node_degraded("built without libnuma");
+#endif
+  }
+  // First-touch (and the node path's fault-in): the writing thread places
+  // every untouched page on its node.
+  std::memset(data, 0, bytes);
+}
+
+}  // namespace
 
 PackArena& PackArena::global() {
   static PackArena arena;
@@ -28,6 +131,7 @@ void* PackArena::grow(Slab& slab, std::size_t bytes) {
     // nothing is copied over.
     const std::size_t target = std::max(bytes, slab.buf.size() * 2);
     slab.buf = AlignedBuffer<unsigned char>(target);
+    place_slab(slab.buf.data(), target);
     growths_.fetch_add(1, std::memory_order_relaxed);
   }
   return slab.buf.data();
@@ -35,6 +139,23 @@ void* PackArena::grow(Slab& slab, std::size_t bytes) {
 
 std::size_t PackArena::footprint_bytes() const {
   return shared_.buf.size() + thread_slab_storage().buf.size();
+}
+
+PackArena::Stats PackArena::arena_stats() const {
+  Stats s;
+  s.growth_count = growths_.load(std::memory_order_relaxed);
+  s.shared_bytes = shared_.buf.size();
+  s.thread_bytes = thread_slab_storage().buf.size();
+  const NumaConfig& cfg = numa_config();
+  switch (cfg.mode) {
+    case NumaMode::kFirstTouch: s.numa_mode = "firsttouch"; break;
+    case NumaMode::kNode: s.numa_mode = "node"; break;
+    case NumaMode::kOff: s.numa_mode = "off"; break;
+  }
+  s.numa_node = cfg.node;
+  s.numa_available = numa_runtime_available();
+  s.numa_bound = g_numa_bound.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace adsala

@@ -29,6 +29,20 @@
 // invalidates its previous pointer) — padded_count() keeps multi-buffer
 // carves 64-byte aligned.
 //
+// NUMA placement: slab growth places the new pages at grow time, under the
+// `ADSALA_NUMA` policy (read once per process):
+//   firsttouch (default) — the growing thread touches every page of the new
+//     slab immediately, so the OS places them on ITS node. Thread slabs are
+//     grown by their owning thread and the shared slab by the orchestrator,
+//     which is exactly the reader set of each.
+//   node:<k> — bind the new slab's pages to NUMA node k outright. Needs
+//     libnuma (CMake option ADSALA_USE_NUMA); when the library is absent or
+//     the bind fails, the arena warns once on stderr and degrades to
+//     first-touch. Never fails a BLAS call.
+//   off — neither touch nor bind; pages fault in wherever they are first
+//     used (the pre-placement behaviour).
+// arena_stats() surfaces the active policy and whether a bind has succeeded.
+//
 // Out-of-memory: a failed slab growth throws std::bad_alloc from grow().
 // The level-3 drivers catch it at the carve sites (blas/level3_common.h)
 // and degrade to a per-call AlignedBuffer — the same fallback the huge-TRMM
@@ -93,6 +107,18 @@ class PackArena {
   /// private slab, in bytes (other threads' slabs are not visible). Only
   /// meaningful while no BLAS call is in flight.
   std::size_t footprint_bytes() const;
+
+  /// Point-in-time placement and sizing snapshot.
+  struct Stats {
+    std::size_t growth_count = 0;   ///< slab (re)allocations, this arena
+    std::size_t shared_bytes = 0;   ///< this arena's shared slab
+    std::size_t thread_bytes = 0;   ///< the *calling thread's* private slab
+    const char* numa_mode = "";     ///< resolved policy: firsttouch|node|off
+    int numa_node = -1;             ///< requested node (node:<k> only)
+    bool numa_available = false;    ///< compiled AND runtime libnuma support
+    bool numa_bound = false;        ///< at least one slab bind succeeded
+  };
+  Stats arena_stats() const;
 
  private:
   struct alignas(kCacheLineBytes) Slab {

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/failpoint.h"
@@ -194,9 +195,25 @@ void ThreadPool::parallel_for(std::size_t nthreads, std::size_t begin,
 
 bool ThreadPool::in_region() { return t_in_region; }
 
+namespace {
+/// Pool sizing for the process-wide pool: ADSALA_THREADS when set and
+/// parseable (clamped to [1, 256] — oversubscription is allowed so
+/// concurrency tests can exercise the parallel paths on small hosts),
+/// hardware concurrency otherwise.
+std::size_t global_pool_threads() {
+  if (const char* env = std::getenv("ADSALA_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(std::min<long>(parsed, 256));
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) -
-                         1);
+  static ThreadPool pool(global_pool_threads() - 1);
   return pool;
 }
 

@@ -62,7 +62,11 @@ class ThreadPool {
   /// (a nested parallel_region request would degrade to serial).
   static bool in_region();
 
-  /// Process-wide pool sized to hardware concurrency; lazily constructed.
+  /// Process-wide pool, lazily constructed. Sized to hardware concurrency
+  /// unless `ADSALA_THREADS` overrides it (clamped to [1, 256]; values above
+  /// the core count oversubscribe deliberately — concurrency tests on small
+  /// hosts need a multi-thread pool more than they need one core per
+  /// worker). Read once at first use; later setenv calls have no effect.
   static ThreadPool& global();
 
  private:

@@ -130,6 +130,87 @@ std::vector<Finding> diff_rows(const std::string& file,
   return findings;
 }
 
+/// Why this baseline file must not be compared against, or "" when it is
+/// fit. Two provenance gates (bench/bench_util.h stamps both, and the
+/// google-benchmark binaries stamp equivalents into their "context"):
+///   - a debug build type — a debug-built bench measures the optimiser, so
+///     every ratio against it is noise;
+///   - a 1-minute load average at or above the CPU count — the host was
+///     busy while the baseline was captured.
+/// Unstamped files (pre-stamp baselines, hand-made fixtures) pass: the gate
+/// refuses bad provenance, not missing provenance.
+std::string baseline_unfit_reason(const Json& doc) {
+  const Json* ctx =
+      doc.contains("context") && doc.at("context").is_object()
+          ? &doc.at("context")
+          : nullptr;
+  // Our own "build_type" stamp describes the code under measurement and is
+  // authoritative when present. google-benchmark's "library_build_type"
+  // describes how libbenchmark itself was compiled — a debug system package
+  // would falsely taint a Release run — so it is consulted only as a
+  // fallback for pre-stamp files, where it still catches the original
+  // debug-built committed baseline.
+  bool has_own_stamp = false;
+  for (const Json* scope : {&doc, ctx}) {
+    if (scope == nullptr) continue;
+    if (scope->contains("build_type") && scope->at("build_type").is_string()) {
+      has_own_stamp = true;
+      if (name_contains(scope->at("build_type").as_string(), "debug")) {
+        return "build_type is \"" + scope->at("build_type").as_string() +
+               "\" (debug builds measure the optimiser, not the code)";
+      }
+    }
+  }
+  if (!has_own_stamp) {
+    for (const Json* scope : {&doc, ctx}) {
+      if (scope == nullptr) continue;
+      if (scope->contains("library_build_type") &&
+          scope->at("library_build_type").is_string() &&
+          name_contains(scope->at("library_build_type").as_string(),
+                        "debug")) {
+        return "library_build_type is \"" +
+               scope->at("library_build_type").as_string() +
+               "\" (debug builds measure the optimiser, not the code)";
+      }
+    }
+  }
+
+  double load = -1.0;
+  double cpus = -1.0;
+  if (doc.contains("load_avg") && doc.at("load_avg").is_number()) {
+    load = doc.at("load_avg").as_number();
+  }
+  if (doc.contains("num_cpus") && doc.at("num_cpus").is_number()) {
+    cpus = doc.at("num_cpus").as_number();
+  }
+  if (ctx != nullptr) {
+    // google-benchmark context: load_avg is an array [1, 5, 15 min],
+    // num_cpus a number, and our AddCustomContext value is a string.
+    if (ctx->contains("load_avg") && ctx->at("load_avg").is_array() &&
+        !ctx->at("load_avg").as_array().empty() &&
+        ctx->at("load_avg").as_array().front().is_number()) {
+      load = ctx->at("load_avg").as_array().front().as_number();
+    }
+    if (ctx->contains("load_avg_1min") &&
+        ctx->at("load_avg_1min").is_string()) {
+      load = std::strtod(ctx->at("load_avg_1min").as_string().c_str(),
+                         nullptr);
+    }
+    if (ctx->contains("num_cpus") && ctx->at("num_cpus").is_number()) {
+      cpus = ctx->at("num_cpus").as_number();
+    }
+  }
+  if (load >= 0.0 && cpus > 0.0 && load >= cpus) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "1-min load average %.2f on %.0f CPUs at capture time "
+                  "(baseline host was busy)",
+                  load, cpus);
+    return buf;
+  }
+  return "";
+}
+
 std::map<std::string, fs::path> bench_files(const fs::path& dir) {
   std::map<std::string, fs::path> out;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -159,6 +240,15 @@ int run_diff(const std::string& dir_a, const std::string& dir_b,
     }
     const Json base = adsala::read_json_file(base_path.string());
     const Json cand = adsala::read_json_file(it->second.string());
+    const std::string unfit = baseline_unfit_reason(base);
+    if (!unfit.empty()) {
+      std::fprintf(stderr,
+                   "bench_diff: refusing baseline %s: %s.\n"
+                   "Regenerate the baseline from a Release build on an idle "
+                   "host (see bench/baseline/README.md).\n",
+                   base_path.string().c_str(), unfit.c_str());
+      return 2;
+    }
     if (!base.contains("rows") || !cand.contains("rows")) continue;
     const auto findings = diff_rows(name, base.at("rows").as_array(),
                                     cand.at("rows").as_array(), threshold);
@@ -251,6 +341,63 @@ int self_test() {
       diff_rows("BENCH_x.json", {r1}, {make_row(512, 8, 0.52, 98.0)}, 0.10);
   for (const auto& f : quiet) {
     if (f.regression) return fail("4% noise must not flag at 10% threshold");
+  }
+
+  // Baseline provenance gate: debug builds and busy hosts are refused,
+  // clean and unstamped envelopes pass.
+  {
+    JsonObject doc;
+    doc["bench"] = Json(std::string("x"));
+    if (!baseline_unfit_reason(Json(doc)).empty()) {
+      return fail("unstamped baseline must pass the provenance gate");
+    }
+    doc["build_type"] = Json(std::string("release"));
+    doc["load_avg"] = Json(0.3);
+    doc["num_cpus"] = Json(8.0);
+    if (!baseline_unfit_reason(Json(doc)).empty()) {
+      return fail("release/idle baseline must pass the provenance gate");
+    }
+    doc["build_type"] = Json(std::string("debug"));
+    if (baseline_unfit_reason(Json(doc)).empty()) {
+      return fail("debug baseline must be refused");
+    }
+    doc["build_type"] = Json(std::string("release"));
+    doc["load_avg"] = Json(11.0);
+    if (baseline_unfit_reason(Json(doc)).empty()) {
+      return fail("high-load baseline must be refused");
+    }
+  }
+  {
+    // google-benchmark format: provenance lives under "context".
+    JsonObject ctx;
+    ctx["library_build_type"] = Json(std::string("debug"));
+    JsonObject doc;
+    doc["context"] = Json(std::move(ctx));
+    if (baseline_unfit_reason(Json(doc)).empty()) {
+      return fail("gbench debug context must be refused");
+    }
+    // Our explicit stamp outranks gbench's: a debug-built libbenchmark
+    // package must not taint a Release run of the code under measurement.
+    JsonObject ctx1b;
+    ctx1b["library_build_type"] = Json(std::string("debug"));
+    ctx1b["build_type"] = Json(std::string("release"));
+    JsonObject doc1b;
+    doc1b["context"] = Json(std::move(ctx1b));
+    if (!baseline_unfit_reason(Json(doc1b)).empty()) {
+      return fail(
+          "explicit release stamp must outrank debug library_build_type");
+    }
+    JsonObject ctx2;
+    ctx2["library_build_type"] = Json(std::string("release"));
+    adsala::JsonArray load;
+    load.emplace_back(Json(5.2));
+    ctx2["load_avg"] = Json(std::move(load));
+    ctx2["num_cpus"] = Json(1.0);
+    JsonObject doc2;
+    doc2["context"] = Json(std::move(ctx2));
+    if (baseline_unfit_reason(Json(doc2)).empty()) {
+      return fail("gbench high-load context must be refused");
+    }
   }
 
   std::printf("bench_diff --self-test: ok\n");
