@@ -1,7 +1,8 @@
-// Serving-path latency proof for the snapshot refactor (ISSUE 7) and the
-// serve-time telemetry sampler (ISSUE 8).
+// Serving-path latency proof for the snapshot refactor (ISSUE 7), the
+// serve-time telemetry sampler (ISSUE 8), and the resilient client
+// (ISSUE 10).
 //
-// Five regimes over one trained runtime:
+// Five in-process regimes over one trained runtime:
 //   repeat  : the same shape every call      -> memo hit        (was: hit)
 //   gated   : repeat + the sampling gate with sampling OFF -> memo hit +
 //             one thread-local countdown decrement per call
@@ -11,21 +12,38 @@
 //             the old single-entry memo thrashed on any alternation)
 //   stream  : a fresh shape every call       -> memo miss, full model argmin
 //
+// Three daemon-transport regimes against a real in-process serve() loop on
+// a Unix socket:
+//   raw_daemon_query       : daemon::query per call (connect + frame + ack)
+//   resilient_daemon_query : the same round-trip through ResilientClient's
+//                            happy path — the retry/breaker wrapper's
+//                            overhead on a healthy daemon
+//   resilient_breaker_open : the daemon unreachable and the circuit open —
+//                            every answer served by the in-process fallback
+//                            runtime (the price of degraded-but-answering)
+//
 // The acceptance bars are that `repeat` stays in the same ballpark as the
 // old memoised path (tens of nanoseconds: one atomic pointer load + one
-// atomic word probe), `pingpong` matches `repeat` instead of `stream`, and
+// atomic word probe), `pingpong` matches `repeat` instead of `stream`,
 // `sampled` regresses `gated` by < 5% — the cost of turning sampling on
 // through the identical gate-compiled-in loop, the sampler's overhead
 // budget (ISSUE 8 acceptance), recorded in the BENCH json as
-// sampling_overhead_pct.
+// sampling_overhead_pct — and `resilient_daemon_query` stays in the same
+// ballpark as `raw_daemon_query` (resilient_overhead_pct): the socket
+// round-trip, not the wrapper, must dominate (the wrapper's own work is a
+// branch and a counter; the delta is mostly run-to-run socket noise).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
+#include "adsala_daemon.h"
 #include "bench_util.h"
 #include "core/adsala.h"
 #include "core/executor.h"
 #include "core/gather.h"
+#include "core/resilient_client.h"
 #include "core/telemetry_log.h"
 #include "core/trainer.h"
 
@@ -135,6 +153,85 @@ int main() {
   const double overhead_pct =
       (repeat_sampled - repeat_gated) / repeat_gated * 100.0;
 
+  // ---- daemon transport regimes (ISSUE 10) --------------------------------
+  const std::string socket_path = "/tmp/adsala_bench_serve.sock";
+  std::filesystem::remove(socket_path);
+  std::atomic<bool> stop{false};
+  daemon::ServeOptions sopts;
+  sopts.socket_path = socket_path;
+  sopts.handle_signals = false;  // in-process server: leave signals alone
+  sopts.stop = &stop;
+  std::thread server([&] { (void)daemon::serve(runtime, sopts); });
+  for (int i = 0; i < 500 && !std::filesystem::exists(socket_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  daemon::Request req;
+  req.op_code = static_cast<std::uint8_t>(blas::OpKind::kGemm);
+  req.elem_bytes = 4;
+  req.x = req.y = req.z = 512;
+  const double raw_daemon = ns_per_call(
+      [&](long) {
+        auto ack = daemon::query(socket_path, req, 2000);
+        return ack.ok() ? static_cast<long>(ack.value().threads) : -1L;
+      },
+      2000);
+
+  auto transport =
+      [&](const core::ServeQuery& q) -> Expected<core::ServeAnswer> {
+    daemon::Request r;
+    r.op_code = static_cast<std::uint8_t>(q.op);
+    r.elem_bytes = static_cast<std::uint8_t>(q.elem_bytes);
+    r.x = q.x;
+    r.y = q.y;
+    r.z = q.z;
+    auto ack = daemon::query(socket_path, r, 2000);
+    if (!ack.ok()) return ack.error();
+    if (ack.value().status != ErrorCode::kOk) {
+      return Error{ack.value().status, "daemon rejected the request"};
+    }
+    core::ServeAnswer a;
+    a.threads = static_cast<int>(ack.value().threads);
+    a.mode = ack.value().mode;
+    return a;
+  };
+  core::ServeQuery sq;
+  sq.x = sq.y = sq.z = 512;
+  core::ResilientClient resilient(transport, {});
+  const double resilient_daemon = ns_per_call(
+      [&](long) {
+        auto a = resilient.query(sq);
+        return a.ok() ? static_cast<long>(a.value().threads) : -1L;
+      },
+      2000);
+
+  // Breaker-open regime: the transport refuses instantly, the first query
+  // trips the (threshold 1) breaker, and every timed call after warm-up is
+  // pure in-process fallback serving under an open circuit.
+  core::ResilientClient::Options broken_opts;
+  broken_opts.max_attempts = 1;
+  broken_opts.breaker_threshold = 1;
+  broken_opts.breaker_open_ms = 3600 * 1000;
+  core::ResilientClient broken(
+      [](const core::ServeQuery&) -> Expected<core::ServeAnswer> {
+        return Error{ErrorCode::kUnavailable, "daemon down"};
+      },
+      broken_opts);
+  const double breaker_open = ns_per_call(
+      [&](long) {
+        auto a = broken.query(sq);
+        return a.ok() ? static_cast<long>(a.value().threads) : -1L;
+      },
+      200000);
+
+  stop.store(true, std::memory_order_release);
+  (void)daemon::query(socket_path, req, 500);  // wake the accept loop
+  server.join();
+  std::filesystem::remove(socket_path);
+
+  const double resilient_overhead_pct =
+      (resilient_daemon - raw_daemon) / raw_daemon * 100.0;
+
   std::printf("serve latency (ns/query), model=%s platform=%s\n",
               runtime.model_name().c_str(), runtime.platform().c_str());
   std::printf("  %-28s %10.1f\n", "repeat (memo hit)", repeat);
@@ -142,14 +239,20 @@ int main() {
   std::printf("  %-28s %10.1f\n", "repeat + 1/1024 sampling", repeat_sampled);
   std::printf("  %-28s %10.1f\n", "pingpong (memo hit, 2 keys)", pingpong);
   std::printf("  %-28s %10.1f\n", "stream (memo miss, argmin)", stream);
+  std::printf("  %-28s %10.1f\n", "raw daemon query", raw_daemon);
+  std::printf("  %-28s %10.1f\n", "resilient daemon query", resilient_daemon);
+  std::printf("  %-28s %10.1f\n", "resilient, breaker open", breaker_open);
   std::printf("  hit/miss ratio: %.1fx\n", stream / repeat);
   std::printf("  sampling overhead: %+.2f%% (budget < 5%%)\n", overhead_pct);
+  std::printf("  resilient-client overhead on healthy daemon: %+.2f%%\n",
+              resilient_overhead_pct);
 
   bench::BenchJson json("serve_latency");
   json.meta("platform", Json(runtime.platform()));
   json.meta("model", Json(runtime.model_name()));
   json.meta("sampling_period", Json(1024));
   json.meta("sampling_overhead_pct", Json(overhead_pct));
+  json.meta("resilient_overhead_pct", Json(resilient_overhead_pct));
   auto row = [&](const char* regime, double ns) {
     JsonObject r;
     r["regime"] = Json(regime);
@@ -161,5 +264,8 @@ int main() {
   row("repeat_sampled", repeat_sampled);
   row("pingpong", pingpong);
   row("stream", stream);
+  row("raw_daemon_query", raw_daemon);
+  row("resilient_daemon_query", resilient_daemon);
+  row("resilient_breaker_open", breaker_open);
   return 0;
 }

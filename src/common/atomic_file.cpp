@@ -1,0 +1,108 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace adsala {
+
+namespace {
+
+Error errno_error(const std::string& what, const std::string& path) {
+  return {ErrorCode::kInternal,
+          what + " '" + path + "': " + std::strerror(errno)};
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
+bool write_all(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Error atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_error("atomic_write_file: open", tmp);
+  if (!write_all(fd, bytes)) {
+    const Error err = errno_error("atomic_write_file: write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::fsync(fd) != 0) {
+    const Error err = errno_error("atomic_write_file: fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::close(fd) != 0) {
+    const Error err = errno_error("atomic_write_file: close", tmp);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Error err = errno_error("atomic_write_file: rename", path);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  return fsync_dir(parent_dir(path));
+}
+
+Error fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return errno_error("fsync_dir: open", dir);
+  if (::fsync(fd) != 0) {
+    const Error err = errno_error("fsync_dir: fsync", dir);
+    ::close(fd);
+    return err;
+  }
+  ::close(fd);
+  return {};
+}
+
+Error fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_error("fsync_path: open", path);
+  if (::fsync(fd) != 0) {
+    const Error err = errno_error("fsync_path: fsync", path);
+    ::close(fd);
+    return err;
+  }
+  ::close(fd);
+  return {};
+}
+
+bool is_tmp_debris_name(std::string_view name) {
+  const std::size_t tag = name.find(".tmp.");
+  if (tag == std::string_view::npos) return false;
+  const std::string_view pid = name.substr(tag + 5);
+  if (pid.empty()) return false;
+  for (char c : pid) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace adsala

@@ -1,0 +1,51 @@
+// Crash-safe file publication primitives (ISSUE 10).
+//
+// The artefact store's promotion protocol needs one guarantee from the
+// filesystem layer: a published file is either the complete old bytes or the
+// complete new bytes — never a prefix, never a mix — even if the writing
+// process is SIGKILL-ed at any instruction. POSIX gives exactly one tool for
+// that: `rename(2)` is atomic within a filesystem. Everything here is the
+// standard write-to-temp -> fsync(file) -> rename -> fsync(directory)
+// choreography:
+//
+//   * the temp name lives in the SAME directory as the target (rename must
+//     not cross filesystems) and carries the writer's pid, so concurrent
+//     writers never collide and crash debris is recognisable
+//     (`<name>.tmp.<pid>` — recover_store() garbage-collects the pattern);
+//   * fsync on the temp file orders the data before the rename (without it
+//     a power failure could publish a name pointing at unwritten blocks —
+//     for plain process kills the page cache makes this moot, but the store
+//     promises the stronger contract);
+//   * fsync on the parent directory makes the rename itself durable.
+//
+// Error discipline: every failure is a path-qualified taxonomy Error
+// (kInternal + errno text); a failed publish leaves the target untouched
+// (the temp file is unlinked on the way out).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace adsala {
+
+/// Atomically replaces (or creates) `path` with `bytes` via the temp ->
+/// fsync -> rename -> fsync-dir protocol above. The target directory must
+/// exist.
+Error atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// fsyncs a directory so a just-completed rename/creation inside it is
+/// durable. No-op errors (e.g. fsync unsupported on the fs) are reported,
+/// not swallowed — callers on tmpfs may ignore them knowingly.
+Error fsync_dir(const std::string& dir);
+
+/// Opens and fsyncs an existing file (used to pin staged bytes down before
+/// a rename publishes their name).
+Error fsync_path(const std::string& path);
+
+/// True when `name` matches the `*.tmp.<pid>` debris pattern this module's
+/// crashed writers leave behind — the recovery scan's GC predicate.
+bool is_tmp_debris_name(std::string_view name);
+
+}  // namespace adsala

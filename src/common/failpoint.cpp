@@ -1,5 +1,8 @@
 #include "common/failpoint.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -73,6 +76,14 @@ bool triggered(std::string_view name) {
   if (armed_count().load(std::memory_order_relaxed) == 0) return false;
   std::lock_guard lock(registry_mutex());
   return registry().find(name) != registry().end();
+}
+
+void crash_if(std::string_view name) {
+  if (!triggered(name)) return;
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL is not deliverable to a stopped tracee instantly in every
+  // configuration; make sure control never returns to the caller.
+  for (;;) ::pause();
 }
 
 }  // namespace adsala::failpoint

@@ -24,6 +24,29 @@
 //   telemetry-torn-tail  TelemetryLog::flush persists only a prefix of its
 //                     buffer and wedges the handle (crash mid-write); the
 //                     next open() must truncate the torn tail away
+//   shm-mid-swap      read_shm_region observes an odd (publish-in-progress)
+//                     seqlock generation on every retry and reports
+//                     kUnavailable after the retry budget
+//
+// crash_if() sites SIGKILL the *current process* instead of injecting a
+// recoverable fault — they model "the machine died here". The harness
+// (tools/crash_harness.cpp) forks a child, arms one of these, and asserts
+// the survivors' invariants afterwards:
+//
+//   promote-crash-after-stage    after install() verified the staging pair,
+//                                before anything durable happened
+//   promote-crash-mid-retain     after the retained tmp dir is written and
+//                                fsynced, before its rename into versions/
+//   promote-crash-after-retain   versions/<v> complete, current mirror and
+//                                VERSION still old
+//   promote-crash-mid-promote    current model.json renamed new, config.json
+//                                still old (torn mirror)
+//   promote-crash-after-promote  mirror complete, VERSION still old
+//   promote-crash-after-version  fully promoted (crash after the last fsync)
+//   shm-crash-mid-publish        shm generation flipped odd, payload not yet
+//                                written
+//   shm-crash-before-commit      shm payload + descriptors written, final
+//                                even-generation flip missing
 #pragma once
 
 #include <string_view>
@@ -32,6 +55,12 @@ namespace adsala::failpoint {
 
 /// True when `name` is armed. O(1) relaxed load when nothing is armed.
 bool triggered(std::string_view name);
+
+/// SIGKILLs the current process when `name` is armed — the "kill-anywhere"
+/// crash-injection primitive. Unlike triggered(), there is no cleanup, no
+/// stack unwinding, no atexit: the process dies exactly as if the OOM
+/// killer or a power cut hit this instruction. No-op when unarmed.
+void crash_if(std::string_view name);
 
 void arm(std::string_view name);
 void disarm(std::string_view name);

@@ -1,9 +1,13 @@
 #include "core/install.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/adsala.h"
@@ -59,19 +63,44 @@ InstallReport install(GemmExecutor& executor, const InstallOptions& options) {
   // Reconstruct the fitted model through its own serialisation round-trip.
   copy.model = ml::load_model(report.trained.model->save());
   AdsalaGemm runtime(std::move(copy));
-  runtime.save(report.model_path, report.config_path);
+
+  // Save behind tmp names and verify *those*, so the real paths are only
+  // ever touched by an atomic rename of already-validated bytes: a SIGKILL
+  // at any instruction leaves the previous artefacts (or nothing) at the
+  // real paths, never a torn pair. The `.tmp.<pid>` names match the
+  // recover_store() debris pattern, so a crash's leftovers get GC-ed.
+  const std::string pid_tag = ".tmp." + std::to_string(::getpid());
+  const std::string tmp_model = report.model_path + pid_tag;
+  const std::string tmp_config = report.config_path + pid_tag;
+  runtime.save(tmp_model, tmp_config);
 
   // Write-then-verify: run the freshly written pair through the serving
   // layer's full validation ladder before declaring the install done. A
   // failure here is an installer bug (or a dying disk), and catching it now
   // — with the taxonomy's path-qualified message — beats every future
   // process booting into heuristic fallback.
-  auto verify = AdsalaGemm::try_load(report.model_path, report.config_path);
+  auto verify = AdsalaGemm::try_load(tmp_model, tmp_config);
   if (!verify.ok()) {
+    ::unlink(tmp_model.c_str());
+    ::unlink(tmp_config.c_str());
     throw std::runtime_error(
         "install: written artefacts fail validation (" +
         std::string(error_code_name(verify.error().code)) +
         "): " + verify.error().message);
+  }
+  const std::pair<const std::string*, const std::string*> renames[] = {
+      {&tmp_model, &report.model_path}, {&tmp_config, &report.config_path}};
+  for (const auto& [tmp, final_path] : renames) {
+    if (Error err = fsync_path(*tmp); !err.ok()) {
+      throw std::runtime_error("install: " + err.message);
+    }
+    if (std::rename(tmp->c_str(), final_path->c_str()) != 0) {
+      throw std::runtime_error("install: cannot rename " + *tmp + " into " +
+                               *final_path);
+    }
+  }
+  if (Error err = fsync_dir(options.output_dir); !err.ok()) {
+    throw std::runtime_error("install: " + err.message);
   }
 
   // Publication happens only past this point: a shm region or a live

@@ -1,0 +1,127 @@
+#include "core/resilient_client.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace adsala::core {
+
+namespace {
+
+bool retriable(ErrorCode code) {
+  // Transport-shaped failures: the daemon may be mid-restart, mid-drain,
+  // mid-publish, or the answer got garbled — all worth another try. A
+  // validation error is the question's fault and retrying cannot help.
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kProtocolError:
+    case ErrorCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+long long monotonic_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<long long>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void nanosleep_ms(int ms) {
+  if (ms <= 0) return;
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(Transport transport, Options options)
+    : transport_(std::move(transport)),
+      options_(std::move(options)),
+      rng_(options_.rng_seed != 0 ? options_.rng_seed
+                                  : std::random_device{}()) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.breaker_threshold = std::max(1, options_.breaker_threshold);
+}
+
+long long ResilientClient::now_ms() const {
+  return options_.clock_ms ? options_.clock_ms() : monotonic_ms();
+}
+
+int ResilientClient::backoff_ms(int attempt) {
+  // Full jitter (AWS-style): U(0, cap) rather than cap +- epsilon, so a
+  // fleet of clients knocked over by the same daemon outage does not come
+  // back as one synchronised stampede.
+  long long cap = options_.base_backoff_ms;
+  for (int i = 0; i < attempt && cap < options_.max_backoff_ms; ++i) cap *= 2;
+  cap = std::min<long long>(cap, options_.max_backoff_ms);
+  if (cap <= 0) return 0;
+  return static_cast<int>(
+      std::uniform_int_distribution<long long>(0, cap)(rng_));
+}
+
+ServeAnswer ResilientClient::serve_fallback(const ServeQuery& q) {
+  if (!fallback_.has_value()) {
+    fallback_.emplace(options_.fallback_loader
+                          ? options_.fallback_loader()
+                          : AdsalaGemm::heuristic_fallback());
+  }
+  const AdsalaGemm::Decision d =
+      fallback_->query(q.op, q.x, q.y, q.z, q.elem_bytes);
+  ++stats_.fallback_serves;
+  ServeAnswer out;
+  out.threads = d.threads;
+  out.mode = static_cast<int>(d.mode);
+  out.from_fallback = true;
+  return out;
+}
+
+bool ResilientClient::circuit_open() const {
+  return open_ && now_ms() < open_until_ms_;
+}
+
+Expected<ServeAnswer> ResilientClient::query(const ServeQuery& q) {
+  if (open_) {
+    if (now_ms() < open_until_ms_) return serve_fallback(q);
+    // Half-open: the timer expired; fall through and let one real
+    // transport attempt decide whether the circuit closes or re-opens.
+    open_ = false;
+  }
+
+  Error last{ErrorCode::kUnavailable, "no transport attempt made"};
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    ++stats_.transport_queries;
+    auto answer = transport_(q);
+    if (answer.ok()) {
+      consecutive_failures_ = 0;
+      return std::move(answer).value();
+    }
+    last = answer.error();
+    if (!retriable(last.code)) return last;
+
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= options_.breaker_threshold) {
+      open_ = true;
+      open_until_ms_ = now_ms() + options_.breaker_open_ms;
+      ++stats_.breaker_opens;
+      return serve_fallback(q);
+    }
+    if (attempt + 1 < options_.max_attempts) {
+      ++stats_.retries;
+      const int ms = backoff_ms(attempt);
+      if (options_.sleep_ms) {
+        options_.sleep_ms(ms);
+      } else {
+        nanosleep_ms(ms);
+      }
+    }
+  }
+  // Retry budget exhausted without tripping the breaker: still answer.
+  return serve_fallback(q);
+}
+
+}  // namespace adsala::core

@@ -1,0 +1,125 @@
+// Client-side resilience for the tuning daemon (ISSUE 10): bounded retry
+// with full-jitter exponential backoff, a small circuit breaker, and
+// automatic degradation to in-process serving — so a caller asking "how
+// many threads?" ALWAYS gets an answer, whatever the daemon is doing.
+//
+//   query() -> transport (daemon round-trip)
+//     | transient failure (kUnavailable / kNotFound / kProtocolError /
+//     |  kInternal): retry, sleeping U(0, min(cap, base * 2^attempt)) ms —
+//     |  full jitter, so a thundering herd of retrying clients spreads out
+//     |  instead of re-synchronising on the daemon's recovery instant
+//     | semantic failure (kValidationError): returned as-is, retrying a
+//     |  malformed question cannot help
+//     | N *consecutive* transport failures: circuit opens for open_ms —
+//     |  queries skip the socket entirely and serve from the in-process
+//     |  fallback runtime (load_or_fallback over the artefact store, or the
+//     |  built-in heuristic), then the circuit half-opens and one probe
+//     |  query decides whether it closes
+//
+// The transport is injected as a std::function rather than hard-wired to
+// tools/adsala_daemon.h, for layering (core cannot link the daemon
+// library) and for tests (a scripted transport drives every breaker state
+// without a socket). adsala_cli wires daemon::query in as the transport.
+//
+// Not thread-safe: one ResilientClient per thread (the CLI's usage), or
+// external synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+
+#include "blas/op.h"
+#include "common/status.h"
+#include "core/adsala.h"
+
+namespace adsala::core {
+
+/// One thread-count question, daemon-shaped: (x, y, z) are the op's family
+/// coordinates exactly as AdsalaGemm::select_threads takes them.
+struct ServeQuery {
+  blas::OpKind op = blas::OpKind::kGemm;
+  long x = 0;
+  long y = 0;
+  long z = 0;
+  int elem_bytes = 4;
+};
+
+/// One answer. `mode` is the serving rung (0 model, 1 gemm-proxy,
+/// 2 heuristic — the daemon ack encoding); `from_fallback` says the answer
+/// came from the in-process runtime, not the daemon.
+struct ServeAnswer {
+  int threads = 0;
+  int mode = 2;
+  bool from_fallback = false;
+};
+
+class ResilientClient {
+ public:
+  /// One daemon round-trip. A transport error is the *transport's* verdict
+  /// (connect refused, deadline, garbled ack, or a non-kOk ack status
+  /// mapped through); a ServeAnswer is a served decision.
+  using Transport = std::function<Expected<ServeAnswer>(const ServeQuery&)>;
+
+  struct Options {
+    /// Transport attempts per query() before giving up on the daemon
+    /// (>= 1; the first try counts).
+    int max_attempts = 3;
+    /// Backoff cap schedule: sleep U(0, min(max_backoff_ms,
+    /// base_backoff_ms << attempt)) between attempts.
+    int base_backoff_ms = 10;
+    int max_backoff_ms = 250;
+    /// Consecutive transport failures (across queries) that open the
+    /// circuit, and how long it stays open.
+    int breaker_threshold = 3;
+    int breaker_open_ms = 1000;
+    /// Deterministic jitter for tests; 0 picks a nondeterministic seed.
+    std::uint64_t rng_seed = 0;
+    /// Builds the fallback runtime on first use (typically load_or_fallback
+    /// over the artefact store). Unset = AdsalaGemm::heuristic_fallback().
+    std::function<AdsalaGemm()> fallback_loader;
+    /// Injectable time source (monotonic ms) and sleeper, so the breaker
+    /// and backoff are unit-testable without wall-clock waits. Unset =
+    /// CLOCK_MONOTONIC and nanosleep.
+    std::function<long long()> clock_ms;
+    std::function<void(int)> sleep_ms;
+  };
+
+  struct Stats {
+    std::uint64_t transport_queries = 0;  ///< transport invocations
+    std::uint64_t retries = 0;            ///< sleeps between attempts
+    std::uint64_t breaker_opens = 0;      ///< closed/half-open -> open edges
+    std::uint64_t fallback_serves = 0;    ///< answers from the local runtime
+  };
+
+  ResilientClient(Transport transport, Options options);
+
+  /// The resilient ask. Returns a served answer — from the daemon when it
+  /// cooperates within the retry budget, from the in-process fallback
+  /// runtime otherwise. The only error returns are non-retriable transport
+  /// verdicts (kValidationError: the question itself is malformed).
+  Expected<ServeAnswer> query(const ServeQuery& q);
+
+  /// True while queries bypass the transport (open circuit, timer not yet
+  /// expired).
+  bool circuit_open() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ServeAnswer serve_fallback(const ServeQuery& q);
+  int backoff_ms(int attempt);
+  long long now_ms() const;
+
+  Transport transport_;
+  Options options_;
+  Stats stats_;
+  std::mt19937_64 rng_;
+  std::optional<AdsalaGemm> fallback_;
+  int consecutive_failures_ = 0;
+  long long open_until_ms_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace adsala::core

@@ -1,6 +1,9 @@
 #include "core/retune.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -8,6 +11,8 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "core/adsala.h"
 #include "core/install.h"
 #include "core/shm_store.h"
@@ -25,13 +30,12 @@ std::string retained_dir(const std::string& dir, std::uint64_t v) {
 }
 
 Error write_version(const std::string& dir, std::uint64_t v) {
-  std::ofstream out(version_path(dir), std::ios::trunc);
-  out << v << '\n';
-  if (!out) {
-    return Error{ErrorCode::kInternal,
-                 version_path(dir) + ": cannot write version file"};
-  }
-  return Error{};
+  return atomic_write_file(version_path(dir), std::to_string(v) + "\n");
+}
+
+bool retained_complete(const std::string& dir, std::uint64_t v) {
+  return fs::exists(retained_dir(dir, v) + "/model.json") &&
+         fs::exists(retained_dir(dir, v) + "/config.json");
 }
 
 /// Copies the current artefact pair into versions/<v>/ (overwrite).
@@ -156,14 +160,190 @@ std::vector<std::uint64_t> retained_artefact_versions(const std::string& dir) {
         name.find_first_not_of("0123456789") != std::string::npos) {
       continue;
     }
-    out.push_back(std::stoull(name));
+    const std::uint64_t v = std::stoull(name);
+    if (retained_complete(dir, v)) out.push_back(v);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
+Error promote_artefacts(const std::string& dir, const std::string& model_json,
+                        const std::string& config_json,
+                        std::uint64_t version) {
+  failpoint::crash_if("promote-crash-after-stage");
+  std::error_code ec;
+  const std::string versions = dir + "/versions";
+  fs::create_directories(versions, ec);
+  if (ec) return Error{ErrorCode::kInternal, versions + ": " + ec.message()};
+
+  // Phase 1 — durable retained copy. Built behind a same-directory tmp
+  // name, fsynced, then renamed in: versions/<v> is either absent or
+  // complete, never half-written.
+  const std::string tmp = versions + "/" + std::to_string(version) + ".tmp." +
+                          std::to_string(::getpid());
+  fs::remove_all(tmp, ec);
+  ec.clear();
+  fs::create_directories(tmp, ec);
+  if (ec) return Error{ErrorCode::kInternal, tmp + ": " + ec.message()};
+  const std::pair<const char*, const std::string*> files[] = {
+      {"model.json", &model_json}, {"config.json", &config_json}};
+  for (const auto& [name, bytes] : files) {
+    const std::string path = tmp + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+    out.close();
+    if (!out) {
+      return Error{ErrorCode::kInternal, path + ": cannot write staged copy"};
+    }
+    if (Error err = fsync_path(path); !err.ok()) return err;
+  }
+  if (Error err = fsync_dir(tmp); !err.ok()) return err;
+  failpoint::crash_if("promote-crash-mid-retain");
+
+  const std::string dst = retained_dir(dir, version);
+  fs::remove_all(dst, ec);
+  if (std::rename(tmp.c_str(), dst.c_str()) != 0) {
+    return Error{ErrorCode::kInternal,
+                 tmp + " -> " + dst + ": cannot rename retained copy in"};
+  }
+  if (Error err = fsync_dir(versions); !err.ok()) return err;
+  failpoint::crash_if("promote-crash-after-retain");
+
+  // Phase 2 — current mirror, one atomic replace per file. A crash between
+  // the two leaves a torn mirror, but versions/<v> is already complete, so
+  // recover_store() repairs the mirror from it and rolls VERSION forward.
+  if (Error err = atomic_write_file(dir + "/model.json", model_json);
+      !err.ok()) {
+    return err;
+  }
+  failpoint::crash_if("promote-crash-mid-promote");
+  if (Error err = atomic_write_file(dir + "/config.json", config_json);
+      !err.ok()) {
+    return err;
+  }
+  failpoint::crash_if("promote-crash-after-promote");
+
+  // Phase 3 — VERSION last: the commit record.
+  if (Error err = write_version(dir, version); !err.ok()) return err;
+  failpoint::crash_if("promote-crash-after-version");
+  return Error{};
+}
+
+Expected<RecoveryReport> recover_store(const std::string& dir) {
+  RecoveryReport report;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Error{ErrorCode::kNotFound, dir + ": not a directory"};
+  }
+
+  // Garbage-collect crash debris: atomic_write_file temp names at the top
+  // level, tmp/incomplete dirs under versions/, and an orphaned staging/
+  // (retune rebuilds it from scratch every run).
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (is_tmp_debris_name(name)) {
+      std::error_code rm;
+      fs::remove_all(entry.path(), rm);
+      if (!rm) ++report.debris_removed;
+    }
+  }
+  if (fs::exists(dir + "/staging")) {
+    std::error_code rm;
+    fs::remove_all(dir + "/staging", rm);
+    if (!rm) ++report.debris_removed;
+  }
+  const std::string versions = dir + "/versions";
+  ec.clear();
+  for (const auto& entry : fs::directory_iterator(versions, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool tmp_name = name.find(".tmp.") != std::string::npos;
+    const bool numeric =
+        !name.empty() &&
+        name.find_first_not_of("0123456789") == std::string::npos;
+    const bool incomplete =
+        numeric && !retained_complete(dir, std::stoull(name));
+    if (tmp_name || incomplete || (!numeric && !tmp_name)) {
+      std::error_code rm;
+      fs::remove_all(entry.path(), rm);
+      if (!rm) ++report.debris_removed;
+    }
+  }
+
+  const std::uint64_t recorded = artefact_version(dir);
+  const auto retained = retained_artefact_versions(dir);
+  const std::uint64_t highest = retained.empty() ? 0 : retained.back();
+  if (recorded == 0 && highest == 0) return report;  // unversioned store
+
+  if (highest > recorded) {
+    // A promote completed its retained copy but crashed before (or during)
+    // the mirror/VERSION writes: roll forward. The retained copy is the
+    // durable truth; the mirror is rebuilt from it atomically.
+    const std::string src = retained_dir(dir, highest);
+    for (const char* name : {"model.json", "config.json"}) {
+      if (Error err = atomic_write_file(dir + "/" + std::string(name),
+                                        slurp(src + "/" + name));
+          !err.ok()) {
+        return err;
+      }
+    }
+    if (Error err = write_version(dir, highest); !err.ok()) return err;
+    report.repaired = true;
+    report.version = highest;
+    return report;
+  }
+
+  if (highest == recorded) {
+    // Defensive: VERSION and retention agree, but verify the mirror really
+    // carries those bytes (repairs any torn mirror outside our own crash
+    // windows — a half-finished manual copy, say).
+    const std::string src = retained_dir(dir, recorded);
+    bool mismatch = false;
+    for (const char* name : {"model.json", "config.json"}) {
+      if (slurp(dir + "/" + std::string(name)) !=
+          slurp(src + "/" + std::string(name))) {
+        mismatch = true;
+      }
+    }
+    if (mismatch) {
+      for (const char* name : {"model.json", "config.json"}) {
+        if (Error err = atomic_write_file(dir + "/" + std::string(name),
+                                          slurp(src + "/" + name));
+            !err.ok()) {
+          return err;
+        }
+      }
+      report.repaired = true;
+    }
+    report.version = recorded;
+    return report;
+  }
+
+  // VERSION ahead of every retained copy. No crash of promote_artefacts
+  // produces this (retention lands before VERSION moves); repair the
+  // retention from the mirror when possible.
+  if (fs::exists(dir + "/model.json") && fs::exists(dir + "/config.json")) {
+    if (Error err = promote_artefacts(dir, slurp(dir + "/model.json"),
+                                      slurp(dir + "/config.json"), recorded);
+        !err.ok()) {
+      return err;
+    }
+    report.repaired = true;
+    report.version = recorded;
+    return report;
+  }
+  return Error{ErrorCode::kValidationError,
+               dir + ": VERSION names " + std::to_string(recorded) +
+                   " but no retained copy or current mirror carries it"};
+}
+
 Expected<RetuneReport> retune(const RetuneOptions& options) {
   const std::string& dir = options.artefact_dir;
+  // Resolve any crash debris from a previous torn promote before loading:
+  // the mirror may be the thing that needs repairing.
+  if (auto recovered = recover_store(dir);
+      !recovered.ok() && recovered.error().code != ErrorCode::kNotFound) {
+    return recovered.error();
+  }
   auto current =
       AdsalaGemm::try_load(dir + "/model.json", dir + "/config.json");
   if (!current.ok()) return current.error();
@@ -236,22 +416,17 @@ Expected<RetuneReport> retune(const RetuneOptions& options) {
     return Error{ErrorCode::kInternal, std::string("retune: ") + e.what()};
   }
 
-  // Verified: promote the staged pair to current, bump and retain.
+  // Verified: promote the staged pair crash-safely (durable retained copy
+  // -> atomic mirror replace -> VERSION last; see promote_artefacts).
   report.new_version = prev.value() + 1;
-  for (const char* name : {"model.json", "config.json"}) {
-    fs::copy_file(staging + "/" + std::string(name), dir + "/" + name,
-                  fs::copy_options::overwrite_existing, ec);
-    if (ec) {
-      return Error{ErrorCode::kInternal,
-                   staging + "/" + name + ": " + ec.message()};
-    }
-  }
-  if (Error err = write_version(dir, report.new_version); !err.ok()) {
+  if (Error err =
+          promote_artefacts(dir, slurp(staging + "/model.json"),
+                            slurp(staging + "/config.json"),
+                            report.new_version);
+      !err.ok()) {
     return err;
   }
-  if (Error err = retain_current(dir, report.new_version); !err.ok()) {
-    return err;
-  }
+  fs::remove_all(staging, ec);  // hygiene; recover_store would GC it anyway
   report.retrained = true;
   return report;
 }
@@ -260,6 +435,10 @@ Expected<std::uint64_t> rollback(const std::string& dir,
                                  std::uint64_t version,
                                  const std::string& publish_shm,
                                  AdsalaGemm* publish_to) {
+  if (auto recovered = recover_store(dir);
+      !recovered.ok() && recovered.error().code != ErrorCode::kNotFound) {
+    return recovered.error();
+  }
   const std::string src = retained_dir(dir, version);
   if (!fs::exists(src + "/model.json") || !fs::exists(src + "/config.json")) {
     return Error{ErrorCode::kPreconditionFailed,
@@ -276,17 +455,11 @@ Expected<std::uint64_t> rollback(const std::string& dir,
   if (!cur.ok()) return cur.error();
 
   const std::uint64_t next = cur.value() + 1;
-  std::error_code ec;
-  for (const char* name : {"model.json", "config.json"}) {
-    fs::copy_file(src + "/" + std::string(name), dir + "/" + name,
-                  fs::copy_options::overwrite_existing, ec);
-    if (ec) {
-      return Error{ErrorCode::kInternal,
-                   src + "/" + name + ": " + ec.message()};
-    }
+  if (Error err = promote_artefacts(dir, slurp(src + "/model.json"),
+                                    slurp(src + "/config.json"), next);
+      !err.ok()) {
+    return err;
   }
-  if (Error err = write_version(dir, next); !err.ok()) return err;
-  if (Error err = retain_current(dir, next); !err.ok()) return err;
 
   if (!publish_shm.empty()) {
     const Error err = publish_shm_region(publish_shm,

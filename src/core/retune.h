@@ -20,6 +20,18 @@
 // mirroring AdsalaGemm's in-process snapshot versioning. A pre-existing
 // unversioned directory is adopted in place: its current artefacts become
 // version 1 on the first retune()/rollback() touch.
+//
+// Publication is crash-safe (ISSUE 10): promote_artefacts() lands a new
+// version by (1) building versions/<v> behind a same-directory tmp name and
+// renaming it into place (fsynced — the retained copy is durable before
+// anything else moves), (2) atomically replacing the current mirror files
+// via write-temp/fsync/rename, and (3) updating VERSION last by the same
+// protocol. A SIGKILL between any two steps leaves a state recover_store()
+// resolves forward: temp debris is garbage-collected, incomplete retained
+// versions are dropped, and the store adopts the highest *fully promoted*
+// version — VERSION never rewinds. `promote-crash-*` failpoints
+// (common/failpoint.h) SIGKILL the process at each phase boundary so the
+// crash harness can prove every window.
 #pragma once
 
 #include <cstdint>
@@ -51,8 +63,39 @@ GatherData telemetry_to_gather_data(std::span<const TelemetryRecord> records);
 /// integer, or 0 when the directory is not (yet) versioned.
 std::uint64_t artefact_version(const std::string& dir);
 
-/// Versions retained under DIR/versions/, ascending.
+/// Versions retained under DIR/versions/, ascending. Only *complete*
+/// retained copies count (both model.json and config.json present); tmp
+/// staging names are skipped.
 std::vector<std::uint64_t> retained_artefact_versions(const std::string& dir);
+
+/// Crash-safe promotion of a verified artefact pair as version `version`:
+/// durable retained copy first (tmp dir + rename + dir fsync), then the
+/// current-mirror files (atomic_write_file each), then VERSION — so a crash
+/// at any instruction leaves either the old store or a state recover_store()
+/// rolls forward to `version`. The caller is responsible for having
+/// validated the bytes (retune/rollback run them through try_load first).
+Error promote_artefacts(const std::string& dir, const std::string& model_json,
+                        const std::string& config_json,
+                        std::uint64_t version);
+
+/// What recover_store() found and did.
+struct RecoveryReport {
+  std::uint64_t version = 0;       ///< current version after recovery
+  bool repaired = false;           ///< mirror/VERSION/retention was rewritten
+  std::size_t debris_removed = 0;  ///< tmp files/dirs + staging/ GC-ed
+};
+
+/// Resolves a store that may have been torn by a crashed promote: removes
+/// `*.tmp.<pid>` debris, orphaned staging/, and incomplete retained
+/// versions; then adopts the highest fully-promoted version — repairing the
+/// current mirror from versions/<v> and rewriting VERSION when they lag.
+/// VERSION only ever moves forward. An unversioned directory is a no-op
+/// (version 0 reported); kNotFound when `dir` is not a directory;
+/// kValidationError when VERSION names a version that exists nowhere (not
+/// retained, mirror missing) — a state no crash of ours produces.
+/// retune() and rollback() run this on entry; the CLI runs it best-effort
+/// before loading from a --dir store.
+Expected<RecoveryReport> recover_store(const std::string& dir);
 
 struct RetuneOptions {
   std::string telemetry_path;

@@ -21,7 +21,10 @@
 
 #include "adsala_daemon.h"
 #include "blas/gemm.h"
+#include "blas/symm.h"
+#include "blas/syrk.h"
 #include "blas/trmm.h"
+#include "blas/trsm.h"
 #include "common/csv.h"
 #include "common/failpoint.h"
 #include "common/json.h"
@@ -494,6 +497,90 @@ TEST(ArenaFaults, TrmmStaysCorrectWhenArenaGrowthFails) {
                                b_ref.data(), m);
   for (std::size_t i = 0; i < b.size(); ++i) {
     ASSERT_NEAR(b[i], b_ref[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(ArenaFaults, SyrkStaysCorrectWhenArenaGrowthFails) {
+  // SYRK's packed-panel path carves both A-panels from the arena; with
+  // growth refused it must fall back per-call and keep the triangle exact.
+  const int n = 120, k = 60;
+  std::vector<float> a(static_cast<std::size_t>(n) * k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i % 13) - 6.0f;
+  }
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 2.0f);
+  auto c_ref = c;
+  {
+    failpoint::Scoped fp("arena-oom");
+    blas::ssyrk(blas::Uplo::kLower, blas::Trans::kNo, n, k, 1.0f, a.data(), k,
+                0.25f, c.data(), n, 4);
+  }
+  blas::reference_syrk<float>(blas::Uplo::kLower, blas::Trans::kNo, n, k,
+                              1.0f, a.data(), k, 0.25f, c_ref.data(), n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      ASSERT_NEAR(c[static_cast<std::size_t>(i) * n + j],
+                  c_ref[static_cast<std::size_t>(i) * n + j], 1e-3f)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(ArenaFaults, TrsmStaysCorrectWhenArenaGrowthFails) {
+  // TRSM degrades hardest: the solve recursion wants workspace for the
+  // update GEMMs, and every carve must survive the refusal.
+  const int n = 88, m = 36;
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          i == j ? 4.0 : static_cast<double>((i + j) % 3) - 1.0;
+    }
+  }
+  std::vector<double> b(static_cast<std::size_t>(n) * m);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<double>(i % 5) - 2.0;
+  }
+  auto b_ref = b;
+  {
+    failpoint::Scoped fp("arena-oom");
+    blas::dtrsm(blas::Uplo::kLower, blas::Trans::kNo, blas::Diag::kNonUnit, n,
+                m, 1.0, a.data(), n, b.data(), m, 4);
+  }
+  blas::reference_trsm<double>(blas::Uplo::kLower, blas::Trans::kNo,
+                               blas::Diag::kNonUnit, n, m, 1.0, a.data(), n,
+                               b_ref.data(), m);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    ASSERT_NEAR(b[i], b_ref[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(ArenaFaults, SymmStaysCorrectWhenArenaGrowthFails) {
+  // SYMM densifies the stored triangle into a shared slab before the GEMM
+  // core; with the slab carve refused the dense copy goes per-call.
+  const int n = 100, m = 44;
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          static_cast<float>((i * 3 + j) % 7) - 3.0f;
+    }
+  }
+  std::vector<float> b(static_cast<std::size_t>(n) * m);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>(i % 9) - 4.0f;
+  }
+  std::vector<float> c(static_cast<std::size_t>(n) * m, 1.0f);
+  auto c_ref = c;
+  {
+    failpoint::Scoped fp("arena-oom");
+    blas::ssymm(blas::Uplo::kLower, n, m, 1.0f, a.data(), n, b.data(), m,
+                0.5f, c.data(), m, 4);
+  }
+  blas::reference_symm<float>(blas::Uplo::kLower, n, m, 1.0f, a.data(), n,
+                              b.data(), m, 0.5f, c_ref.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-2f) << "at " << i;
   }
 }
 

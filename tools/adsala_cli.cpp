@@ -9,9 +9,10 @@
 //   adsala time      --platform <...> --shape MxKxN [--threads P]
 //   adsala publish   --dir DIR --shm PATH
 //   adsala serve     --dir DIR | --shm PATH [--fallback] --socket PATH
-//                    [--max-requests N] [--reattach]
+//                    [--max-requests N] [--reattach] [--io-timeout-ms N]
 //   adsala query     --socket PATH --shape MxKxN | --<op> XxY
-//                    [--send-malformed]
+//                    [--send-malformed] [--io-timeout-ms N] [--retry]
+//                    [--wedge-ms N]
 //   adsala sample    --dir DIR | --shm PATH --platform <...> --telemetry PATH
 //                    [--samples N] [--ops <name>,...]
 //   adsala retune    --dir DIR --telemetry PATH [--force] [--threshold X]
@@ -40,6 +41,20 @@
 // the region between connections and hot-swaps in any new generation a
 // retune republished.
 //
+// Crash-safety plumbing (ISSUE 10, docs/OPERATIONS.md "Crash recovery
+// runbook"): `serve` refuses to steal a live daemon's socket (exit 9),
+// drains gracefully on SIGTERM/SIGINT, and bounds each connection's recv/
+// send with --io-timeout-ms (default 2000; <= 0 disables). `query --retry`
+// answers through the resilient client — bounded retry with full-jitter
+// backoff, circuit breaker, in-process fallback from --dir/--shm — so it
+// always prints a thread count; knobs via ADSALA_RETRY_ATTEMPTS,
+// ADSALA_RETRY_BACKOFF_MS, ADSALA_BREAKER_THRESHOLD, ADSALA_BREAKER_OPEN_MS.
+// `query --wedge-ms N` is the test-only misbehaving client: it connects,
+// sends 4 bytes of a frame, sleeps N ms, and exits — proving a wedged
+// client costs the daemon one timeout, not the service. Loading from a
+// --dir store first runs recover_store() best-effort, so a crashed
+// promote's debris never blocks serving.
+//
 // Continual-retuning verbs (docs/OPERATIONS.md "Continual retuning"):
 // `sample` drives measured traffic through a serving runtime with the
 // telemetry sampler recording every call (1-in-1 sampling) — the loop's
@@ -60,8 +75,15 @@
 // Artefact problems print one line to stderr: "error (<code>): <message>".
 // `predict --fallback` never fails on artefact problems — it serves from
 // the degraded heuristic instead and reports the serving mode.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -78,6 +100,7 @@
 #include "core/adsala.h"
 #include "core/install.h"
 #include "core/op_registry.h"
+#include "core/resilient_client.h"
 #include "core/retune.h"
 #include "core/shm_store.h"
 #include "preprocess/features.h"
@@ -107,6 +130,9 @@ struct Args {
   std::size_t min_groups = 8;      ///< retune: min shape groups per op
   std::uint64_t to_version = 0;    ///< rollback: retained version to republish
   bool reattach = false;           ///< serve: hot-swap new shm generations in
+  int io_timeout_ms = 2000;        ///< serve/query: per-connection deadline
+  bool retry = false;              ///< query: resilient client (retry/breaker)
+  int wedge_ms = 0;                ///< query: misbehaving-client test mode
   std::vector<blas::OpKind> ops = {blas::OpKind::kGemm};
   /// Predict queries in parse order; shapes carry the op's stored
   /// equivalent-GEMM convention (canonicalised by the registry).
@@ -151,9 +177,11 @@ std::string op_name_list() {
                "[--threads P]\n"
                "  adsala publish --dir DIR --shm PATH\n"
                "  adsala serve   --dir DIR | --shm PATH [--fallback] "
-               "--socket PATH [--max-requests N] [--reattach]\n"
+               "--socket PATH [--max-requests N] [--reattach] "
+               "[--io-timeout-ms N]\n"
                "  adsala query   --socket PATH --shape MxKxN | --<op> XxY "
-               "[--send-malformed]\n"
+               "[--send-malformed] [--io-timeout-ms N] [--retry] "
+               "[--wedge-ms N]\n"
                "  adsala sample  --dir DIR | --shm PATH --platform <...> "
                "--telemetry PATH [--samples N] [--ops ...]\n"
                "  adsala retune  --dir DIR --telemetry PATH [--force] "
@@ -222,6 +250,12 @@ Args parse(int argc, char** argv) {
       args.to_version = std::stoull(value());
     } else if (flag == "--reattach") {
       args.reattach = true;
+    } else if (flag == "--io-timeout-ms") {
+      args.io_timeout_ms = std::stoi(value());
+    } else if (flag == "--retry") {
+      args.retry = true;
+    } else if (flag == "--wedge-ms") {
+      args.wedge_ms = std::stoi(value());
     } else if (flag == "--models") {
       // Candidate zoo override for install (comma list, e.g.
       // "decision_tree"): committed CI artefacts pin a compact model so the
@@ -346,6 +380,19 @@ void report_error(const Error& err) {
 /// *exit_code set.
 std::unique_ptr<core::AdsalaGemm> load_runtime(const Args& args,
                                                int* exit_code) {
+  if (args.shm.empty()) {
+    // Best-effort crash recovery before loading from a directory store: a
+    // promote SIGKILL-ed mid-flight may have left a torn mirror that the
+    // retained versions can repair. Failures are non-fatal here — try_load
+    // below produces the authoritative error.
+    if (auto recovered = core::recover_store(args.dir);
+        recovered.ok() && recovered.value().repaired) {
+      std::fprintf(stderr,
+                   "note: recovered artefact store %s to version %llu\n",
+                   args.dir.c_str(),
+                   static_cast<unsigned long long>(recovered.value().version));
+    }
+  }
   auto loaded = !args.shm.empty()
                     ? core::AdsalaGemm::try_attach(args.shm)
                     : core::AdsalaGemm::try_load(args.dir + "/model.json",
@@ -511,6 +558,7 @@ int cmd_serve(const Args& args) {
   daemon::ServeOptions options;
   options.socket_path = args.socket;
   options.max_requests = args.max_requests;
+  options.io_timeout_ms = args.io_timeout_ms;
   if (args.reattach) options.reattach_shm = args.shm;
   const Error err = daemon::serve(*runtime, options);
   if (!err.ok()) {
@@ -640,8 +688,40 @@ int cmd_versions(const Args& args) {
   return 0;
 }
 
+/// Test-only misbehaving client: connect, send a few bytes of a frame,
+/// hold the connection while sleeping, exit. Exercises the daemon's
+/// per-connection io deadline (a wedged client must cost one timeout, not
+/// the whole service).
+int run_wedge_client(const std::string& socket_path, int wedge_ms) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) usage("socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return 1;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    const Error err{ErrorCode::kUnavailable,
+                    socket_path + ": wedge client cannot connect"};
+    report_error(err);
+    return exit_code_for(err.code);
+  }
+  const std::uint8_t partial[4] = {daemon::kProtocolVersion, 0, 4, 0};
+  (void)::send(fd, partial, sizeof(partial), MSG_NOSIGNAL);
+  std::printf("wedged on %s for %d ms (4 of %zu frame bytes sent)\n",
+              socket_path.c_str(), wedge_ms, daemon::kRequestBytes);
+  std::fflush(stdout);
+  timespec ts{wedge_ms / 1000, static_cast<long>(wedge_ms % 1000) * 1000000};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+  ::close(fd);
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   if (args.socket.empty()) usage("query needs --socket PATH");
+  if (args.wedge_ms > 0) return run_wedge_client(args.socket, args.wedge_ms);
   if (args.queries.size() != 1) {
     usage("query needs exactly one --shape or family flag");
   }
@@ -649,6 +729,75 @@ int cmd_query(const Args& args) {
   const auto& traits = core::op_traits(op);
   long coords[3] = {0, 0, 0};
   traits.from_shape(shape, &coords[0], &coords[1], &coords[2]);
+
+  if (args.retry) {
+    // Resilient path: bounded retry + breaker + in-process fallback. The
+    // answer always arrives; the exit code only reflects semantic errors.
+    core::ResilientClient::Options options;
+    if (const char* env = std::getenv("ADSALA_RETRY_ATTEMPTS")) {
+      options.max_attempts = std::atoi(env);
+    }
+    if (const char* env = std::getenv("ADSALA_RETRY_BACKOFF_MS")) {
+      options.base_backoff_ms = std::atoi(env);
+    }
+    if (const char* env = std::getenv("ADSALA_BREAKER_THRESHOLD")) {
+      options.breaker_threshold = std::atoi(env);
+    }
+    if (const char* env = std::getenv("ADSALA_BREAKER_OPEN_MS")) {
+      options.breaker_open_ms = std::atoi(env);
+    }
+    options.fallback_loader = [&args]() {
+      if (!args.shm.empty()) {
+        if (auto attached = core::AdsalaGemm::try_attach(args.shm);
+            attached.ok()) {
+          return std::move(attached).value();
+        }
+        return core::AdsalaGemm::heuristic_fallback();
+      }
+      return core::AdsalaGemm::load_or_fallback(args.dir + "/model.json",
+                                                args.dir + "/config.json");
+    };
+    core::ResilientClient client(
+        [&args](const core::ServeQuery& q)
+            -> Expected<core::ServeAnswer> {
+          daemon::Request req;
+          req.op_code = static_cast<std::uint8_t>(blas::op_code(q.op));
+          req.elem_bytes = static_cast<std::uint8_t>(q.elem_bytes);
+          req.x = q.x;
+          req.y = q.y;
+          req.z = q.z;
+          auto ans = daemon::query(args.socket, req, args.io_timeout_ms);
+          if (!ans.ok()) return ans.error();
+          if (ans.value().status != ErrorCode::kOk) {
+            return Error{ans.value().status, "daemon rejected the request"};
+          }
+          core::ServeAnswer out;
+          out.threads = static_cast<int>(ans.value().threads);
+          out.mode = ans.value().mode;
+          return out;
+        },
+        std::move(options));
+
+    core::ServeQuery q;
+    q.op = op;
+    q.x = coords[0];
+    q.y = coords[1];
+    q.z = coords[2];
+    auto answer = client.query(q);
+    if (!answer.ok()) {
+      report_error(answer.error());
+      return exit_code_for(answer.error().code);
+    }
+    std::printf("%s", blas::op_name(op));
+    for (int d = 0; d < traits.family_dims; ++d) {
+      std::printf(" %s=%ld", traits.coord_names[d], coords[d]);
+    }
+    std::printf(" -> %d threads (mode %s%s)\n", answer.value().threads,
+                core::serving_mode_name(
+                    static_cast<core::ServingMode>(answer.value().mode)),
+                answer.value().from_fallback ? ", local fallback" : "");
+    return 0;
+  }
 
   daemon::Request req;
   req.op_code = static_cast<std::uint8_t>(blas::op_code(op));
@@ -662,7 +811,7 @@ int cmd_query(const Args& args) {
     req.version = 0x7F;
   }
 
-  auto answer = daemon::query(args.socket, req);
+  auto answer = daemon::query(args.socket, req, args.io_timeout_ms);
   if (!answer.ok()) {
     report_error(answer.error());
     return exit_code_for(answer.error().code);

@@ -1,7 +1,10 @@
 #include "adsala_daemon.h"
 
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -40,10 +43,41 @@ std::int64_t get_i64le(const std::uint8_t* buf) {
   return static_cast<std::int64_t>(u);
 }
 
-/// Reads exactly `len` bytes; returns the count read (short on EOF/error).
-std::size_t read_full(int fd, std::uint8_t* buf, std::size_t len) {
+long long now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<long long>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// poll(2)s `fd` for `events` within what is left of the deadline. Returns
+/// +1 ready, 0 deadline expired, -1 hard error. EINTR restarts the wait
+/// with the remaining budget (a drain signal mid-poll is detected by the
+/// caller at the next frame boundary). deadline_ms < 0 = no deadline.
+int wait_ready(int fd, short events, long long deadline_ms) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline_ms >= 0) {
+      const long long left = deadline_ms - now_ms();
+      if (left <= 0) return 0;
+      timeout = static_cast<int>(left);
+    }
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return 1;
+    if (n == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+/// Reads exactly `len` bytes; returns the count read (short on EOF, error,
+/// or deadline expiry). deadline_ms is an absolute CLOCK_MONOTONIC time
+/// (< 0 = block forever, pre-deadline behaviour).
+std::size_t read_full(int fd, std::uint8_t* buf, std::size_t len,
+                      long long deadline_ms = -1) {
   std::size_t got = 0;
   while (got < len) {
+    if (wait_ready(fd, POLLIN, deadline_ms) <= 0) break;
     const ssize_t n = ::read(fd, buf + got, len - got);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -54,9 +88,11 @@ std::size_t read_full(int fd, std::uint8_t* buf, std::size_t len) {
   return got;
 }
 
-bool write_full(int fd, const std::uint8_t* buf, std::size_t len) {
+bool write_full(int fd, const std::uint8_t* buf, std::size_t len,
+                long long deadline_ms = -1) {
   std::size_t put = 0;
   while (put < len) {
+    if (wait_ready(fd, POLLOUT, deadline_ms) <= 0) return false;
     const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -65,6 +101,11 @@ bool write_full(int fd, const std::uint8_t* buf, std::size_t len) {
     put += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Absolute deadline `timeout_ms` from now; < 0 when deadlines are off.
+long long deadline_after(int timeout_ms) {
+  return timeout_ms > 0 ? now_ms() + timeout_ms : -1;
 }
 
 Ack protocol_error_ack() {
@@ -145,6 +186,58 @@ Ack handle_frame(const core::AdsalaGemm& runtime, const std::uint8_t* frame,
 
 namespace {
 
+/// Graceful-drain flag, set by the SIGTERM/SIGINT handler. sig_atomic_t by
+/// the book: the handler does nothing else.
+volatile sig_atomic_t g_drain = 0;
+
+void drain_handler(int) { g_drain = 1; }
+
+/// RAII SIGTERM/SIGINT -> drain_handler installation. Deliberately without
+/// SA_RESTART, so a signal mid-accept surfaces as EINTR and the loop can
+/// check the flag instead of blocking in accept() forever.
+class DrainSignals {
+ public:
+  explicit DrainSignals(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_drain = 0;
+    struct sigaction sa{};
+    sa.sa_handler = drain_handler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+  }
+  ~DrainSignals() {
+    if (!installed_) return;
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+  }
+  bool draining() const { return installed_ && g_drain != 0; }
+
+ private:
+  bool installed_;
+  struct sigaction old_term_{};
+  struct sigaction old_int_{};
+};
+
+/// Bind-time liveness probe: does something still *answer* on the socket
+/// file at `addr`? A connect that succeeds means a live daemon (refuse to
+/// steal its traffic); ECONNREFUSED means a dead socket file (safe to
+/// reclaim); ENOENT means nothing there at all.
+enum class SocketProbe { kAbsent, kDead, kLive };
+
+SocketProbe probe_socket(const sockaddr_un& addr) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return SocketProbe::kAbsent;  // bind will report the real error
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  const int saved = errno;
+  ::close(fd);
+  if (rc == 0) return SocketProbe::kLive;
+  if (saved == ENOENT) return SocketProbe::kAbsent;
+  return SocketProbe::kDead;  // ECONNREFUSED and friends: stale file
+}
+
 /// One reattach probe (see ServeOptions::reattach_shm): when the region's
 /// generation moved past `last_generation`, attach + validate the new
 /// artefacts and hot-swap them in. Every failure mode is a skip-and-retry,
@@ -182,7 +275,22 @@ Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, options.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
-  ::unlink(options.socket_path.c_str());  // replace a stale socket file
+  // Reclaim the socket path only when nothing answers on it: a second
+  // daemon started against a *live* daemon's socket must refuse loudly,
+  // not silently steal its traffic.
+  switch (probe_socket(addr)) {
+    case SocketProbe::kLive: {
+      ::close(listener);
+      return Error{ErrorCode::kPreconditionFailed,
+                   options.socket_path +
+                       ": a live daemon is already serving on this socket"};
+    }
+    case SocketProbe::kDead:
+      ::unlink(options.socket_path.c_str());
+      break;
+    case SocketProbe::kAbsent:
+      break;
+  }
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     const Error err{ErrorCode::kInternal, options.socket_path + ": bind: " +
@@ -209,8 +317,10 @@ Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
     }
   }
 
+  DrainSignals drain(options.handle_signals);
   long answered = 0;
   while (options.max_requests < 0 || answered < options.max_requests) {
+    if (drain.draining()) break;
     if (options.stop != nullptr &&
         options.stop->load(std::memory_order_acquire)) {
       break;
@@ -220,6 +330,8 @@ Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
     }
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
+      // EINTR is routine here: the drain handler (or any stray signal)
+      // interrupts accept; loop back and let the flags decide.
       if (errno == EINTR) continue;
       const Error err{ErrorCode::kInternal, options.socket_path +
                                                 ": accept: " +
@@ -229,16 +341,46 @@ Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
     }
     // One connection can stream multiple requests; a malformed frame acks
     // kProtocolError and drops the connection (the stream framing is gone).
+    // Each frame (recv + send) runs under its own io_timeout_ms deadline: a
+    // wedged client costs one timeout, then the next caller is served.
     while (options.max_requests < 0 || answered < options.max_requests) {
+      const long long deadline = deadline_after(options.io_timeout_ms);
       std::uint8_t frame[kRequestBytes];
-      const std::size_t got = read_full(conn, frame, kRequestBytes);
-      if (got == 0) break;  // clean client disconnect
+      const std::size_t got = read_full(conn, frame, kRequestBytes, deadline);
+      if (got == 0) break;  // clean client disconnect (or idle timeout)
+      if (got < kRequestBytes && drain.draining()) {
+        // Interrupted mid-frame by the drain signal with only a partial
+        // frame on the wire: refuse rather than wait out the deadline.
+        Ack refusal;
+        refusal.status = ErrorCode::kUnavailable;
+        std::uint8_t out[kAckBytes];
+        encode_ack(refusal, out);
+        write_full(conn, out, kAckBytes, deadline);
+        break;
+      }
       const Ack ack = handle_frame(runtime, frame, got);
       std::uint8_t out[kAckBytes];
       encode_ack(ack, out);
-      const bool sent = write_full(conn, out, kAckBytes);
+      const bool sent = write_full(conn, out, kAckBytes, deadline);
       ++answered;
       if (!sent || ack.status == ErrorCode::kProtocolError) break;
+      if (drain.draining()) {
+        // The in-flight request got its real answer; a follow-up frame
+        // already queued on this connection gets an explicit refusal ack
+        // (kUnavailable) so the client retries elsewhere instead of
+        // misreading the close as a crash.
+        if (wait_ready(conn, POLLIN, now_ms() + 1) > 0) {
+          std::uint8_t next[kRequestBytes];
+          if (read_full(conn, next, kRequestBytes, deadline_after(100)) ==
+              kRequestBytes) {
+            Ack refusal;
+            refusal.status = ErrorCode::kUnavailable;
+            encode_ack(refusal, out);
+            write_full(conn, out, kAckBytes, deadline_after(100));
+          }
+        }
+        break;
+      }
     }
     ::close(conn);
   }
@@ -247,7 +389,8 @@ Error serve(core::AdsalaGemm& runtime, const ServeOptions& options) {
   return Error{};
 }
 
-Expected<Ack> query(const std::string& socket_path, const Request& req) {
+Expected<Ack> query(const std::string& socket_path, const Request& req,
+                    int io_timeout_ms) {
   sockaddr_un addr{};
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     return Error{ErrorCode::kValidationError,
@@ -273,17 +416,23 @@ Expected<Ack> query(const std::string& socket_path, const Request& req) {
                      std::strerror(saved)};
   }
 
+  const long long deadline = deadline_after(io_timeout_ms);
   std::uint8_t frame[kRequestBytes];
   encode_request(req, frame);
-  if (!write_full(fd, frame, kRequestBytes)) {
+  if (!write_full(fd, frame, kRequestBytes, deadline)) {
     const Error err{ErrorCode::kUnavailable,
                     socket_path + ": daemon hung up mid-request"};
     ::close(fd);
     return err;
   }
   std::uint8_t back[kAckBytes];
-  const std::size_t got = read_full(fd, back, kAckBytes);
+  const std::size_t got = read_full(fd, back, kAckBytes, deadline);
   ::close(fd);
+  if (got < kAckBytes && deadline >= 0 && now_ms() >= deadline) {
+    return Error{ErrorCode::kUnavailable,
+                 socket_path + ": no answer within " +
+                     std::to_string(io_timeout_ms) + "ms"};
+  }
   return decode_ack(back, got);
 }
 

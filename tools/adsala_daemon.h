@@ -88,6 +88,18 @@ struct ServeOptions {
   long max_requests = -1;
   /// Optional external stop flag, polled between connections.
   const std::atomic<bool>* stop = nullptr;
+  /// Per-connection I/O deadline (poll(2)-based, recv and send): a client
+  /// that connects and then stalls — half a frame sent, or not draining its
+  /// ack — costs the single-threaded accept loop at most this long before
+  /// its connection is dropped and the next client is served. <= 0 disables
+  /// the deadline (blocking I/O, pre-ISSUE-10 behaviour).
+  int io_timeout_ms = 2000;
+  /// Install SIGTERM/SIGINT handlers for graceful drain: the in-flight
+  /// request finishes, a queued follow-up frame is refused with a
+  /// kUnavailable ack, the socket file is unlinked, and serve() returns
+  /// kOk. Off for in-process test servers that must not touch global
+  /// process signal state.
+  bool handle_signals = true;
   /// Continual-retuning integration: when non-empty, re-check this
   /// shared-memory region between client connections and — whenever its
   /// generation counter moved past what this daemon last served from —
@@ -99,19 +111,26 @@ struct ServeOptions {
   std::string reattach_shm;
 };
 
-/// Binds a Unix-domain socket at options.socket_path (replacing any stale
-/// file) and serves queries against `runtime` until max_requests is
-/// exhausted or *stop goes true. Returns kOk on a clean exit, kInternal on
-/// socket-layer failures (bind, listen). Protocol errors from clients are
-/// acked and logged, never fatal. Non-const runtime: the reattach_shm
+/// Binds a Unix-domain socket at options.socket_path and serves queries
+/// against `runtime` until max_requests is exhausted, *stop goes true, or a
+/// drain signal (SIGTERM/SIGINT, see ServeOptions::handle_signals) arrives.
+/// An existing socket file is probed before it is reclaimed: when a live
+/// daemon still answers on it, serve() refuses with kPreconditionFailed
+/// instead of silently stealing its traffic; only a dead socket (connect ->
+/// ECONNREFUSED) is unlinked and rebound. Returns kOk on a clean exit
+/// (including drain), kInternal on socket-layer failures (bind, listen).
+/// Protocol errors and per-connection deadline expiries cost one client
+/// connection each, never the daemon. Non-const runtime: the reattach_shm
 /// option hot-swaps new generations in (queries stay lock-free).
 Error serve(core::AdsalaGemm& runtime, const ServeOptions& options);
 
 /// Client side: sends one request to a serving daemon and returns the
 /// decoded ack. kNotFound when no socket exists at the path, kUnavailable
-/// when nothing is accepting on it, kProtocolError on a garbled answer.
-/// Note the transport-level status is distinct from ack.status — a healthy
-/// round-trip can still carry a non-kOk ack.
-Expected<Ack> query(const std::string& socket_path, const Request& req);
+/// when nothing is accepting on it (or the daemon does not answer within
+/// `io_timeout_ms`; <= 0 blocks forever), kProtocolError on a garbled
+/// answer. Note the transport-level status is distinct from ack.status — a
+/// healthy round-trip can still carry a non-kOk ack.
+Expected<Ack> query(const std::string& socket_path, const Request& req,
+                    int io_timeout_ms = 2000);
 
 }  // namespace adsala::daemon

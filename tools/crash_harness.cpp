@@ -1,0 +1,332 @@
+// Kill-anywhere crash-injection harness (ISSUE 10).
+//
+// Drives the crash-safe publication protocol (core/retune.cpp
+// promote_artefacts + recover_store) and the self-healing shared-memory
+// region (core/shm_store.cpp) through every armed crash window: for each
+// `promote-crash-*` / `shm-crash-*` failpoint the harness forks a child,
+// arms the failpoint inside it, and lets crash_if() SIGKILL the child at
+// that exact phase boundary — no cooperative shutdown, no destructors, the
+// same stop a power cut or OOM kill delivers. The parent then proves the
+// recovery invariants while a concurrently forked READER process hammers
+// the store and the region the whole time:
+//
+//   - the store always loads (mirror files are never torn),
+//   - VERSION never rewinds (monotonic across every crash + recovery),
+//   - recover_store() lands on exactly the version the crash point implies
+//     (before the retained copy is durable: the old version; after: the new),
+//   - a region whose publisher was killed mid-swap heals back to the
+//     previous complete payload within one read_shm_region call,
+//   - every decision served meanwhile is well-formed (threads in range).
+//
+// Usage:
+//   crash_harness --dir STORE --shm REGION [--iterations N]
+//
+// STORE must contain a valid model.json + config.json pair (e.g. a copy of
+// tests/artifacts/tiny); REGION is created. Exit 0 = every invariant held;
+// exit 1 = a violated invariant (message on stderr). The reader is a forked
+// process, not a thread, so the fork-heavy parent stays single-threaded.
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "core/adsala.h"
+#include "core/retune.h"
+#include "core/shm_store.h"
+
+namespace {
+
+using adsala::ErrorCode;
+using namespace adsala::core;
+
+/// The concurrent reader's pid, once forked. fatal() must reap it: an
+/// orphaned reader inherits the harness's stdout/stderr pipes and would keep
+/// the calling test runner blocked on them long after the harness died.
+pid_t g_reader = -1;
+
+[[noreturn]] void fatal(const std::string& msg) {
+  std::fprintf(stderr, "crash_harness: FAIL: %s\n", msg.c_str());
+  if (g_reader > 0) {
+    ::kill(g_reader, SIGKILL);
+    ::waitpid(g_reader, nullptr, 0);
+  }
+  std::exit(1);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fatal("cannot read " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void sleep_ms(int ms) {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+// ------------------------------------------------------------------ reader
+
+/// Runs in a forked process: loops load + attach + query until `stop_file`
+/// appears, exiting 1 the instant any invariant breaks. kUnavailable from
+/// the region is a legal transient (a publisher is live mid-swap); every
+/// other failure class means a torn artefact was served.
+[[noreturn]] void reader_loop(const std::string& dir, const std::string& shm,
+                              const std::string& stop_file) {
+  std::uint64_t last_version = 0;
+  while (!std::filesystem::exists(stop_file)) {
+    const std::uint64_t v = artefact_version(dir);
+    if (v < last_version) {
+      std::fprintf(stderr, "reader: VERSION rewound %llu -> %llu\n",
+                   static_cast<unsigned long long>(last_version),
+                   static_cast<unsigned long long>(v));
+      ::_exit(1);
+    }
+    last_version = v;
+
+    auto loaded =
+        AdsalaGemm::try_load(dir + "/model.json", dir + "/config.json");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "reader: store unloadable: %s\n",
+                   loaded.error().message.c_str());
+      ::_exit(1);
+    }
+    const int p = loaded.value().select_threads(256, 256, 256);
+    if (p < 1 || p > loaded.value().max_threads()) {
+      std::fprintf(stderr, "reader: torn decision from files: %d\n", p);
+      ::_exit(1);
+    }
+
+    auto attached = AdsalaGemm::try_attach(shm);
+    if (attached.ok()) {
+      const int q = attached.value().select_threads(256, 256, 256);
+      if (q < 1 || q > attached.value().max_threads()) {
+        std::fprintf(stderr, "reader: torn decision from region: %d\n", q);
+        ::_exit(1);
+      }
+    } else if (attached.error().code != ErrorCode::kUnavailable) {
+      std::fprintf(stderr, "reader: region served a non-transient error: %s\n",
+                   attached.error().message.c_str());
+      ::_exit(1);
+    }
+    sleep_ms(1);
+  }
+  ::_exit(0);
+}
+
+// --------------------------------------------------------- child machinery
+
+/// Forks a child that arms `fp` and runs `work` — which must hit crash_if()
+/// and die by SIGKILL. A child that survives to return is itself an error
+/// (the failpoint never fired), reported via exit code 86.
+template <typename Fn>
+void run_killed_child(const char* fp, Fn work) {
+  const pid_t pid = ::fork();
+  if (pid < 0) fatal("fork failed");
+  if (pid == 0) {
+    adsala::failpoint::arm(fp);
+    work();
+    ::_exit(86);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) fatal("waitpid failed");
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    fatal(std::string("failpoint ") + fp +
+          " did not SIGKILL the child (status " + std::to_string(status) +
+          ")");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir, shm;
+  int iterations = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--shm" && i + 1 < argc) {
+      shm = argv[++i];
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      iterations = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_harness --dir STORE --shm REGION "
+                   "[--iterations N]\n");
+      return 2;
+    }
+  }
+  if (dir.empty() || shm.empty()) {
+    std::fprintf(stderr, "crash_harness: --dir and --shm are required\n");
+    return 2;
+  }
+
+  const std::string base_model = slurp(dir + "/model.json");
+  const std::string base_config = slurp(dir + "/config.json");
+
+  // Baseline: a fully promoted version and a healthily published region, so
+  // every crash below has a durable previous state to recover toward.
+  std::uint64_t version = artefact_version(dir) + 1;
+  std::string cur_model = base_model, cur_config = base_config;
+  {
+    const adsala::Error err =
+        promote_artefacts(dir, cur_model, cur_config, version);
+    if (!err.ok()) fatal("baseline promote: " + err.message);
+  }
+  {
+    const adsala::Error err = publish_shm_region(shm, cur_model, cur_config);
+    if (!err.ok()) fatal("baseline publish: " + err.message);
+  }
+
+  // Concurrent reader: forked before anything else runs in this process so
+  // the fork never duplicates a multithreaded parent.
+  const std::string stop_file = dir + "/reader.stop";
+  std::filesystem::remove(stop_file);
+  const pid_t reader = ::fork();
+  if (reader < 0) fatal("fork(reader) failed");
+  if (reader == 0) reader_loop(dir, shm, stop_file);
+  g_reader = reader;
+
+  // Crash points before the retained copy is durable recover to the OLD
+  // version; every later one rolls forward to the NEW version.
+  struct PromotePoint {
+    const char* fp;
+    bool committed;
+  };
+  const PromotePoint promote_points[] = {
+      {"promote-crash-after-stage", false},
+      {"promote-crash-mid-retain", false},
+      {"promote-crash-after-retain", true},
+      {"promote-crash-mid-promote", true},
+      {"promote-crash-after-promote", true},
+      {"promote-crash-after-version", true},
+  };
+  const char* shm_points[] = {"shm-crash-mid-publish",
+                              "shm-crash-before-commit"};
+
+  int variant = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (const PromotePoint& point : promote_points) {
+      // A fresh byte variant per crash (appended newlines keep the JSON
+      // valid) so "which content won" is distinguishable after recovery.
+      const std::string new_model =
+          base_model + std::string(static_cast<std::size_t>(++variant), '\n');
+      const std::string new_config =
+          base_config + std::string(static_cast<std::size_t>(variant), '\n');
+      const std::uint64_t next = version + 1;
+
+      run_killed_child(point.fp, [&] {
+        (void)promote_artefacts(dir, new_model, new_config, next);
+      });
+
+      auto rec = recover_store(dir);
+      if (!rec.ok()) {
+        fatal(std::string(point.fp) + ": recover_store: " +
+              rec.error().message);
+      }
+      const std::uint64_t want = point.committed ? next : version;
+      if (rec.value().version != want) {
+        fatal(std::string(point.fp) + ": recovered to version " +
+              std::to_string(rec.value().version) + ", want " +
+              std::to_string(want));
+      }
+      const std::string& want_model =
+          point.committed ? new_model : cur_model;
+      if (slurp(dir + "/model.json") != want_model ||
+          slurp(dir + "/config.json") !=
+              (point.committed ? new_config : cur_config)) {
+        fatal(std::string(point.fp) +
+              ": mirror bytes are not the recovered version's bytes");
+      }
+      if (point.committed) {
+        version = next;
+        cur_model = new_model;
+        cur_config = new_config;
+      }
+    }
+
+    for (const char* fp : shm_points) {
+      auto before = read_shm_region(shm);
+      if (!before.ok()) fatal(std::string(fp) + ": pre-crash region read");
+      const std::string new_model =
+          base_model + std::string(static_cast<std::size_t>(++variant), '\n');
+      const std::string new_config =
+          base_config + std::string(static_cast<std::size_t>(variant), '\n');
+
+      run_killed_child(fp, [&] {
+        (void)publish_shm_region(shm, new_model, new_config);
+      });
+
+      // One read must come back healed: dead writer detected, previous
+      // payload reinstated, generation even again.
+      auto after = read_shm_region(shm);
+      if (!after.ok()) {
+        fatal(std::string(fp) + ": region did not heal: " +
+              after.error().message);
+      }
+      if (after.value().model_json != before.value().model_json ||
+          after.value().config_json != before.value().config_json) {
+        fatal(std::string(fp) +
+              ": healed region does not serve the previous payload");
+      }
+      if (after.value().generation % 2 != 0 ||
+          after.value().generation < before.value().generation) {
+        fatal(std::string(fp) + ": healed generation is not a later even");
+      }
+
+      // The region must accept a healthy publish after healing. The
+      // concurrent reader may have probed the same dead writer and can hold
+      // the region flock for the microseconds its own heal takes — retry
+      // through that window; only a persistent refusal is a failure.
+      adsala::Error republished;
+      for (int tries = 0; tries < 1000; ++tries) {
+        republished = publish_shm_region(shm, new_model, new_config);
+        if (republished.ok() ||
+            republished.code != ErrorCode::kUnavailable) {
+          break;
+        }
+        sleep_ms(1);
+      }
+      if (!republished.ok()) {
+        fatal(std::string(fp) + ": post-heal publish: " + republished.message);
+      }
+      auto fresh = read_shm_region(shm);
+      if (!fresh.ok() || fresh.value().model_json != new_model) {
+        fatal(std::string(fp) + ": post-heal publish not served");
+      }
+    }
+  }
+
+  // Stop the reader and adopt its verdict.
+  {
+    std::ofstream stop(stop_file);
+  }
+  int status = 0;
+  if (::waitpid(reader, &status, 0) != reader) fatal("waitpid(reader)");
+  std::filesystem::remove(stop_file);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    fatal("concurrent reader saw an invariant violation");
+  }
+
+  std::printf(
+      "crash_harness: OK — %d iteration(s), %zu promote + %zu shm crash "
+      "points, final version %llu\n",
+      iterations, std::size(promote_points), std::size(shm_points),
+      static_cast<unsigned long long>(version));
+  return 0;
+}
